@@ -1,0 +1,92 @@
+"""Ablations of the design choices the paper argues for (Table 3, §4).
+
+* Arbiter placement: memory-path arbitration (the paper's choice) vs the
+  rejected L1-path arbitration — the latter must hurt far more.
+* ICM cache size: smaller Icm_Caches lower the hit rate and raise
+  commit stalls.
+* DDT 1-cycle logging lag: how many dependencies the imperfection from
+  Section 4.2.1 actually loses.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.stats import overhead_pct
+from repro.experiments import ablations
+
+pytestmark = pytest.mark.benchmark(group="ablations")
+
+
+def test_arbiter_placement(benchmark):
+    results = benchmark.pedantic(ablations.run_arbiter_placement,
+                                 rounds=1, iterations=1)
+    write_result("ablation_arbiter.txt",
+                 ablations.format_arbiter_placement(results))
+    memory_path = overhead_pct(results["baseline"], results["memory_path"])
+    l1_path = overhead_pct(results["baseline"], results["l1_path"])
+    # Table 3's rationale: "any delay introduced in this [L1] path ...
+    # will be very prominent (Amdahl's law)".
+    assert l1_path > 2 * memory_path
+    assert memory_path < 10
+
+
+def test_icm_cache_sweep(benchmark):
+    results = benchmark.pedantic(ablations.run_icm_cache_sweep,
+                                 rounds=1, iterations=1)
+    write_result("ablation_icm_cache.txt",
+                 ablations.format_icm_cache_sweep(results))
+    sizes = sorted(results)
+    hit_rates = [results[size]["hit_rate"] for size in sizes]
+    cycles = [results[size]["cycles"] for size in sizes]
+    # Bigger caches never hurt; the hit rate is monotone non-decreasing.
+    assert all(b >= a - 1e-9 for a, b in zip(hit_rates, hit_rates[1:]))
+    assert cycles[-1] <= cycles[0]
+
+
+def test_ddt_lag(benchmark):
+    results = benchmark.pedantic(ablations.run_ddt_lag,
+                                 rounds=1, iterations=1)
+    write_result("ablation_ddt_lag.txt", ablations.format_ddt_lag(results))
+    assert results["ideal"]["missed"] == 0
+    assert results["ideal"]["logged"] == 6          # one edge per producer
+    assert results["lagged"]["missed"] > 0          # the window really bites
+    assert (results["lagged"]["logged"] + results["lagged"]["missed"]
+            == results["ideal"]["logged"])
+
+
+def test_icm_coverage_scope(benchmark):
+    results = benchmark.pedantic(ablations.run_icm_coverage,
+                                 rounds=1, iterations=1)
+    write_result("ablation_icm_coverage.txt",
+                 ablations.format_icm_coverage(results))
+    base = results["none"]["cycles"]
+    control = results["control-flow"]["cycles"]
+    everything = results["all instructions"]["cycles"]
+    # Wider coverage costs more; full coverage costs the most.
+    assert base < control < everything
+    assert results["all instructions"]["checks"] > \
+        results["control-flow"]["checks"]
+
+
+def test_icm_footprint(benchmark):
+    results = benchmark.pedantic(ablations.run_icm_footprint,
+                                 rounds=1, iterations=1)
+    write_result("ablation_icm_footprint.txt",
+                 ablations.format_icm_footprint(results))
+    sites = sorted(results)
+    hit_rates = [results[s]["hit_rate"] for s in sites]
+    # Footprints within capacity enjoy high hit rates; beyond capacity
+    # the LRU sweep collapses.
+    assert hit_rates[0] > 0.85
+    assert hit_rates[-1] < 0.60
+
+
+def test_predictor_comparison(benchmark):
+    results = benchmark.pedantic(ablations.run_predictor_comparison,
+                                 rounds=1, iterations=1)
+    write_result("ablation_predictor.txt",
+                 ablations.format_predictor_comparison(results))
+    # Both front ends finish the same work; report, don't prejudge the
+    # winner (annealing's data-dependent branches are near-random).
+    assert results["bimodal"]["mispredicts"] > 0
+    assert results["gshare"]["mispredicts"] > 0

@@ -1,0 +1,70 @@
+"""Regenerates Figure 9: server runtime (with/without DDT) and saved
+pages vs thread-pool size.
+
+Paper reference shapes: runtime falls as threads are added (I/O
+parallelism) and stabilises around four threads; DDT overhead starts
+near zero and climbs to roughly 7-8% once parallelism is exhausted,
+"mainly due to saving memory pages"; the saved-page count grows with
+the thread count.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.stats import overhead_pct
+from repro.experiments import fig9
+
+RECORDS = {}
+
+pytestmark = pytest.mark.benchmark(group="fig9")
+
+
+@pytest.mark.parametrize("threads", fig9.PAPER_THREAD_COUNTS)
+def test_server_without_ddt(benchmark, threads):
+    run = benchmark.pedantic(fig9.run_server, args=(threads, False),
+                             rounds=1, iterations=1)
+    RECORDS.setdefault(threads, {})["plain"] = run
+
+
+@pytest.mark.parametrize("threads", fig9.PAPER_THREAD_COUNTS)
+def test_server_with_ddt(benchmark, threads):
+    run = benchmark.pedantic(fig9.run_server, args=(threads, True),
+                             rounds=1, iterations=1)
+    RECORDS.setdefault(threads, {})["ddt"] = run
+
+
+def test_z_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = {threads: (data["plain"], data["ddt"])
+               for threads, data in RECORDS.items()}
+    write_result("fig9.txt", fig9.format_fig9(results) + "\n\n"
+                 + fig9.chart_fig9(results))
+
+    threads = sorted(results)
+    plain = [results[t][0].cycles for t in threads]
+    ddt = [results[t][1].cycles for t in threads]
+    saves = [results[t][1].saved_pages for t in threads]
+
+    # Responses identical everywhere (the DDT never changes results).
+    golden = results[threads[0]][0].responses
+    for t in threads:
+        assert results[t][0].responses == golden
+        assert results[t][1].responses == golden
+
+    # Shape 1: adding threads helps, then the curve flattens (the knee).
+    assert plain[1] < plain[0]
+    tail = plain[4:]          # five or more threads
+    assert max(tail) < plain[0]
+    assert max(tail) - min(tail) < 0.25 * plain[0]          # flat tail
+
+    # Shape 2: DDT costs nearly nothing single-threaded, then climbs into
+    # the high-single-digit/low-teens range as sharing appears.
+    first_overhead = overhead_pct(plain[0], ddt[0])
+    late_overheads = [overhead_pct(p, d) for p, d in zip(plain, ddt)][3:]
+    assert first_overhead < 4.0
+    assert all(2.0 < o < 25.0 for o in late_overheads)
+    assert max(late_overheads) > first_overhead
+
+    # Shape 3: saved pages grow with the thread count.
+    assert saves[-1] > saves[0]
+    assert max(saves) == max(saves[2:])          # the peak is not at 1-2

@@ -1,0 +1,67 @@
+"""Regenerates Table 4 (rows 7-14): il1/il2 pressure of CHECK insertion.
+
+The paper measures the I-cache cost of the CHECK footprint by rewriting
+the code segment with NOPs in CHECK positions and running the baseline
+simulator (Section 5.1).  Expected shape: #il1 accesses grow by roughly
+the fraction of control-flow instructions (paper: ~20-25%), and the il1
+miss rate moves with the larger footprint.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.tables import format_table
+from repro.experiments import table4
+
+RECORDS = {}
+SOURCES = table4.workload_sources()
+WORKLOADS = list(SOURCES)
+
+pytestmark = pytest.mark.benchmark(group="table4-cache")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_cache_baseline(benchmark, workload):
+    record = benchmark.pedantic(table4.run_baseline,
+                                args=(SOURCES[workload],),
+                                rounds=1, iterations=1)
+    RECORDS.setdefault(workload, {})["baseline"] = record
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_cache_with_checks(benchmark, workload):
+    record = benchmark.pedantic(table4.run_with_check_nops,
+                                args=(SOURCES[workload],),
+                                rounds=1, iterations=1)
+    RECORDS.setdefault(workload, {})["with-checks"] = record
+
+
+def test_z_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload, configs in RECORDS.items():
+        base = configs["baseline"]
+        checks = configs["with-checks"]
+        base_accesses = base.cache("il1", "accesses")
+        check_accesses = checks.cache("il1", "accesses")
+        rows.append([
+            workload,
+            base_accesses, check_accesses,
+            "%.1f%%" % (100.0 * (check_accesses - base_accesses)
+                        / base_accesses),
+            "%.3f%%" % (100 * base.cache("il1", "miss_rate")),
+            "%.3f%%" % (100 * checks.cache("il1", "miss_rate")),
+            base.cache("il2", "accesses"),
+            checks.cache("il2", "accesses"),
+        ])
+        # Shape: the CHECK/NOP footprint inflates fetch traffic ...
+        assert check_accesses > base_accesses
+        # ... in proportion to the control-flow density (10-40%).
+        growth = (check_accesses - base_accesses) / base_accesses
+        assert 0.05 < growth < 0.50, (workload, growth)
+    table = format_table(
+        ["Benchmark", "il1 acc (base)", "il1 acc (+CHK)", "growth",
+         "il1 miss (base)", "il1 miss (+CHK)", "il2 acc (base)",
+         "il2 acc (+CHK)"],
+        rows, title="Table 4 (cache rows): CHECK instruction cache pressure")
+    write_result("table4_cache.txt", table)

@@ -1,0 +1,12 @@
+"""Ensure the in-tree package is importable without an installed wheel.
+
+The execution environment has no network and no `wheel` package, so a
+PEP-660 editable install is unavailable; a src-path insertion gives the
+same developer experience.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "tests"))

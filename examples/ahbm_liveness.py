@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Adaptive heartbeat monitoring of application threads (Section 4.4).
+
+Two worker threads heartbeat the AHBM through CHECK instructions while
+doing work; the kernel heartbeats on behalf of the OS through the
+driver path.  One worker then wedges itself in an infinite loop that
+stops issuing heartbeats.  The Adaptive Timeout Monitor — which has been
+learning each entity's inter-beat cadence (EWMA mean + deviation) —
+declares exactly that entity failed, and the kernel policy kills it so
+the rest of the system finishes cleanly.
+
+Run:  python examples/ahbm_liveness.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.kernel.kernel import KernelConfig
+from repro.program.layout import MemoryLayout
+from repro.rse.check import MODULE_AHBM
+from repro.system import build_machine
+from repro.workloads.asmlib import build_workload_image
+
+PROGRAM = """
+.data
+done: .word 0
+
+.text
+main:
+    la $a0, healthy_worker
+    li $v0, SYS_SPAWN
+    syscall
+    la $a0, wedging_worker
+    li $v0, SYS_SPAWN
+    syscall
+main_wait:
+    li $v0, SYS_YIELD
+    syscall
+    lw $t0, done
+    li $t1, 1
+    blt $t0, $t1, main_wait
+    halt                        # healthy worker finished; demo over
+
+healthy_worker:
+    li $a0, 101                 # entity id
+    chk AHBM, NBLK, OP_AHBM_REGISTER, 0
+    li $s0, 60                  # work batches
+hw_loop:
+    li $t0, 400                 # one batch of work
+hw_work:
+    addi $t0, $t0, -1
+    bnez $t0, hw_work
+    li $a0, 101
+    chk AHBM, NBLK, OP_AHBM_HEARTBEAT, 0
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, -1
+    bnez $s0, hw_loop
+    la $t0, done
+    li $t1, 1
+    sw $t1, 0($t0)
+    li $v0, SYS_EXIT
+    syscall
+
+wedging_worker:
+    li $a0, 202                 # entity id
+    chk AHBM, NBLK, OP_AHBM_REGISTER, 0
+    li $s0, 12                  # heartbeats before wedging
+ww_loop:
+    li $t0, 400
+ww_work:
+    addi $t0, $t0, -1
+    bnez $t0, ww_work
+    li $a0, 202
+    chk AHBM, NBLK, OP_AHBM_HEARTBEAT, 0
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, -1
+    bnez $s0, ww_loop
+wedged:                         # infinite loop, no more heartbeats
+    li $v0, SYS_YIELD
+    syscall
+    j wedged
+"""
+
+
+def main():
+    machine = build_machine(with_rse=True, modules=("ahbm",),
+                            kernel_config=KernelConfig(quantum_cycles=2000))
+    ahbm = machine.module(MODULE_AHBM)
+    ahbm.sample_period = 128
+    ahbm.initial_timeout = 60_000
+    machine.rse.enable_module(MODULE_AHBM)
+
+    # OS liveness through the kernel-driver path.
+    OS_ID = 1
+    ahbm.register(OS_ID, 0)
+    machine.kernel.os_heartbeat_id = OS_ID
+
+    # Kill a thread whose heartbeat entity is declared dead (policy).
+    entity_to_tid = {101: 2, 202: 3}
+    failures = []
+
+    def on_failure(entity_id, cycle):
+        failures.append((entity_id, cycle))
+        tid = entity_to_tid.get(entity_id)
+        if tid is not None:
+            machine.kernel.terminate_thread(tid)
+
+    ahbm.on_failure = on_failure
+
+    image, __ = build_workload_image(PROGRAM, MemoryLayout())
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=20_000_000)
+
+    print("run ended: %s after %d cycles" % (result.reason, result.cycles))
+    print()
+    print("entity   beats  learned gap  adaptive timeout  alive")
+    for entity_id in sorted(ahbm.entities):
+        entity = ahbm.entities[entity_id]
+        name = {1: "OS", 101: "healthy", 202: "wedged"}[entity_id]
+        print("%-8s %5d  %11s  %16d  %s"
+              % (name, entity.counter,
+                 "%.0f cyc" % entity.mean_gap if entity.mean_gap else "-",
+                 ahbm.timeout_for(entity), entity.alive))
+    print()
+    for entity_id, cycle in failures:
+        print("AHBM declared entity %d failed at cycle %d; kernel "
+              "terminated thread %d" % (entity_id, cycle,
+                                        entity_to_tid[entity_id]))
+
+    assert result.reason == "halt"
+    assert [entity for entity, __ in failures] == [202]
+    assert ahbm.is_alive(101) and ahbm.is_alive(1)
+    print()
+    print("Only the wedged worker tripped its adaptive timeout; the")
+    print("healthy worker and the OS heartbeat were never flagged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Instruction bit-flip fault-injection campaign (ICM coverage).
+
+The ICM's value proposition (Section 4.3) is coverage of multi-bit
+errors in an instruction anywhere between memory and the dispatch stage.
+This campaign flips random bits of checked instructions in a small
+workload, once with the ICM attached and once without, and tabulates
+what the machine did:
+
+* ICM on: every corruption is a CHECK_ERROR before retirement;
+* unprotected: the same corruptions fault, silently corrupt results, or
+  hang the program.
+
+Run:  python examples/fault_campaign.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.analysis.tables import format_table
+from repro.security.faults import BitFlipOutcome, run_bitflip_campaign
+
+WORKLOAD = """
+    main:
+        li $t0, 0
+        li $t1, 60
+        li $s0, 0
+    loop:
+        add $s0, $s0, $t0
+        andi $t2, $t0, 3
+        beqz $t2, skip
+        addi $s0, $s0, 7
+    skip:
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+
+def main():
+    campaigns = {}
+    for protected in (True, False):
+        campaigns[protected] = run_bitflip_campaign(
+            WORKLOAD, injections=40, bits_per_injection=1,
+            with_icm=protected, seed=2026, max_cycles=200_000)
+    multi = run_bitflip_campaign(WORKLOAD, injections=20,
+                                 bits_per_injection=3, with_icm=True,
+                                 seed=77, max_cycles=200_000)
+
+    rows = []
+    for outcome in BitFlipOutcome:
+        rows.append([
+            outcome.value,
+            campaigns[True].count(outcome),
+            campaigns[False].count(outcome),
+            multi.count(outcome),
+        ])
+    print(format_table(
+        ["Outcome", "ICM on (1-bit)", "unprotected (1-bit)",
+         "ICM on (3-bit)"],
+        rows, title="Bit-flip campaign over checked instructions"))
+    print()
+    print("ICM detection rate, single-bit: %.0f%%"
+          % (100 * campaigns[True].detection_rate))
+    print("ICM detection rate, triple-bit: %.0f%%"
+          % (100 * multi.detection_rate))
+    damage = (campaigns[False].count(BitFlipOutcome.FAULTED)
+              + campaigns[False].count(BitFlipOutcome.CORRUPTED)
+              + campaigns[False].count(BitFlipOutcome.HUNG))
+    print("unprotected runs damaged:       %d / %d"
+          % (damage, len(campaigns[False].runs)))
+
+    assert campaigns[True].detection_rate == 1.0
+    assert multi.detection_rate == 1.0
+    print()
+    print("Every corrupted checked instruction was stopped by the ICM at")
+    print("commit; the unprotected machine shows the faults, silent data")
+    print("corruptions and hangs the module exists to prevent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Memory Layout Randomization vs real layout-dependent attacks.
+
+Reproduces the security story of Section 4.1 on two concrete exploits
+against a vulnerable network service:
+
+* a **stack smash**: the attacker overflows a stack buffer, planting
+  shellcode and overwriting the saved return address with the absolute
+  buffer address the conventional layout predicts;
+* a **GOT hijack**: an arbitrary-write bug redirects a GOT entry at its
+  well-known address so the next PLT call lands in attacker code.
+
+Each attack runs three times: undefended, under software TRR, and under
+the hardware MLR module.  The undefended service is hijacked; the
+randomized ones turn the attack into a crash (stack smash) or shrug it
+off entirely (GOT hijack against a relocated GOT).
+
+Run:  python examples/mlr_defense.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.security.attacks import (
+    AttackOutcome,
+    run_got_hijack,
+    run_stack_smash,
+)
+
+
+def banner(text):
+    print()
+    print("== %s %s" % (text, "=" * max(0, 60 - len(text))))
+
+
+def describe(label, result):
+    flair = {
+        AttackOutcome.HIJACKED: "ATTACKER CODE EXECUTED",
+        AttackOutcome.CRASHED: "attack converted into a crash",
+        AttackOutcome.FOILED: "service completed unharmed",
+    }[result.outcome]
+    print("%-34s %-10s (%s; run ended: %s)"
+          % (label, result.outcome.value.upper(), flair,
+             result.result.reason))
+
+
+def main():
+    banner("stack smashing (jump-to-shellcode on the stack)")
+    smash_plain = run_stack_smash(defense="none")
+    describe("fixed layout:", smash_plain)
+    smash_trr = run_stack_smash(defense="trr", seed=2026)
+    describe("TRR (software randomization):", smash_trr)
+    smash_mlr = run_stack_smash(defense="mlr")
+    describe("MLR (hardware module):", smash_mlr)
+
+    assert smash_plain.outcome is AttackOutcome.HIJACKED
+    assert smash_trr.outcome is AttackOutcome.CRASHED
+    assert smash_mlr.outcome is AttackOutcome.CRASHED
+
+    banner("GOT hijack (arbitrary write to a well-known GOT slot)")
+    got_plain = run_got_hijack(defense="none")
+    describe("fixed layout:", got_plain)
+    got_mlr = run_got_hijack(defense="mlr")
+    describe("MLR (GOT relocated + PLT rewritten):", got_mlr)
+
+    assert got_plain.outcome is AttackOutcome.HIJACKED
+    assert got_mlr.outcome is AttackOutcome.FOILED
+
+    banner("summary")
+    print("The fixed-layout service is fully hijackable.  Randomizing the")
+    print("layout (software TRR or the RSE's MLR module) breaks every")
+    print("hardcoded address the exploits rely on: the stack smash becomes")
+    print("a crash — 'essentially converts a security attack into a")
+    print("program crash' — and the GOT hijack writes into abandoned")
+    print("memory while the service keeps running.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The RSE checking itself: Table 2's error scenarios, live.
+
+The framework's own hardware can fail.  Section 3.4 adds a watchdog over
+the IOQ's check/checkValid bits plus an error-transition counter; when
+either trips, the RSE decouples into a safe mode whose constant output
+lets the pipeline commit unhindered — a broken checker must never take
+the processor down with it.
+
+This demo injects three of Table 2's faults into a synchronous module
+and shows the self-checker catching each one while the application still
+completes:
+
+1. a module that stops making progress (would hang the pipeline);
+2. a module that raises a false alarm on every CHECK (would flush the
+   pipeline forever);
+3. a checkValid bit stuck at 1 in the IOQ (module results ignored).
+
+Run:  python examples/selfcheck_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tests"))
+
+from probe_module import TEST_MODULE_ID, ProbeModule
+from repro.isa.assembler import assemble
+from repro.pipeline.core import EventKind
+from repro.rse.check import asm_constants
+from repro.system import build_machine
+
+PROGRAM = """
+    main:
+        li $t1, 30
+        li $s0, 0
+    loop:
+        chk PROBE, BLK, 2, 0
+        addi $s0, $s0, 1
+        addi $t1, $t1, -1
+        bnez $t1, loop
+        halt
+"""
+
+
+def build(module):
+    machine = build_machine(with_rse=True)
+    machine.rse.attach(module)
+    machine.rse.selfcheck.watchdog_timeout = 300
+    machine.rse.selfcheck.error_threshold = 5
+    constants = asm_constants()
+    constants["PROBE"] = TEST_MODULE_ID
+    asm = assemble(PROGRAM, constants=constants)
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.rse.enable_module(TEST_MODULE_ID)
+    machine.pipeline.reset_at(asm.entry)
+    machine.pipeline.regs[29] = 0x7FFF0000
+    return machine
+
+
+def finish(machine):
+    """Run to completion, retrying CHECK errors like the kernel would."""
+    flushes = 0
+    while True:
+        event = machine.pipeline.run(max_cycles=500_000)
+        if event.kind is EventKind.CHECK_ERROR:
+            flushes += 1
+            machine.rse.selfcheck.record_error(
+                machine.rse.modules[TEST_MODULE_ID], machine.pipeline.cycle)
+            machine.pipeline.resume(event.pc)          # retry the CHECK
+            continue
+        return event, flushes
+
+
+def scenario(title, module, inject=None):
+    print("== %s %s" % (title, "=" * max(0, 58 - len(title))))
+    machine = build(module)
+    if inject is not None:
+        inject(machine)
+    event, flushes = finish(machine)
+    trips = machine.rse.selfcheck.trips
+    print("application finished:   %s (loop count = %d)"
+          % (event.kind.value, machine.pipeline.regs[16]))
+    print("pipeline flushes seen:  %d" % flushes)
+    print("framework decoupled:    %s" % machine.rse.safe_mode)
+    if trips:
+        print("self-check verdict:     %r" % trips[0].reason)
+    assert event.kind is EventKind.HALT and machine.pipeline.regs[16] == 30
+    assert machine.rse.safe_mode
+    print()
+
+
+def main():
+    module = ProbeModule()
+    module.fault_mode = "no_progress"
+    scenario("module makes no progress (application would hang)", module)
+
+    module = ProbeModule(delay=1)
+    module.fault_mode = "false_alarm"
+    scenario("module raises a false alarm on every CHECK", module)
+
+    module = ProbeModule(delay=2)
+
+    def stuck_valid(machine):
+        original = machine.rse.ioq.allocate
+
+        def faulty(uop, cycle):
+            entry = original(uop, cycle)
+            if uop.instr.is_check:
+                entry.stuck_check_valid = 1          # hardware stuck-at-1
+            return entry
+
+        machine.rse.ioq.allocate = faulty
+
+    scenario("IOQ checkValid bit stuck at 1", module, inject=stuck_valid)
+
+    print("In every scenario the watchdog/self-check tripped, the RSE")
+    print("switched to safe mode (checkValid=1, check=0 constants), and")
+    print("the application ran to the correct result — protection is")
+    print("lost, the processor is not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of "An Architectural Framework for Providing Reliability
+and Security Support" (Nakka, Xu, Kalbarczyk, Iyer - DSN 2004).
+
+The package builds, from scratch, the paper's full stack:
+
+* a MIPS/DLX-like 32-bit ISA with the ``CHK`` extension and an assembler
+  (:mod:`repro.isa`);
+* a functional reference simulator (:mod:`repro.funcsim`) and a
+  cycle-level out-of-order superscalar pipeline (:mod:`repro.pipeline`)
+  over a two-level cache hierarchy (:mod:`repro.memory`);
+* a minimal multithreading kernel with SavePage checkpointing
+  (:mod:`repro.kernel`) and the DDT-driven recovery algorithm
+  (:mod:`repro.recovery`);
+* the Reliability and Security Engine itself (:mod:`repro.rse`) with its
+  four modules: ICM, MLR, DDT and AHBM;
+* the software TRR baseline and attack/fault models
+  (:mod:`repro.security`);
+* the paper's workloads (:mod:`repro.workloads`) and measurement helpers
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.system import build_machine
+    machine = build_machine(with_rse=True, modules=("icm",))
+"""
+
+__version__ = "1.0.0"
+
+from repro.system import Machine, build_machine
+
+__all__ = ["Machine", "build_machine", "__version__"]

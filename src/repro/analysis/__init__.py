@@ -1,0 +1,24 @@
+"""Measurement and reporting helpers.
+
+* :mod:`repro.analysis.stats`         — run records and overhead math;
+* :mod:`repro.analysis.tables`        — paper-style ASCII tables;
+* :mod:`repro.analysis.hardware_cost` — the Section 3.1 flip-flop/gate
+  estimates, reproduced analytically.
+"""
+
+from repro.analysis.stats import RunRecord, overhead_pct
+from repro.analysis.tables import format_table
+from repro.analysis.hardware_cost import (
+    framework_input_cost,
+    mlr_hardware_cost,
+    mux_gate_count,
+)
+
+__all__ = [
+    "RunRecord",
+    "overhead_pct",
+    "format_table",
+    "framework_input_cost",
+    "mlr_hardware_cost",
+    "mux_gate_count",
+]

@@ -1,0 +1,67 @@
+"""Minimal ASCII line charts for benchmark output.
+
+Figure 9 is a plot, not a table; rendering the measured series as an
+ASCII chart keeps the reproduction self-contained (no plotting
+dependencies) while making the paper's shapes — the knee in the runtime
+curve, the rising saved-pages curve — visible at a glance in
+``benchmarks/results/fig9.txt`` and the terminal.
+"""
+
+
+def ascii_chart(series, width=60, height=12, title=None, x_label=None):
+    """Render one or more named series as an ASCII chart.
+
+    *series* is a list of ``(name, points)`` where points is a list of
+    (x, y).  Each series gets its own glyph; y-axes are normalised to a
+    shared scale.
+    """
+    glyphs = "*o+x#@"
+    points_all = [point for __, pts in series for point in pts]
+    if not points_all:
+        return "(no data)"
+    xs = [x for x, __ in points_all]
+    ys = [y for __, y in points_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (name, pts) in enumerate(series):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _fmt(y_hi)
+    bottom_label = _fmt(y_lo)
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append("%s |%s" % (label, "".join(row)))
+    lines.append(" " * pad + " +" + "-" * width)
+    axis = "%s%s" % (_fmt(x_lo), _fmt(x_hi).rjust(width - len(_fmt(x_lo))))
+    lines.append(" " * (pad + 2) + axis)
+    if x_label:
+        lines.append(" " * (pad + 2) + x_label.center(width))
+    legend = "   ".join("%s %s" % (glyphs[i % len(glyphs)], name)
+                        for i, (name, __) in enumerate(series))
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float) and not value.is_integer():
+        return "%.2f" % value
+    return "%d" % value

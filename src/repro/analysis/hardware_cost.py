@@ -1,0 +1,79 @@
+"""Analytic hardware-cost model (Section 3.1, footnote 4; Section 5.3).
+
+The paper estimates the framework's input-side cost as::
+
+    #flip-flops = #input queues x #entries per queue x #bits per entry
+                = 5 x 16 x 32 = 2560
+
+    gate count: 2-to-1 MUX = 4 gates, 3-to-1 = 5, 4-to-1 = 6 (with
+    feedback loop); 2 inputs need 4-to-1 MUXes, 2 need 2-to-1 and 1
+    needs a 3-to-1:
+    (2x6 + 2x4 + 1x5) x 32 bits x 16 entries = 25 x 512 = 12,800 gates
+
+and the MLR module's datapath (Section 5.3) as 24 + 2 word registers,
+4 + 5 adders and three 4 KB buffers.  These functions reproduce the
+arithmetic so configuration sweeps (bigger ROB, wider words) can report
+hardware cost alongside performance.
+"""
+
+#: Gates per MUX with feedback loop, by input count (footnote 4).
+MUX_GATES = {2: 4, 3: 5, 4: 6}
+
+#: MUX fan-in needed per input queue (Figure 1): Fetch_Out and
+#: Commit_Out need 4-to-1, Regfile_Data and Memory_Out need 2-to-1,
+#: Execute_Out (ALU/MDU/LSU) needs 3-to-1.
+QUEUE_MUX_INPUTS = {
+    "fetch_out": 4,
+    "commit_out": 4,
+    "regfile_data": 2,
+    "memory_out": 2,
+    "execute_out": 3,
+}
+
+
+def mux_gate_count(inputs):
+    """Gates for one 1-bit MUX with *inputs* data inputs."""
+    try:
+        return MUX_GATES[inputs]
+    except KeyError:
+        raise ValueError("no gate model for a %d-input MUX" % inputs) from None
+
+
+def framework_input_cost(num_queues=5, entries_per_queue=16,
+                         bits_per_entry=32, queue_mux_inputs=None):
+    """Flip-flop and gate cost of the RSE input interface.
+
+    Defaults reproduce the paper's numbers exactly: 2560 flip-flops and
+    12,800 gates for a 32-bit processor with a 16-entry re-order buffer.
+    """
+    queue_mux_inputs = queue_mux_inputs or QUEUE_MUX_INPUTS
+    if len(queue_mux_inputs) != num_queues:
+        raise ValueError("queue/MUX description does not match queue count")
+    flip_flops = num_queues * entries_per_queue * bits_per_entry
+    gates_per_bit = sum(mux_gate_count(inputs)
+                        for inputs in queue_mux_inputs.values())
+    gates = gates_per_bit * bits_per_entry * entries_per_queue
+    return {"flip_flops": flip_flops, "gates": gates,
+            "gates_per_bit": gates_per_bit}
+
+
+def mlr_hardware_cost(word_bits=32):
+    """MLR module datapath cost (Section 5.3).
+
+    Position-independent path: 24 word registers, 4 adders, one 4 KB
+    header buffer.  Position-dependent path: 2 word registers, 5 adders,
+    two 4 KB buffers (GOT and PLT).
+    """
+    return {
+        "pi_registers": 24,
+        "pi_register_bits": 24 * word_bits,
+        "pi_adders": 4,
+        "pi_buffer_bytes": 4096,
+        "pd_registers": 2,
+        "pd_register_bits": 2 * word_bits,
+        "pd_adders": 5,
+        "pd_buffer_bytes": 2 * 4096,
+        "total_buffer_bytes": 3 * 4096,
+        "total_adders": 9,
+        "total_registers": 26,
+    }

@@ -1,0 +1,49 @@
+"""Run records and derived metrics for the benchmark harnesses."""
+
+
+class RunRecord:
+    """Everything a benchmark wants to keep from one simulation run."""
+
+    def __init__(self, name, cycles, instret, pipeline_stats=None,
+                 cache_stats=None, extra=None):
+        self.name = name
+        self.cycles = cycles
+        self.instret = instret
+        self.pipeline_stats = dict(pipeline_stats or {})
+        self.cache_stats = dict(cache_stats or {})
+        self.extra = dict(extra or {})
+
+    @classmethod
+    def from_machine(cls, name, machine, extra=None):
+        stats = machine.pipeline.stats
+        return cls(name,
+                   cycles=stats.cycles,
+                   instret=stats.instret,
+                   pipeline_stats=stats.as_dict(),
+                   cache_stats=machine.hierarchy.stats(),
+                   extra=extra)
+
+    @property
+    def ipc(self):
+        return self.instret / self.cycles if self.cycles else 0.0
+
+    def cache(self, level, field):
+        return self.cache_stats.get(level, {}).get(field, 0)
+
+    def __repr__(self):
+        return "RunRecord(%s: %d cycles, %d instrs)" % (
+            self.name, self.cycles, self.instret)
+
+
+def overhead_pct(baseline_cycles, measured_cycles):
+    """Percentage overhead of *measured* relative to *baseline*."""
+    if baseline_cycles == 0:
+        return 0.0
+    return 100.0 * (measured_cycles - baseline_cycles) / baseline_cycles
+
+
+def improvement_pct(baseline, improved):
+    """Percentage improvement (reduction) from *baseline* to *improved*."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,47 @@
+"""Plain-ASCII table rendering for benchmark output.
+
+The benchmark harnesses print tables shaped like the paper's Table 4,
+Table 5 and the Figure 9 series so results can be compared side by side
+with the publication.
+"""
+
+
+def format_table(headers, rows, title=None, align=None):
+    """Render *rows* (sequences of cells) under *headers*.
+
+    *align* is an optional string of 'l'/'r' per column (default: first
+    column left, the rest right).
+    """
+    cells = [[_text(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    count = len(headers)
+    if align is None:
+        align = "l" + "r" * (count - 1)
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(row):
+        out = []
+        for index, cell in enumerate(row):
+            if align[index] == "l":
+                out.append(cell.ljust(widths[index]))
+            else:
+                out.append(cell.rjust(widths[index]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (count - 1)))
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _text(cell):
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run FILE``
+    Assemble and execute an assembly file on the full machine (kernel +
+    out-of-order pipeline), printing the exit reason and pipeline/cache
+    statistics.  ``--func`` uses the functional simulator instead;
+    ``--icm`` attaches the RSE with the ICM checking all control flow.
+
+``experiment {table4,table5,fig9,ablations}``
+    Run an experiment harness and print its paper-style table
+    (``--quick`` for the reduced configuration).
+
+``attack {stack,got}``
+    Run a layout-dependent exploit against the vulnerable service under
+    a chosen ``--defense``.
+
+``info``
+    Print the simulated machine configuration and the Section 3.1
+    hardware-cost estimates.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis.hardware_cost import framework_input_cost, \
+    mlr_hardware_cost
+from repro.analysis.tables import format_table
+
+
+def _cmd_run(args):
+    from repro.funcsim import FuncSim
+    from repro.memory.mainmem import MainMemory
+    from repro.program.layout import MemoryLayout
+    from repro.rse.check import MODULE_ICM
+    from repro.rse.modules.icm import build_checker_memory, make_icm_injector
+    from repro.system import build_machine
+    from repro.workloads.asmlib import build_workload_image, std_constants
+
+    with open(args.file) as handle:
+        source = handle.read()
+
+    if args.func:
+        from repro.isa.assembler import assemble
+
+        asm = assemble(source, constants=std_constants())
+        memory = MainMemory()
+        memory.store_bytes(asm.text_base, asm.text)
+        memory.store_bytes(asm.data_base, asm.data)
+        sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000)
+        result = sim.run(max_steps=args.max_cycles)
+        print("functional run: %s after %d instructions"
+              % (result.value, sim.instret))
+        if sim.fault:
+            print("fault: pc=0x%08x %s" % sim.fault)
+        return 0
+
+    machine = build_machine(with_rse=args.icm,
+                            modules=("icm",) if args.icm else ())
+    image, asm = build_workload_image(source, MemoryLayout())
+    machine.kernel.load_process(image)
+    if args.icm:
+        icm = machine.module(MODULE_ICM)
+        text = image.segment(".text")
+        checker_map = build_checker_memory(machine.memory, text.base,
+                                           len(text.data))
+        icm.configure(checker_map)
+        machine.rse.enable_module(MODULE_ICM)
+        machine.pipeline.check_injector = make_icm_injector(checker_map)
+    result = machine.kernel.run(max_cycles=args.max_cycles)
+    stats = machine.pipeline.stats
+    print("run ended: %s" % result.reason)
+    print("cycles: %d   instructions: %d   IPC: %.2f"
+          % (stats.cycles, stats.instret, stats.ipc))
+    print("branches: %d   mispredicts: %d   loads: %d   stores: %d"
+          % (stats.branches, stats.mispredicts, stats.loads, stats.stores))
+    hier = machine.hierarchy.stats()
+    print("il1 miss: %.2f%%   dl1 miss: %.2f%%"
+          % (100 * hier["il1"]["miss_rate"], 100 * hier["dl1"]["miss_rate"]))
+    for kind, value in machine.kernel.output:
+        print("guest output: %s" % value)
+    if args.icm:
+        icm = machine.module(MODULE_ICM)
+        print("ICM: %d checks, %d mismatches, %.1f%% cache hit rate"
+              % (icm.checks_completed, icm.mismatches,
+                 100 * icm.cache_hit_rate))
+    return 0 if result.reason in ("halt", "all_exited") else 1
+
+
+def _cmd_experiment(args):
+    from repro.experiments import ablations, fig9, table4, table5
+
+    if args.name == "table4":
+        results = table4.run_table4(quick=args.quick)
+        print(table4.format_table4(results))
+        fw, icm = table4.average_overheads(results)
+        print("\naverage overheads: framework %.2f%%  framework+ICM %.2f%%"
+              % (fw, icm))
+    elif args.name == "table5":
+        results = table5.run_table5(quick=args.quick)
+        print(table5.format_table5(results))
+        print("\nposition-independent penalty: %d cycles (paper: 56)"
+              % table5.measure_pi_rand_penalty())
+    elif args.name == "fig9":
+        results = fig9.run_fig9(quick=args.quick)
+        print(fig9.format_fig9(results))
+        print()
+        print(fig9.chart_fig9(results))
+    else:
+        print(ablations.format_arbiter_placement(
+            ablations.run_arbiter_placement(quick=args.quick)))
+        print()
+        sizes = (32, 256) if args.quick else (32, 64, 128, 256, 512)
+        print(ablations.format_icm_cache_sweep(
+            ablations.run_icm_cache_sweep(sizes=sizes, quick=args.quick)))
+        print()
+        print(ablations.format_ddt_lag(ablations.run_ddt_lag()))
+    return 0
+
+
+def _cmd_attack(args):
+    from repro.security.attacks import run_got_hijack, run_stack_smash
+
+    if args.kind == "stack":
+        result = run_stack_smash(defense=args.defense, seed=args.seed)
+    else:
+        if args.defense == "trr":
+            print("the GOT hijack demo supports defenses: none, mlr")
+            return 2
+        result = run_got_hijack(defense=args.defense)
+    print("attack: %s   defense: %s   outcome: %s (run ended: %s)"
+          % (args.kind, args.defense, result.outcome.value,
+             result.result.reason))
+    return 0
+
+
+def _cmd_report(args):
+    """Concatenate the benchmark result tables into one report."""
+    import glob
+
+    results_dir = args.results_dir
+    paths = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
+    if not paths:
+        print("no results in %s - run: pytest benchmarks/ --benchmark-only"
+              % results_dir)
+        return 1
+    sections = []
+    for path in paths:
+        with open(path) as handle:
+            sections.append(handle.read().rstrip())
+    report = ("# Reproduction results\n\n"
+              + "\n\n".join("```\n%s\n```" % text for text in sections)
+              + "\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print("wrote %s (%d sections)" % (args.output, len(sections)))
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_disasm(args):
+    from repro.isa.disasm import disassemble_image
+    from repro.program.layout import MemoryLayout
+    from repro.workloads.asmlib import build_workload_image
+
+    with open(args.file) as handle:
+        source = handle.read()
+    image, __ = build_workload_image(source, MemoryLayout())
+    print(disassemble_image(image))
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.analysis.tracing import trace_functional
+    from repro.isa.assembler import assemble
+    from repro.memory.mainmem import MainMemory
+    from repro.workloads.asmlib import std_constants
+
+    with open(args.file) as handle:
+        source = handle.read()
+    asm = assemble(source, constants=std_constants())
+    memory = MainMemory()
+    memory.store_bytes(asm.text_base, asm.text)
+    memory.store_bytes(asm.data_base, asm.data)
+    entries, sim = trace_functional(memory, asm.entry,
+                                    max_steps=args.max_steps)
+    for entry in entries:
+        print(entry.render())
+    if sim.fault:
+        print("fault: pc=0x%08x %s" % sim.fault)
+    return 0
+
+
+def _cmd_info(args):
+    from repro.pipeline.config import PipelineConfig
+
+    config = PipelineConfig()
+    rows = [
+        ["fetch/dispatch/issue width", "%d / %d / %d" % (
+            config.fetch_width, config.dispatch_width, config.issue_width)],
+        ["ROB (RUU) / LSQ entries", "%d / %d" % (config.rob_entries,
+                                                 config.lsq_entries)],
+        ["il1 / dl1", "8 KB 1-way / 8 KB 1-way"],
+        ["il2 / dl2", "64 KB 2-way / 128 KB 2-way"],
+        ["memory timing (baseline)", "18 + 2/chunk"],
+        ["memory timing (with RSE)", "19 + 3/chunk"],
+    ]
+    print(format_table(["Parameter", "Value"], rows,
+                       title="Simulated machine (paper Figure 1)"))
+    print()
+    cost = framework_input_cost()
+    print("RSE input interface: %d flip-flops, %d gates (Section 3.1)"
+          % (cost["flip_flops"], cost["gates"]))
+    mlr = mlr_hardware_cost()
+    print("MLR module: %d registers, %d adders, %d KB of buffers"
+          % (mlr["total_registers"], mlr["total_adders"],
+             mlr["total_buffer_bytes"] // 1024))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DSN 2004 Reliability and "
+                    "Security Engine")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="assemble and run a program")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--func", action="store_true",
+                            help="use the functional simulator")
+    run_parser.add_argument("--icm", action="store_true",
+                            help="attach the RSE with the ICM enabled")
+    run_parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    run_parser.set_defaults(func_impl=_cmd_run)
+
+    exp_parser = sub.add_parser("experiment", help="run a paper experiment")
+    exp_parser.add_argument("name", choices=["table4", "table5", "fig9",
+                                             "ablations"])
+    exp_parser.add_argument("--quick", action="store_true")
+    exp_parser.set_defaults(func_impl=_cmd_experiment)
+
+    attack_parser = sub.add_parser("attack", help="run an exploit demo")
+    attack_parser.add_argument("kind", choices=["stack", "got"])
+    attack_parser.add_argument("--defense", default="none",
+                               choices=["none", "trr", "mlr"])
+    attack_parser.add_argument("--seed", type=int, default=1234)
+    attack_parser.set_defaults(func_impl=_cmd_attack)
+
+    disasm_parser = sub.add_parser("disasm",
+                                   help="disassemble an assembled program")
+    disasm_parser.add_argument("file")
+    disasm_parser.set_defaults(func_impl=_cmd_disasm)
+
+    trace_parser = sub.add_parser(
+        "trace", help="functional instruction trace of a program")
+    trace_parser.add_argument("file")
+    trace_parser.add_argument("--max-steps", type=int, default=200)
+    trace_parser.set_defaults(func_impl=_cmd_trace)
+
+    report_parser = sub.add_parser(
+        "report", help="collect benchmark result tables into one report")
+    report_parser.add_argument("--results-dir",
+                               default=os.path.join("benchmarks", "results"))
+    report_parser.add_argument("--output", default=None)
+    report_parser.set_defaults(func_impl=_cmd_report)
+
+    info_parser = sub.add_parser("info", help="machine configuration")
+    info_parser.set_defaults(func_impl=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func_impl(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module builds the machines, runs the workloads and returns both raw
+records and a paper-style formatted table:
+
+* :mod:`repro.experiments.table4` — framework / ICM overhead and the
+  I-cache CHECK-pressure experiment (Table 4);
+* :mod:`repro.experiments.table5` — TRR vs MLR GOT/PLT randomization
+  (Table 5) and the Section 5.3 position-independent penalty;
+* :mod:`repro.experiments.fig9`   — the multithreaded-server DDT sweep
+  (Figure 9);
+* :mod:`repro.experiments.ablations` — design-choice studies called out
+  in Table 3 (arbiter placement, ICM cache size, DDT lag window).
+
+The ``quick`` flag on every entry point shrinks workloads for use in the
+test suite; benchmarks run the full configuration.
+"""
+
+from repro.experiments import table4, table5, fig9, ablations
+
+__all__ = ["table4", "table5", "fig9", "ablations"]

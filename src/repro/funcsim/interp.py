@@ -1,0 +1,150 @@
+"""The functional interpreter."""
+
+import enum
+
+from repro.isa import semantics
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instructions import InstrClass
+from repro.isa.registers import NUM_REGS
+from repro.memory.mainmem import MemoryFault
+
+
+class StepResult(enum.Enum):
+    """Outcome of executing one instruction."""
+
+    OK = "ok"
+    HALTED = "halted"
+    SYSCALL = "syscall"
+    FAULT = "fault"
+
+
+class SimFault(Exception):
+    """An architectural fault (bad fetch, illegal instruction, memory or
+    arithmetic error) raised when no fault handler is installed."""
+
+    def __init__(self, pc, cause):
+        super().__init__("fault at pc=0x%08x: %s" % (pc, cause))
+        self.pc = pc
+        self.cause = cause
+
+
+class FuncSim:
+    """In-order functional simulator over a shared :class:`MainMemory`.
+
+    Hooks:
+
+    * ``syscall_handler(sim) -> bool`` — invoked on ``syscall``; return
+      True to continue, False to stop (e.g. thread blocked/exited).  The
+      handler reads/writes ``sim.regs`` and ``sim.memory`` directly.
+    * ``chk_handler(sim, instr)`` — invoked on CHECK instructions, so a
+      functional RSE model can observe them; default is a no-op (the
+      pipeline treats CHECKs as NOPs everywhere except commit).
+    * ``trace_mem(sim, instr, addr, is_store)`` — observation hook used
+      by functional DDT experiments.
+    """
+
+    def __init__(self, memory, entry=0, sp=0, gp=0, syscall_handler=None,
+                 chk_handler=None, trace_mem=None):
+        self.memory = memory
+        self.regs = [0] * NUM_REGS
+        self.regs[29] = sp
+        self.regs[28] = gp
+        self.pc = entry
+        self.halted = False
+        self.instret = 0          # retired instruction count
+        self.syscall_handler = syscall_handler
+        self.chk_handler = chk_handler
+        self.trace_mem = trace_mem
+        self.fault = None         # (pc, cause) of the last fault, if any
+
+    # ------------------------------------------------------------------ run
+
+    def step(self):
+        """Execute one instruction; returns a :class:`StepResult`."""
+        if self.halted:
+            return StepResult.HALTED
+        pc = self.pc
+        try:
+            word = self.memory.load_word(pc)
+            instr = decode(word)
+        except (MemoryFault, DecodeError) as exc:
+            return self._fault(pc, str(exc))
+        return self._execute(instr, pc)
+
+    def run(self, max_steps=10_000_000):
+        """Run until halt, fault, or *max_steps*; returns the stop reason."""
+        for __ in range(max_steps):
+            result = self.step()
+            if result is not StepResult.OK:
+                return result
+        return StepResult.OK
+
+    # -------------------------------------------------------------- execute
+
+    def _execute(self, instr, pc):
+        regs = self.regs
+        iclass = instr.iclass
+        next_pc = (pc + 4) & 0xFFFFFFFF
+        try:
+            if iclass is InstrClass.ALU or iclass is InstrClass.MDU:
+                value = semantics.alu_result(instr, regs[instr.rs],
+                                             regs[instr.rt])
+                if instr.dest:
+                    regs[instr.dest] = value
+            elif iclass is InstrClass.LOAD:
+                addr = semantics.effective_address(instr, regs[instr.rs])
+                if self.trace_mem is not None:
+                    self.trace_mem(self, instr, addr, False)
+                value = semantics.load_from(self.memory, instr, addr)
+                if instr.dest:
+                    regs[instr.dest] = value
+            elif iclass is InstrClass.STORE:
+                addr = semantics.effective_address(instr, regs[instr.rs])
+                if self.trace_mem is not None:
+                    self.trace_mem(self, instr, addr, True)
+                semantics.store_to(self.memory, instr, addr, regs[instr.rt])
+            elif iclass is InstrClass.BRANCH:
+                next_pc = semantics.control_target(instr, pc, regs[instr.rs],
+                                                   regs[instr.rt])
+            elif iclass is InstrClass.JUMP:
+                if instr.dest:          # jal / jalr link
+                    regs[instr.dest] = (pc + 4) & 0xFFFFFFFF
+                next_pc = semantics.jump_target(instr, pc, regs[instr.rs])
+            elif iclass is InstrClass.SYSCALL:
+                self.pc = next_pc
+                self.instret += 1
+                if self.syscall_handler is None:
+                    raise SimFault(pc, "syscall with no handler")
+                keep_running = self.syscall_handler(self)
+                return StepResult.OK if keep_running else StepResult.SYSCALL
+            elif iclass is InstrClass.HALT:
+                self.halted = True
+                self.instret += 1
+                return StepResult.HALTED
+            elif iclass is InstrClass.CHECK:
+                if self.chk_handler is not None:
+                    self.chk_handler(self, instr)
+            elif iclass is InstrClass.NOP:
+                pass
+            else:          # pragma: no cover - all classes handled above
+                raise SimFault(pc, "unhandled class %s" % iclass)
+        except (MemoryFault, semantics.ArithmeticFault) as exc:
+            return self._fault(pc, str(exc))
+        regs[0] = 0
+        self.pc = next_pc
+        self.instret += 1
+        return StepResult.OK
+
+    def _fault(self, pc, cause):
+        self.fault = (pc, cause)
+        self.halted = True
+        return StepResult.FAULT
+
+    # -------------------------------------------------------------- helpers
+
+    def reg(self, index):
+        return self.regs[index]
+
+    def set_reg(self, index, value):
+        if index:
+            self.regs[index] = value & 0xFFFFFFFF

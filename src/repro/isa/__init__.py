@@ -1,0 +1,34 @@
+"""32-bit RISC instruction-set architecture used throughout the reproduction.
+
+The ISA is MIPS/DLX-flavoured (the paper's simulator, SimpleScalar, "implements
+an instruction set architecture very similar to MIPS"), extended with the
+paper's ``CHK`` instruction — the application-level interface to the
+Reliability and Security Engine (RSE).
+
+Public surface:
+
+* :mod:`repro.isa.registers` — architectural register file names/indices.
+* :mod:`repro.isa.instructions` — instruction specifications and the decoded
+  :class:`~repro.isa.instructions.Instr` record.
+* :mod:`repro.isa.encoding` — 32-bit binary encode/decode.
+* :mod:`repro.isa.assembler` — two-pass assembler producing program images.
+"""
+
+from repro.isa.instructions import Instr, InstrClass, SPEC_BY_NAME
+from repro.isa.encoding import encode, decode, DecodeError
+from repro.isa.registers import REG_NAMES, reg_num
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+
+__all__ = [
+    "Instr",
+    "InstrClass",
+    "SPEC_BY_NAME",
+    "encode",
+    "decode",
+    "DecodeError",
+    "REG_NAMES",
+    "reg_num",
+    "Assembler",
+    "AssemblyError",
+    "assemble",
+]

@@ -1,0 +1,170 @@
+"""Binary encoding and decoding of the 32-bit ISA.
+
+Every instruction has a genuine 32-bit encoding.  This matters for the
+reproduction: the Instruction Checker Module (ICM) compares the *binary*
+of an in-flight instruction with a redundant copy fetched from its
+CheckerMemory, and the fault-injection experiments flip individual bits
+of encoded words.  A decode that merely pattern-matched Python objects
+would make both meaningless.
+"""
+
+from repro.isa.instructions import (
+    CHK_OP_PAYLOAD_BIT,
+    CHK_PAYLOAD_REGS,
+    Instr,
+    InstrClass,
+    InstrSpec,
+    NOP_WORD,
+    OP_CHK,
+    OP_REGIMM,
+    OP_RTYPE,
+    SPECS,
+    extract_regs,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a valid instruction.
+
+    In the pipeline this surfaces as an illegal-instruction fault, which
+    is exactly what a multi-bit error escaping the ICM can produce.
+    """
+
+    def __init__(self, word, reason="illegal instruction"):
+        super().__init__("%s: 0x%08x" % (reason, word))
+        self.word = word
+
+
+def _sign_extend_16(value):
+    return value - 0x10000 if value & 0x8000 else value
+
+
+# Dispatch tables -----------------------------------------------------------
+
+_RTYPE_BY_FUNCT = {}
+_REGIMM_BY_RT = {}
+_ITYPE_BY_OPCODE = {}
+_JTYPE_BY_OPCODE = {}
+
+for _spec in SPECS:
+    if _spec.fmt == "R":
+        _RTYPE_BY_FUNCT[_spec.funct] = _spec
+    elif _spec.fmt == "J":
+        _JTYPE_BY_OPCODE[_spec.opcode] = _spec
+    elif _spec.fmt == "CHK":
+        pass
+    elif _spec.opcode == OP_REGIMM:
+        _REGIMM_BY_RT[_spec.rt_sel] = _spec
+    else:
+        _ITYPE_BY_OPCODE[_spec.opcode] = _spec
+
+
+def encode(spec, rs=0, rt=0, rd=0, shamt=0, imm=0, target=0,
+           module=0, blk=0, op=0, param=0):
+    """Encode one instruction into its 32-bit word.
+
+    *imm* may be negative (two's complement, 16 bits).  *target* is the
+    26-bit word-index field of J-type instructions.
+    """
+    if spec.fmt == "R":
+        return ((OP_RTYPE << 26) | (rs << 21) | (rt << 16) |
+                (rd << 11) | (shamt << 6) | spec.funct)
+    if spec.fmt == "J":
+        return (spec.opcode << 26) | (target & 0x03FFFFFF)
+    if spec.fmt == "CHK":
+        return ((OP_CHK << 26) | ((module & 0xF) << 22) | ((blk & 0x1) << 21) |
+                ((op & 0x1F) << 16) | (param & 0xFFFF))
+    # I-type; REGIMM branches place their selector in the rt field.
+    if spec.opcode == OP_REGIMM:
+        rt = spec.rt_sel
+    return ((spec.opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF))
+
+
+_CHK_SPEC = next(s for s in SPECS if s.fmt == "CHK")
+
+# Decoding the same word repeatedly is the common case (loops); memoise.
+_DECODE_CACHE = {}
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instr`.
+
+    Raises :class:`DecodeError` for words that match no instruction.
+    Results are memoised; ``Instr`` objects are immutable so sharing is
+    safe.
+    """
+    word &= MASK32
+    cached = _DECODE_CACHE.get(word)
+    if cached is not None:
+        return cached
+    instr = _decode_uncached(word)
+    if len(_DECODE_CACHE) < 1 << 20:
+        _DECODE_CACHE[word] = instr
+    return instr
+
+
+def _decode_uncached(word):
+    if word == NOP_WORD:
+        return Instr(word, "nop", InstrClass.NOP, "R")
+    opcode = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    if opcode == OP_RTYPE:
+        funct = word & 0x3F
+        spec = _RTYPE_BY_FUNCT.get(funct)
+        if spec is None:
+            raise DecodeError(word, "unknown R-type funct 0x%02x" % funct)
+        rd = (word >> 11) & 0x1F
+        shamt = (word >> 6) & 0x1F
+        dest, srcs = extract_regs(spec, rs, rt, rd)
+        return Instr(word, spec.name, spec.iclass, "R", rs=rs, rt=rt, rd=rd,
+                     shamt=shamt, dest=dest, srcs=srcs)
+    if opcode == OP_CHK:
+        module = (word >> 22) & 0xF
+        blk = (word >> 21) & 0x1
+        op = (word >> 16) & 0x1F
+        param = word & 0xFFFF
+        srcs = CHK_PAYLOAD_REGS if op & CHK_OP_PAYLOAD_BIT else ()
+        return Instr(word, "chk", InstrClass.CHECK, "CHK", module=module,
+                     blk=blk, op=op, param=param, dest=None, srcs=srcs)
+    if opcode in _JTYPE_BY_OPCODE:
+        spec = _JTYPE_BY_OPCODE[opcode]
+        target = word & 0x03FFFFFF
+        dest, srcs = extract_regs(spec, 0, 0, 0)
+        return Instr(word, spec.name, spec.iclass, "J", target=target,
+                     dest=dest, srcs=srcs)
+    if opcode == OP_REGIMM:
+        spec = _REGIMM_BY_RT.get(rt)
+        if spec is None:
+            raise DecodeError(word, "unknown REGIMM selector %d" % rt)
+    else:
+        spec = _ITYPE_BY_OPCODE.get(opcode)
+        if spec is None:
+            raise DecodeError(word, "unknown opcode 0x%02x" % opcode)
+    uimm = word & 0xFFFF
+    imm = _sign_extend_16(uimm)
+    dest, srcs = extract_regs(spec, rs, rt, 0)
+    return Instr(word, spec.name, spec.iclass, "I", rs=rs, rt=rt,
+                 imm=imm, uimm=uimm, dest=dest, srcs=srcs)
+
+
+def is_valid(word):
+    """Return True when *word* decodes to a legal instruction."""
+    try:
+        decode(word)
+    except DecodeError:
+        return False
+    return True
+
+
+def flip_bit(word, bit):
+    """Return *word* with bit index *bit* (0 = LSB) inverted.
+
+    The fault-injection campaigns (Section 4.3: multi-bit errors between
+    memory and dispatch) are built on this primitive.
+    """
+    if not 0 <= bit < 32:
+        raise ValueError("bit index out of range: %r" % (bit,))
+    return (word ^ (1 << bit)) & MASK32

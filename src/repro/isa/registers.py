@@ -1,0 +1,61 @@
+"""Architectural register file definition.
+
+Thirty-two 32-bit general purpose registers with MIPS-style calling
+conventions.  Register 0 is hard-wired to zero.  The simulator, assembler
+and the RSE all refer to registers by their numeric index; the symbolic
+names exist for assembly readability.
+"""
+
+NUM_REGS = 32
+
+#: Canonical symbolic name for each register index.
+REG_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+# Register-name lookup accepts "$sp", "sp", "$29", "r29" and "29".
+_NAME_TO_NUM = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM.update({"r%d" % i: i for i in range(NUM_REGS)})
+_NAME_TO_NUM.update({"%d" % i: i for i in range(NUM_REGS)})
+
+# Convention indices used by the kernel ABI and workload generators.
+REG_ZERO = 0
+REG_AT = 1
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+
+class RegisterError(ValueError):
+    """Raised for an unrecognised register name."""
+
+
+def reg_num(name):
+    """Translate a register name (``$sp``, ``sp``, ``r29``, ``29``) to its index.
+
+    Raises :class:`RegisterError` for unknown names.
+    """
+    text = name.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    try:
+        return _NAME_TO_NUM[text]
+    except KeyError:
+        raise RegisterError("unknown register %r" % (name,)) from None
+
+
+def reg_name(num):
+    """Return the canonical symbolic name for register index *num*."""
+    if not 0 <= num < NUM_REGS:
+        raise RegisterError("register index out of range: %r" % (num,))
+    return REG_NAMES[num]

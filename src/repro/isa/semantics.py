@@ -1,0 +1,195 @@
+"""Architectural semantics of the ISA, shared by every execution engine.
+
+Both the functional reference simulator (:mod:`repro.funcsim`) and the
+out-of-order pipeline (:mod:`repro.pipeline`) call into this module, so
+"what an instruction computes" has a single source of truth; the two
+engines differ only in *when* things happen.  Register values are
+represented as unsigned 32-bit Python ints everywhere.
+"""
+
+from repro.isa.instructions import InstrClass
+
+MASK32 = 0xFFFFFFFF
+
+
+class ArithmeticFault(Exception):
+    """Integer divide (or remainder) by zero."""
+
+    def __init__(self, pc=None):
+        super().__init__("integer divide by zero"
+                         + ("" if pc is None else " at 0x%08x" % pc))
+        self.pc = pc
+
+
+def to_signed(value):
+    """Interpret an unsigned 32-bit value as two's-complement."""
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value):
+    """Truncate a Python int to its unsigned 32-bit representation."""
+    return value & MASK32
+
+
+def alu_result(instr, a, b):
+    """Result of an ALU or MDU instruction.
+
+    *a* is the rs-operand value, *b* the rt-operand value (both unsigned
+    32-bit).  Immediates are taken from the instruction itself.
+    """
+    name = instr.name
+    if name == "add":
+        return (a + b) & MASK32
+    if name == "addi":
+        return (a + instr.imm) & MASK32
+    if name == "sub":
+        return (a - b) & MASK32
+    if name == "and":
+        return a & b
+    if name == "andi":
+        return a & instr.uimm
+    if name == "or":
+        return a | b
+    if name == "ori":
+        return a | instr.uimm
+    if name == "xor":
+        return a ^ b
+    if name == "xori":
+        return a ^ instr.uimm
+    if name == "nor":
+        return ~(a | b) & MASK32
+    if name == "slt":
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if name == "slti":
+        return 1 if to_signed(a) < instr.imm else 0
+    if name == "sltu":
+        return 1 if a < b else 0
+    if name == "sltiu":
+        return 1 if a < (instr.imm & MASK32) else 0
+    if name == "sll":
+        return (b << instr.shamt) & MASK32
+    if name == "srl":
+        return b >> instr.shamt
+    if name == "sra":
+        return (to_signed(b) >> instr.shamt) & MASK32
+    if name == "sllv":
+        return (b << (a & 31)) & MASK32
+    if name == "srlv":
+        return b >> (a & 31)
+    if name == "srav":
+        return (to_signed(b) >> (a & 31)) & MASK32
+    if name == "lui":
+        return (instr.uimm << 16) & MASK32
+    if name == "mul":
+        return (to_signed(a) * to_signed(b)) & MASK32
+    if name == "div":
+        if b == 0:
+            raise ArithmeticFault()
+        quotient = abs(to_signed(a)) // abs(to_signed(b))
+        if (to_signed(a) < 0) != (to_signed(b) < 0):
+            quotient = -quotient
+        return quotient & MASK32
+    if name == "rem":
+        if b == 0:
+            raise ArithmeticFault()
+        sa, sb = to_signed(a), to_signed(b)
+        remainder = abs(sa) % abs(sb)
+        if sa < 0:
+            remainder = -remainder
+        return remainder & MASK32
+    if name == "divu":
+        if b == 0:
+            raise ArithmeticFault()
+        return a // b
+    if name == "remu":
+        if b == 0:
+            raise ArithmeticFault()
+        return a % b
+    raise ValueError("not an ALU/MDU instruction: %r" % (instr,))
+
+
+def branch_taken(instr, a, b):
+    """Whether a conditional branch is taken (*a* = rs value, *b* = rt value)."""
+    name = instr.name
+    if name == "beq":
+        return a == b
+    if name == "bne":
+        return a != b
+    if name == "blez":
+        return to_signed(a) <= 0
+    if name == "bgtz":
+        return to_signed(a) > 0
+    if name == "bltz":
+        return to_signed(a) < 0
+    if name == "bgez":
+        return to_signed(a) >= 0
+    raise ValueError("not a branch: %r" % (instr,))
+
+
+def branch_target(instr, pc):
+    """Target address of a taken conditional branch at *pc*."""
+    return (pc + 4 + (instr.imm << 2)) & MASK32
+
+
+def jump_target(instr, pc, rs_value=0):
+    """Target address of an unconditional jump at *pc*."""
+    name = instr.name
+    if name in ("j", "jal"):
+        return ((pc + 4) & 0xF0000000) | (instr.target << 2)
+    if name in ("jr", "jalr"):
+        return rs_value & MASK32
+    raise ValueError("not a jump: %r" % (instr,))
+
+
+def control_target(instr, pc, a=0, b=0):
+    """Next PC after executing control-flow *instr* with operand values."""
+    if instr.iclass is InstrClass.BRANCH:
+        return branch_target(instr, pc) if branch_taken(instr, a, b) \
+            else (pc + 4) & MASK32
+    return jump_target(instr, pc, a)
+
+
+def effective_address(instr, rs_value):
+    """Effective address of a load or store."""
+    return (rs_value + instr.imm) & MASK32
+
+
+def load_from(memory, instr, addr):
+    """Perform the load described by *instr* at *addr* against *memory*."""
+    name = instr.name
+    if name == "lw":
+        return memory.load_word(addr)
+    if name == "lh":
+        value = memory.load_half(addr)
+        return (value - 0x10000 if value & 0x8000 else value) & MASK32
+    if name == "lhu":
+        return memory.load_half(addr)
+    if name == "lb":
+        value = memory.load_byte(addr)
+        return (value - 0x100 if value & 0x80 else value) & MASK32
+    if name == "lbu":
+        return memory.load_byte(addr)
+    raise ValueError("not a load: %r" % (instr,))
+
+
+def store_to(memory, instr, addr, value):
+    """Perform the store described by *instr*."""
+    name = instr.name
+    if name == "sw":
+        memory.store_word(addr, value)
+    elif name == "sh":
+        memory.store_half(addr, value)
+    elif name == "sb":
+        memory.store_byte(addr, value)
+    else:
+        raise ValueError("not a store: %r" % (instr,))
+
+
+def access_size(instr):
+    """Bytes touched by a load/store instruction."""
+    name = instr.name
+    if name in ("lw", "sw"):
+        return 4
+    if name in ("lh", "lhu", "sh"):
+        return 2
+    return 1

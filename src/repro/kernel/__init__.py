@@ -1,0 +1,40 @@
+"""Minimal operating-system substrate.
+
+The paper's evaluation needs OS services its simulator was augmented
+with: multithreading ("the simulator is augmented to enable execution of
+multithreaded applications with networking capabilities", Section 5.4),
+a SavePage exception handler that checkpoints memory pages (Section
+4.2.1), page permissions (the PLT rewrite grant, Figure 3(A)), and
+context switches that drain the pipeline (Table 3).  This package
+provides all of it on top of the simulated machine:
+
+* :mod:`repro.kernel.threads`     — thread control blocks;
+* :mod:`repro.kernel.scheduler`   — round-robin preemptive scheduling;
+* :mod:`repro.kernel.syscalls`    — the syscall ABI;
+* :mod:`repro.kernel.checkpoints` — the page checkpoint store with
+  garbage collection (Section 4.2.2);
+* :mod:`repro.kernel.kernel`      — the kernel proper.
+"""
+
+from repro.kernel.threads import Thread, ThreadState
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.checkpoints import (
+    CheckpointStore,
+    PageSnapshot,
+    RecoveryImpossible,
+)
+from repro.kernel.kernel import Kernel, KernelConfig, ProcessExit
+from repro.kernel import syscalls
+
+__all__ = [
+    "Thread",
+    "ThreadState",
+    "RoundRobinScheduler",
+    "CheckpointStore",
+    "PageSnapshot",
+    "RecoveryImpossible",
+    "Kernel",
+    "KernelConfig",
+    "ProcessExit",
+    "syscalls",
+]

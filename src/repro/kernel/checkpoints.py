@@ -1,0 +1,125 @@
+"""Page checkpoint store (Section 4.2.1 / 4.2.2).
+
+SavePage exceptions checkpoint the *pre-image* of a page before a thread
+that is not its write-owner modifies it.  Snapshots live "in main
+memory" (here: in the store, charged at main-memory copy cost).  Two
+space-management policies from the paper are implemented:
+
+* a capacity bound with **garbage collection** using a time-based
+  threshold;
+* **history information for deleted pages**: if recovery later needs a
+  deleted snapshot, recovery is impossible and the entire process must
+  be terminated ("the recovery algorithm terminates the entire process
+  due to insufficient information").
+"""
+
+
+class RecoveryImpossible(Exception):
+    """A page needed for rollback was garbage-collected."""
+
+    def __init__(self, page):
+        super().__init__("snapshot for page 0x%x was garbage-collected" % page)
+        self.page = page
+
+
+class PageSnapshot:
+    """Pre-image of one page, taken when *writer* became its write-owner."""
+
+    __slots__ = ("page", "cycle", "writer", "data")
+
+    def __init__(self, page, cycle, writer, data):
+        self.page = page
+        self.cycle = cycle
+        self.writer = writer
+        self.data = data
+
+    def __repr__(self):
+        return "PageSnapshot(page=0x%x, cycle=%d, writer=%s)" % (
+            self.page, self.cycle, self.writer)
+
+
+class CheckpointStore:
+    """Per-page snapshot history with GC and deleted-page tracking."""
+
+    def __init__(self, max_snapshots=100_000, gc_age_cycles=None):
+        self.max_snapshots = max_snapshots
+        self.gc_age_cycles = gc_age_cycles
+        self._history = {}          # page -> list of PageSnapshot (oldest first)
+        self._deleted_pages = set()
+        self.saves_total = 0
+        self.gc_removed = 0
+
+    # ------------------------------------------------------------------ save
+
+    def save(self, page, cycle, writer, data):
+        """Record the pre-image *data* of *page*."""
+        snapshot = PageSnapshot(page, cycle, writer, bytes(data))
+        self._history.setdefault(page, []).append(snapshot)
+        self.saves_total += 1
+        if self.snapshot_count() > self.max_snapshots:
+            self._evict_oldest()
+        return snapshot
+
+    def snapshot_count(self):
+        return sum(len(snaps) for snaps in self._history.values())
+
+    def _evict_oldest(self):
+        oldest_page = None
+        oldest_cycle = None
+        for page, snaps in self._history.items():
+            if snaps and (oldest_cycle is None or snaps[0].cycle < oldest_cycle):
+                oldest_cycle = snaps[0].cycle
+                oldest_page = page
+        if oldest_page is not None:
+            snaps = self._history[oldest_page]
+            snaps.pop(0)
+            if not snaps:
+                del self._history[oldest_page]
+            self._deleted_pages.add(oldest_page)
+            self.gc_removed += 1
+
+    # -------------------------------------------------------------------- GC
+
+    def garbage_collect(self, now_cycle):
+        """Drop snapshots older than the age threshold, keeping history."""
+        if self.gc_age_cycles is None:
+            return 0
+        horizon = now_cycle - self.gc_age_cycles
+        removed = 0
+        for page in list(self._history):
+            snaps = self._history[page]
+            keep = [s for s in snaps if s.cycle >= horizon]
+            if len(keep) != len(snaps):
+                removed += len(snaps) - len(keep)
+                self._deleted_pages.add(page)
+                if keep:
+                    self._history[page] = keep
+                else:
+                    del self._history[page]
+        self.gc_removed += removed
+        return removed
+
+    # --------------------------------------------------------------- recovery
+
+    def rollback_snapshot(self, page, kill_set):
+        """Earliest pre-image taken when a killed thread contaminated *page*.
+
+        Returns None when no killed thread ever became the page's
+        write-owner (page untouched by the kill set).  Raises
+        :class:`RecoveryImpossible` if relevant history was deleted.
+        """
+        snaps = self._history.get(page, [])
+        for snapshot in snaps:
+            if snapshot.writer in kill_set:
+                return snapshot
+        if page in self._deleted_pages:
+            # We cannot prove the deleted snapshots were irrelevant.
+            raise RecoveryImpossible(page)
+        return None
+
+    def pages_touched(self):
+        return set(self._history) | set(self._deleted_pages)
+
+    def clear(self):
+        self._history.clear()
+        self._deleted_pages.clear()

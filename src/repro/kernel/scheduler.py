@@ -1,0 +1,43 @@
+"""Round-robin preemptive scheduler."""
+
+from collections import deque
+
+from repro.kernel.threads import ThreadState
+
+
+class RoundRobinScheduler:
+    """FIFO ready queue with a fixed time quantum."""
+
+    def __init__(self, quantum_cycles=5000):
+        self.quantum_cycles = quantum_cycles
+        self._ready = deque()
+        self.switches = 0
+
+    def make_ready(self, thread):
+        if thread.state is ThreadState.TERMINATED:
+            return
+        thread.state = ThreadState.READY
+        if thread not in self._ready:
+            self._ready.append(thread)
+
+    def remove(self, thread):
+        try:
+            self._ready.remove(thread)
+        except ValueError:
+            pass
+
+    def pick_next(self):
+        """Pop and return the next READY thread, or None."""
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.state is ThreadState.READY:
+                self.switches += 1
+                thread.state = ThreadState.RUNNING
+                return thread
+        return None
+
+    def has_ready(self):
+        return any(t.state is ThreadState.READY for t in self._ready)
+
+    def __len__(self):
+        return len(self._ready)

@@ -1,0 +1,71 @@
+"""Syscall ABI.
+
+``v0`` carries the syscall number; arguments travel in ``a0``..``a3``;
+the result returns in ``v0``.  The ``syscall`` instruction serializes
+the pipeline (it dispatches into an empty ROB and commits alone), so the
+kernel always sees a drained machine — which is also how the paper
+argues context switches interact with the RSE (Table 3: "the processor
+waits till all the instructions in the reservation station have
+completed execution and committed").
+"""
+
+SYS_EXIT = 1          # a0 = exit code; terminates the calling thread
+SYS_SPAWN = 2         # a0 = entry pc, a1 = argument -> v0 = new tid
+SYS_YIELD = 3         # give up the CPU voluntarily
+SYS_GETTID = 4        # -> v0 = thread id
+SYS_SBRK = 5          # a0 = bytes -> v0 = old break (pages mapped rw)
+SYS_PRINT_INT = 6     # a0 = value (recorded in kernel output)
+SYS_PUTC = 7          # a0 = character
+SYS_RECV = 8          # -> v0 = request id, or 0xFFFFFFFF when exhausted;
+                      #    blocks the thread for the simulated network wait
+SYS_SEND = 9          # a0 = request id, a1 = response value
+SYS_MMAP = 10         # a0 = address, a1 = length (mapped rw)
+SYS_MPROTECT = 11     # a0 = address, a1 = length, a2 = perm bits (r=1,w=2,x=4)
+SYS_CYCLE = 12        # -> v0 = current cycle (low 32 bits)
+SYS_RAND = 13         # -> v0 = deterministic kernel PRNG value
+SYS_SLEEP = 14        # a0 = cycles to sleep (blocks the thread)
+SYS_JOIN = 15         # a0 = tid -> blocks until that thread terminates;
+                      #    v0 = its exit code (or -1 for unknown tid)
+
+NAMES = {
+    SYS_EXIT: "exit",
+    SYS_SPAWN: "spawn",
+    SYS_YIELD: "yield",
+    SYS_GETTID: "gettid",
+    SYS_SBRK: "sbrk",
+    SYS_PRINT_INT: "print_int",
+    SYS_PUTC: "putc",
+    SYS_RECV: "recv",
+    SYS_SEND: "send",
+    SYS_MMAP: "mmap",
+    SYS_MPROTECT: "mprotect",
+    SYS_CYCLE: "cycle",
+    SYS_RAND: "rand",
+    SYS_SLEEP: "sleep",
+    SYS_JOIN: "join",
+}
+
+#: v0 value returned by SYS_RECV when no requests remain.
+RECV_EXHAUSTED = 0xFFFFFFFF
+
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+
+
+def perm_string(bits):
+    """Convert PERM_* bits to the kernel's permission-string form."""
+    out = ""
+    if bits & PERM_R:
+        out += "r"
+    if bits & PERM_W:
+        out += "w"
+    if bits & PERM_X:
+        out += "x"
+    return out
+
+
+def asm_constants():
+    """Assembler constants so workloads can say ``li $v0, SYS_RECV``."""
+    return {("SYS_" + name.upper()): number
+            for number, name in NAMES.items()}

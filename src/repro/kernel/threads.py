@@ -1,0 +1,39 @@
+"""Thread control blocks."""
+
+import enum
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    TERMINATED = "terminated"
+
+
+class Thread:
+    """One kernel thread: saved architectural state plus scheduling info."""
+
+    __slots__ = ("tid", "name", "regs", "pc", "state", "wake_cycle",
+                 "exit_code", "fault", "killed_by_recovery", "spawn_cycle",
+                 "stack_base")
+
+    def __init__(self, tid, pc, regs, name=None, spawn_cycle=0, stack_base=0):
+        self.tid = tid
+        self.name = name or "thread-%d" % tid
+        self.regs = list(regs)
+        self.pc = pc
+        self.state = ThreadState.READY
+        self.wake_cycle = 0           # earliest cycle a BLOCKED thread wakes
+        self.exit_code = None
+        self.fault = None             # (pc, cause) when the thread faulted
+        self.killed_by_recovery = False
+        self.spawn_cycle = spawn_cycle
+        self.stack_base = stack_base
+
+    @property
+    def alive(self):
+        return self.state is not ThreadState.TERMINATED
+
+    def __repr__(self):
+        return "<Thread %d %s %s pc=0x%08x>" % (
+            self.tid, self.name, self.state.value, self.pc)

@@ -1,0 +1,29 @@
+"""Memory substrate: sparse main memory, caches, bus + arbiter, hierarchy.
+
+The functional contents of memory live in :class:`~repro.memory.mainmem.MainMemory`.
+Caches (:mod:`repro.memory.cache`) are *timing* models, exactly as in
+SimpleScalar's ``sim-outorder``: they decide how many cycles an access
+costs, while values are always read from / written to main memory.  The
+bus (:mod:`repro.memory.bus`) models the pipelined memory interface whose
+latency the paper perturbs when the RSE's Memory Access Unit is attached
+(first chunk 18 -> 19 cycles, inter-chunk 2 -> 3; Section 5.2).
+"""
+
+from repro.memory.mainmem import MainMemory, MemoryFault
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.bus import BusTiming, MemoryBus, BASELINE_TIMING, FRAMEWORK_TIMING
+from repro.memory.hierarchy import MemoryHierarchy, CacheConfig, default_cache_configs
+
+__all__ = [
+    "MainMemory",
+    "MemoryFault",
+    "Cache",
+    "CacheStats",
+    "BusTiming",
+    "MemoryBus",
+    "BASELINE_TIMING",
+    "FRAMEWORK_TIMING",
+    "MemoryHierarchy",
+    "CacheConfig",
+    "default_cache_configs",
+]

@@ -1,0 +1,136 @@
+"""Sparse, paged main memory with byte/half/word access.
+
+A 32-bit physical address space backed lazily by 4 KB ``bytearray``
+pages.  Little-endian, like the SimpleScalar host ISA.  The same object
+serves the pipeline, the functional simulator, the kernel (page
+checkpoints are literal copies of these pages) and the RSE's Memory
+Access Unit.
+"""
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+ADDR_MASK = 0xFFFFFFFF
+
+
+class MemoryFault(Exception):
+    """An illegal memory access (bad alignment or a protection violation).
+
+    The kernel turns these into thread faults; the MLR security argument
+    is exactly that a foiled attack becomes such a fault (a crash) rather
+    than a hijack.
+    """
+
+    def __init__(self, addr, reason):
+        super().__init__("%s at 0x%08x" % (reason, addr))
+        self.addr = addr
+        self.reason = reason
+
+
+class MainMemory:
+    """Sparse 32-bit byte-addressable memory.
+
+    Pages are materialised on first touch and zero-filled, so "fresh"
+    memory reads as zero — convenient for ``.space`` data and stacks.
+    """
+
+    def __init__(self):
+        self._pages = {}
+
+    # ------------------------------------------------------------- pages
+
+    def _page(self, addr):
+        index = addr >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def page_numbers(self):
+        """Page indices that have been materialised (for checkpoint tooling)."""
+        return sorted(self._pages)
+
+    def snapshot_page(self, page_index):
+        """Return a copy of page *page_index* (materialising it if needed)."""
+        return bytes(self._page(page_index << PAGE_SHIFT))
+
+    def restore_page(self, page_index, payload):
+        """Overwrite page *page_index* with *payload* (must be PAGE_SIZE long)."""
+        if len(payload) != PAGE_SIZE:
+            raise ValueError("page payload must be %d bytes" % PAGE_SIZE)
+        self._pages[page_index] = bytearray(payload)
+
+    # ------------------------------------------------------------- bytes
+
+    def load_bytes(self, addr, length):
+        addr &= ADDR_MASK
+        out = bytearray()
+        while length > 0:
+            offset = addr & PAGE_MASK
+            chunk = min(length, PAGE_SIZE - offset)
+            page = self._page(addr)
+            out.extend(page[offset:offset + chunk])
+            addr = (addr + chunk) & ADDR_MASK
+            length -= chunk
+        return bytes(out)
+
+    def store_bytes(self, addr, payload):
+        addr &= ADDR_MASK
+        view = memoryview(payload)
+        while view:
+            offset = addr & PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - offset)
+            page = self._page(addr)
+            page[offset:offset + chunk] = view[:chunk]
+            addr = (addr + chunk) & ADDR_MASK
+            view = view[chunk:]
+
+    # ----------------------------------------------------- scalar accesses
+
+    def load_word(self, addr):
+        """Load a naturally-aligned 32-bit little-endian word."""
+        if addr & 3:
+            raise MemoryFault(addr, "unaligned word load")
+        page = self._page(addr)
+        offset = addr & PAGE_MASK
+        return int.from_bytes(page[offset:offset + 4], "little")
+
+    def store_word(self, addr, value):
+        if addr & 3:
+            raise MemoryFault(addr, "unaligned word store")
+        page = self._page(addr)
+        offset = addr & PAGE_MASK
+        page[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def load_half(self, addr):
+        if addr & 1:
+            raise MemoryFault(addr, "unaligned halfword load")
+        page = self._page(addr)
+        offset = addr & PAGE_MASK
+        return int.from_bytes(page[offset:offset + 2], "little")
+
+    def store_half(self, addr, value):
+        if addr & 1:
+            raise MemoryFault(addr, "unaligned halfword store")
+        page = self._page(addr)
+        offset = addr & PAGE_MASK
+        page[offset:offset + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def load_byte(self, addr):
+        return self._page(addr)[addr & PAGE_MASK]
+
+    def store_byte(self, addr, value):
+        self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+
+    # ------------------------------------------------------------ strings
+
+    def load_cstring(self, addr, limit=4096):
+        """Read a NUL-terminated latin-1 string (debug / syscall helper)."""
+        out = bytearray()
+        for index in range(limit):
+            byte = self.load_byte(addr + index)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")

@@ -1,0 +1,26 @@
+"""Cycle-level out-of-order superscalar pipeline (the sim-outorder analogue).
+
+Figure 1 of the paper lists the simulated machine configuration this
+package reproduces: 4-wide fetch/dispatch/issue, a 16-entry register
+update unit (modelled as a 16-entry ROB), an 8-entry load/store queue,
+a bimodal branch predictor with BTB, and split two-level caches.
+
+The pipeline exposes the fan-out taps the RSE framework attaches to
+(``Fetch_Out``, ``Regfile_Data``, ``Execute_Out``, ``Memory_Out``,
+``Commit_Out``) and honours the Instruction Output Queue's check bits at
+commit — synchronous CHECK instructions stall retirement until their
+module finishes (Table 1 semantics).
+"""
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.predictor import BranchPredictor
+from repro.pipeline.core import Pipeline, PipelineEvent, EventKind, Uop
+
+__all__ = [
+    "PipelineConfig",
+    "BranchPredictor",
+    "Pipeline",
+    "PipelineEvent",
+    "EventKind",
+    "Uop",
+]

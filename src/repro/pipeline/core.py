@@ -1,0 +1,751 @@
+"""The out-of-order core: fetch, dispatch, issue, writeback, commit.
+
+Modelled on SimpleScalar's ``sim-outorder`` (the paper's substrate,
+Section 5.1): an in-order front end feeding a 16-entry ROB/RUU, wake-up
+based out-of-order issue over a fixed functional-unit mix, and in-order
+commit.  One call to :meth:`Pipeline.step` simulates one machine cycle.
+
+RSE attachment points (Figure 1 of the paper):
+
+* ``Fetch_Out``     — :meth:`RSE.on_dispatch` as instructions enter the ROB
+  (the paper allocates the RSE entry "simultaneously with the instruction
+  being dispatched");
+* ``Regfile_Data``  — operand values at issue (:meth:`RSE.on_operands`);
+* ``Execute_Out``   — ALU results / effective addresses at writeback;
+* ``Memory_Out``    — load values at writeback;
+* ``Commit_Out``    — committed and squashed instructions.
+
+CHECK instructions travel the pipeline as NOPs except at commit, where
+the IOQ's ``check``/``checkValid`` bits gate retirement (Table 1): the
+pipeline stalls on '00', commits on '10', and flushes on '11'.
+
+CHECK *insertion* follows the paper's methodology exactly: "CHECK
+instructions are embedded at runtime, not at compile time.  When an
+instruction is fetched, the simulator determines whether the instruction
+has to be checked and, if so, inserts a CHECK instruction before it into
+the instruction stream."  Inserted CHECKs therefore consume fetch,
+dispatch, ROB and commit bandwidth but do **not** touch the I-cache —
+the cache-side cost is measured by the separate NOP-rewriting experiment
+(Section 5.1, "Cache overhead simulation").
+"""
+
+import enum
+
+from repro.isa import semantics
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instructions import InstrClass
+from repro.memory.mainmem import MemoryFault
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.predictor import BranchPredictor, GsharePredictor
+
+MASK32 = 0xFFFFFFFF
+
+# Uop states.
+S_WAIT = 0          # in ROB, waiting for operands / issue
+S_EXEC = 1          # issued, completing at done_cycle
+S_DONE = 2          # result available, awaiting commit
+
+
+class EventKind(enum.Enum):
+    HALT = "halt"
+    SYSCALL = "syscall"
+    FAULT = "fault"
+    TIMER = "timer"
+    CHECK_ERROR = "check_error"
+    MAX_CYCLES = "max_cycles"
+
+
+def _fault_marker(word=0):
+    """A poison pseudo-instruction for fetch-path faults."""
+    from repro.isa.instructions import Instr
+
+    return Instr(word, "fault", InstrClass.NOP, "FAULT")
+
+
+_FAULT_MARKER = _fault_marker()
+
+
+class PipelineEvent:
+    """Why :meth:`Pipeline.run` stopped."""
+
+    __slots__ = ("kind", "pc", "cause", "uop")
+
+    def __init__(self, kind, pc=0, cause=None, uop=None):
+        self.kind = kind
+        self.pc = pc
+        self.cause = cause
+        self.uop = uop
+
+    def __repr__(self):
+        return "PipelineEvent(%s, pc=0x%08x, cause=%r)" % (
+            self.kind.value, self.pc, self.cause)
+
+
+class Uop:
+    """One in-flight instruction (ROB entry)."""
+
+    __slots__ = (
+        "seq", "pc", "instr", "state", "injected",
+        "pred_next", "actual_next",
+        "wait_a", "wait_b", "val_a", "val_b",
+        "value", "eff_addr", "mem_size", "store_value",
+        "done_cycle", "fault", "forwarded",
+    )
+
+    def __init__(self, seq, pc, instr, injected=False):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.state = S_WAIT
+        self.injected = injected
+        self.pred_next = (pc + 4) & MASK32
+        self.actual_next = None
+        self.wait_a = None          # producer uop for first source, if pending
+        self.wait_b = None
+        self.val_a = 0
+        self.val_b = 0
+        self.value = None
+        self.eff_addr = None
+        self.mem_size = 0
+        self.store_value = 0
+        self.done_cycle = 0
+        self.fault = None           # (pc, cause) when this uop faults
+        self.forwarded = False      # load satisfied by store forwarding
+
+    def __repr__(self):
+        return "<Uop #%d pc=0x%08x %s state=%d>" % (
+            self.seq, self.pc, self.instr.name, self.state)
+
+
+class PipelineStats:
+    """Counters reported by the benchmark harnesses."""
+
+    FIELDS = ("cycles", "instret", "committed_checks", "committed_nops",
+              "branches", "mispredicts", "loads", "stores", "load_forwards",
+              "check_wait_cycles", "fetch_stall_cycles", "savepage_stalls",
+              "squashed")
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @property
+    def ipc(self):
+        return self.instret / self.cycles if self.cycles else 0.0
+
+
+class Pipeline:
+    """The out-of-order core.
+
+    Parameters:
+        memory: :class:`~repro.memory.mainmem.MainMemory` (shared with
+            the kernel and RSE).
+        hierarchy: :class:`~repro.memory.hierarchy.MemoryHierarchy`.
+        config: :class:`~repro.pipeline.config.PipelineConfig`.
+        rse: optional RSE engine implementing the attachment interface
+            (see :mod:`repro.rse.engine`); None runs a bare machine.
+
+    Hooks (set after construction when needed):
+
+    * ``check_injector(pc, instr) -> Instr | None`` — runtime CHECK
+      insertion policy (Section 5.1).
+    * ``mem_check(addr, size, kind) -> str | None`` — page-permission
+      probe installed by the kernel; returns a fault cause or None.
+    """
+
+    def __init__(self, memory, hierarchy, config=None, rse=None):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.config = config or PipelineConfig()
+        self.rse = rse
+        predictor_cls = (GsharePredictor
+                         if self.config.predictor == "gshare"
+                         else BranchPredictor)
+        self.predictor = predictor_cls(self.config.bimodal_entries,
+                                       self.config.btb_entries)
+        self.regs = [0] * 32
+        self.stats = PipelineStats()
+
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.fetch_enabled = False
+        self.rob = []
+        self.fetch_buffer = []
+        self.rename = {}
+        self._lsq_used = 0
+        self._seq = 0
+        self._pending_fetch = None      # (pc, ready_cycle): I-cache miss
+        self._held = None               # (pc, instr): decoded, awaiting slot
+        self._injected_for_held = False
+        self.timer_deadline = None
+        self._pending_timer = False
+        self.freeze_until = 0           # global stall (e.g. SavePage handler)
+
+        self.check_injector = None
+        self.mem_check = None
+
+    # ------------------------------------------------------------------ API
+
+    def reset_at(self, pc, regs=None):
+        """Hard-reset the core to start executing at *pc*."""
+        self.flush_all()
+        if regs is not None:
+            self.regs = list(regs)
+        self.fetch_pc = pc & MASK32
+        self.fetch_enabled = True
+        self._pending_timer = False
+
+    def resume(self, pc):
+        """Resume fetch at *pc* after an event (kernel returned control)."""
+        if self.rob or self.fetch_buffer:
+            raise RuntimeError("resume with in-flight instructions")
+        self.fetch_pc = pc & MASK32
+        self.fetch_enabled = True
+        self._pending_fetch = None
+        self._held = None
+        self._pending_timer = False
+
+    def advance_cycles(self, count):
+        """Charge *count* opaque cycles (kernel handler time)."""
+        self.cycle += count
+        self.stats.cycles += count
+
+    def run(self, max_cycles=None):
+        """Simulate until an event occurs; returns the :class:`PipelineEvent`."""
+        limit = None if max_cycles is None else self.cycle + max_cycles
+        while True:
+            event = self.step()
+            if event is not None:
+                return event
+            if limit is not None and self.cycle >= limit:
+                return PipelineEvent(EventKind.MAX_CYCLES, pc=self.fetch_pc)
+
+    # ----------------------------------------------------------------- cycle
+
+    def step(self):
+        """Advance one machine cycle; returns an event or None."""
+        cycle = self.cycle
+        event = None
+        if cycle >= self.freeze_until:
+            if (self.timer_deadline is not None and not self._pending_timer
+                    and cycle >= self.timer_deadline):
+                self._pending_timer = True
+                self.fetch_enabled = False
+            rob = self.rob
+            if rob:
+                self._writeback(cycle)
+                event = self._commit(cycle)
+            if event is None:
+                if rob:
+                    self._issue(cycle)
+                if self.fetch_buffer:
+                    self._dispatch(cycle)
+                if self.fetch_enabled:
+                    self._fetch(cycle)
+                if (self._pending_timer and not self.rob
+                        and not self.fetch_buffer):
+                    event = PipelineEvent(EventKind.TIMER, pc=self.fetch_pc)
+        if self.rse is not None:
+            self.rse.step(cycle)
+        self.cycle = cycle + 1
+        self.stats.cycles += 1
+        return event
+
+    # ------------------------------------------------------------- writeback
+
+    def _writeback(self, cycle):
+        for index, uop in enumerate(self.rob):
+            if uop.state != S_EXEC or uop.done_cycle > cycle:
+                continue
+            uop.state = S_DONE
+            instr = uop.instr
+            rse = self.rse
+            if rse is not None:
+                rse.on_execute(uop, cycle)
+                if instr.is_load and uop.fault is None:
+                    rse.on_mem_load(uop, cycle, uop.value)
+            if uop.actual_next is not None:
+                taken = uop.actual_next != ((uop.pc + 4) & MASK32)
+                if instr.iclass is InstrClass.BRANCH:
+                    self.predictor.update(uop.pc, taken, uop.actual_next)
+                elif instr.name in ("jr", "jalr"):
+                    self.predictor.update(uop.pc, True, uop.actual_next)
+                correct = uop.actual_next == uop.pred_next
+                self.predictor.record_hit(correct)
+                if not correct:
+                    self.stats.mispredicts += 1
+                    self._flush_younger(index)
+                    self.fetch_pc = uop.actual_next
+                    self.fetch_enabled = not self._pending_timer
+                    return
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self, cycle):
+        committed = 0
+        stats = self.stats
+        rse = self.rse
+        while self.rob and committed < self.config.commit_width:
+            uop = self.rob[0]
+            if uop.state != S_DONE:
+                break
+            instr = uop.instr
+            if instr.is_check and rse is not None:
+                gate = rse.ioq_gate(uop, cycle)
+                if gate == "wait":
+                    stats.check_wait_cycles += 1
+                    break
+                if gate == "error":
+                    module = instr.module
+                    pc = uop.pc
+                    self.flush_all()
+                    self.fetch_enabled = False
+                    return PipelineEvent(EventKind.CHECK_ERROR, pc=pc,
+                                         cause="module %d" % module, uop=uop)
+            if uop.fault is not None:
+                pc, cause = uop.fault
+                self.flush_all()
+                self.fetch_enabled = False
+                return PipelineEvent(EventKind.FAULT, pc=pc, cause=cause,
+                                     uop=uop)
+            # --- retire -----------------------------------------------------
+            if instr.is_store:
+                if rse is not None:
+                    stall = rse.pre_commit_store(uop, cycle)
+                    if stall:
+                        self.freeze_until = cycle + stall
+                        stats.savepage_stalls += 1
+                semantics.store_to(self.memory, instr, uop.eff_addr,
+                                   uop.store_value)
+                self.hierarchy.dstore(cycle, uop.eff_addr)
+                stats.stores += 1
+            dest = instr.dest
+            if dest and uop.value is not None:
+                self.regs[dest] = uop.value
+            if dest and self.rename.get(dest) is uop:
+                del self.rename[dest]
+            self.rob.pop(0)
+            if instr.is_mem:
+                self._lsq_used -= 1
+            committed += 1
+            if instr.is_check:
+                if uop.injected:
+                    stats.committed_checks += 1
+                else:
+                    stats.committed_checks += 1
+                    stats.instret += 1
+            elif instr.iclass is InstrClass.NOP:
+                stats.committed_nops += 1
+                stats.instret += 1
+            else:
+                stats.instret += 1
+            if instr.is_load:
+                stats.loads += 1
+            if instr.is_control:
+                stats.branches += 1
+            if rse is not None:
+                rse.on_commit(uop, cycle)
+            if instr.iclass is InstrClass.SYSCALL:
+                return PipelineEvent(EventKind.SYSCALL, pc=uop.pc, uop=uop)
+            if instr.iclass is InstrClass.HALT:
+                return PipelineEvent(EventKind.HALT, pc=uop.pc, uop=uop)
+            if self.freeze_until > cycle:
+                break          # SavePage handler suspended the process
+        return None
+
+    # ----------------------------------------------------------------- issue
+
+    def _issue(self, cycle):
+        config = self.config
+        budget = config.issue_width
+        alu_free = config.int_alus
+        mdu_free = config.mdus
+        mem_free = config.mem_ports
+        for index, uop in enumerate(self.rob):
+            if budget == 0:
+                break
+            if uop.state != S_WAIT:
+                continue
+            if not self._operands_ready(uop):
+                continue
+            instr = uop.instr
+            iclass = instr.iclass
+            if iclass is InstrClass.LOAD:
+                if mem_free == 0:
+                    continue
+                if not self._try_issue_load(uop, index, cycle):
+                    continue
+                mem_free -= 1
+            elif iclass is InstrClass.STORE:
+                if mem_free == 0:
+                    continue
+                self._issue_store(uop, cycle)
+                mem_free -= 1
+            elif iclass is InstrClass.MDU:
+                if mdu_free == 0:
+                    continue
+                self._issue_alu(uop, cycle)
+                mdu_free -= 1
+            else:          # ALU, branch, jump, CHECK
+                if alu_free == 0:
+                    continue
+                self._issue_alu(uop, cycle)
+                alu_free -= 1
+            budget -= 1
+
+    def _operands_ready(self, uop):
+        producer = uop.wait_a
+        if producer is not None:
+            if producer.state != S_DONE or producer.value is None:
+                if producer.state == S_DONE and producer.value is None:
+                    # Producer faulted; operand value is undefined but the
+                    # fault will retire first, squashing this uop.
+                    uop.val_a = 0
+                    uop.wait_a = None
+                else:
+                    return False
+            else:
+                uop.val_a = producer.value
+                uop.wait_a = None
+        producer = uop.wait_b
+        if producer is not None:
+            if producer.state != S_DONE or producer.value is None:
+                if producer.state == S_DONE and producer.value is None:
+                    uop.val_b = 0
+                    uop.wait_b = None
+                else:
+                    return False
+            else:
+                uop.val_b = producer.value
+                uop.wait_b = None
+        return True
+
+    def _rs_rt_values(self, uop):
+        instr = uop.instr
+        rs_val = rt_val = 0
+        srcs = instr.srcs
+        if srcs:
+            reg = srcs[0]
+            if reg == instr.rs:
+                rs_val = uop.val_a
+            if reg == instr.rt:
+                rt_val = uop.val_a
+            if len(srcs) > 1:
+                reg = srcs[1]
+                if reg == instr.rs:
+                    rs_val = uop.val_b
+                if reg == instr.rt:
+                    rt_val = uop.val_b
+        return rs_val, rt_val
+
+    def _issue_alu(self, uop, cycle):
+        instr = uop.instr
+        iclass = instr.iclass
+        config = self.config
+        uop.state = S_EXEC
+        uop.done_cycle = cycle + config.alu_latency
+        if iclass is InstrClass.CHECK:
+            if self.rse is not None:
+                self.rse.on_operands(uop, cycle, (uop.val_a, uop.val_b))
+            return
+        rs_val, rt_val = self._rs_rt_values(uop)
+        try:
+            if iclass is InstrClass.MDU:
+                latency = (config.mul_latency if instr.name == "mul"
+                           else config.div_latency)
+                uop.done_cycle = cycle + latency
+                uop.value = semantics.alu_result(instr, rs_val, rt_val)
+            elif iclass is InstrClass.ALU:
+                uop.value = semantics.alu_result(instr, rs_val, rt_val)
+            elif iclass is InstrClass.BRANCH:
+                taken = semantics.branch_taken(instr, rs_val, rt_val)
+                uop.actual_next = (semantics.branch_target(instr, uop.pc)
+                                   if taken else (uop.pc + 4) & MASK32)
+            elif iclass is InstrClass.JUMP:
+                if instr.dest:          # jal / jalr: link register
+                    uop.value = (uop.pc + 4) & MASK32
+                uop.actual_next = semantics.jump_target(instr, uop.pc, rs_val)
+                if uop.actual_next & 3:
+                    uop.fault = (uop.pc, "unaligned jump target 0x%08x"
+                                 % uop.actual_next)
+                    uop.actual_next = uop.pred_next          # don't redirect
+        except semantics.ArithmeticFault:
+            uop.fault = (uop.pc, "integer divide by zero")
+        if self.rse is not None and not instr.is_check:
+            self.rse.on_operands(uop, cycle, (rs_val, rt_val))
+
+    def _issue_store(self, uop, cycle):
+        instr = uop.instr
+        rs_val, rt_val = self._rs_rt_values(uop)
+        uop.eff_addr = semantics.effective_address(instr, rs_val)
+        uop.mem_size = semantics.access_size(instr)
+        uop.store_value = rt_val
+        uop.state = S_EXEC
+        uop.done_cycle = cycle + 1
+        if (uop.mem_size > 1) and (uop.eff_addr % uop.mem_size):
+            uop.fault = (uop.pc, "unaligned store at 0x%08x" % uop.eff_addr)
+        elif self.mem_check is not None:
+            cause = self.mem_check(uop.eff_addr, uop.mem_size, "w")
+            if cause is not None:
+                uop.fault = (uop.pc, cause)
+        if self.rse is not None:
+            self.rse.on_operands(uop, cycle, (rs_val, rt_val))
+
+    def _try_issue_load(self, uop, index, cycle):
+        instr = uop.instr
+        rs_val, __ = self._rs_rt_values(uop)
+        addr = semantics.effective_address(instr, rs_val)
+        size = semantics.access_size(instr)
+        # Memory disambiguation against older stores still in the ROB.
+        forward_from = None
+        rse = self.rse
+        for older in self.rob[:index]:
+            if (rse is not None and older.instr.is_check
+                    and rse.check_blocks_loads(older.instr)):
+                return False          # module output not yet in memory
+            if not older.instr.is_store:
+                continue
+            if older.state == S_WAIT:
+                return False          # unknown address: conservative stall
+            if older.eff_addr is None:
+                return False
+            lo, hi = older.eff_addr, older.eff_addr + older.mem_size
+            if lo < addr + size and addr < hi:
+                if older.eff_addr == addr and older.mem_size == size:
+                    forward_from = older          # youngest exact match wins
+                else:
+                    return False          # partial overlap: wait for commit
+        uop.eff_addr = addr
+        uop.mem_size = size
+        uop.state = S_EXEC
+        if (size > 1) and (addr % size):
+            uop.fault = (uop.pc, "unaligned load at 0x%08x" % addr)
+            uop.done_cycle = cycle + 1
+            return True
+        if self.mem_check is not None:
+            cause = self.mem_check(addr, size, "r")
+            if cause is not None:
+                uop.fault = (uop.pc, cause)
+                uop.done_cycle = cycle + 1
+                return True
+        if forward_from is not None:
+            uop.value = self._extract_load_value(instr, forward_from.store_value)
+            uop.forwarded = True
+            uop.done_cycle = cycle + 1
+            self.stats.load_forwards += 1
+        else:
+            try:
+                uop.value = semantics.load_from(self.memory, instr, addr)
+            except MemoryFault as exc:
+                uop.fault = (uop.pc, str(exc))
+                uop.done_cycle = cycle + 1
+                return True
+            uop.done_cycle = self.hierarchy.dload(cycle, addr)
+        if self.rse is not None:
+            self.rse.on_operands(uop, cycle, (rs_val, 0))
+        return True
+
+    @staticmethod
+    def _extract_load_value(instr, raw):
+        name = instr.name
+        if name == "lw":
+            return raw & MASK32
+        if name == "lh":
+            value = raw & 0xFFFF
+            return (value - 0x10000 if value & 0x8000 else value) & MASK32
+        if name == "lhu":
+            return raw & 0xFFFF
+        if name == "lb":
+            value = raw & 0xFF
+            return (value - 0x100 if value & 0x80 else value) & MASK32
+        return raw & 0xFF          # lbu
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, cycle):
+        config = self.config
+        budget = config.dispatch_width
+        while budget and self.fetch_buffer:
+            if len(self.rob) >= config.rob_entries:
+                break
+            uop = self.fetch_buffer[0]
+            instr = uop.instr
+            if instr.serializing and self.rob:
+                break          # syscalls/halt dispatch into an empty ROB
+            if instr.is_mem and self._lsq_used >= config.lsq_entries:
+                break
+            self.fetch_buffer.pop(0)
+            self._rename_sources(uop)
+            self.rob.append(uop)
+            if instr.is_mem:
+                self._lsq_used += 1
+            if (instr.serializing or instr.iclass is InstrClass.NOP
+                    or instr.fmt == "FAULT"):
+                uop.state = S_DONE
+            if self.rse is not None:
+                self.rse.on_dispatch(uop, cycle)
+            budget -= 1
+            if instr.serializing:
+                break          # nothing younger may enter until it retires
+
+    def _rename_sources(self, uop):
+        srcs = uop.instr.srcs
+        rename = self.rename
+        regs = self.regs
+        if srcs:
+            reg = srcs[0]
+            producer = rename.get(reg)
+            if producer is None:
+                uop.val_a = regs[reg]
+            elif producer.state == S_DONE and producer.value is not None:
+                uop.val_a = producer.value
+            else:
+                uop.wait_a = producer
+            if len(srcs) > 1:
+                reg = srcs[1]
+                producer = rename.get(reg)
+                if producer is None:
+                    uop.val_b = regs[reg]
+                elif producer.state == S_DONE and producer.value is not None:
+                    uop.val_b = producer.value
+                else:
+                    uop.wait_b = producer
+        dest = uop.instr.dest
+        if dest:
+            rename[dest] = uop
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self, cycle):
+        if not self.fetch_enabled:
+            return
+        config = self.config
+        budget = config.fetch_width
+        while budget and len(self.fetch_buffer) < config.fetch_buffer_entries:
+            triple = self._next_fetch(cycle)
+            if triple is None:
+                return
+            pc, instr, fault_cause = triple
+            if (self.check_injector is not None
+                    and not self._injected_for_held
+                    and (fault_cause is not None or not instr.is_check)):
+                check = self.check_injector(pc, instr)
+                if check is not None:
+                    self._held = triple
+                    self._injected_for_held = True
+                    uop = Uop(self._seq, pc, check, injected=True)
+                    self._seq += 1
+                    uop.pred_next = pc          # the checked instr follows
+                    self.fetch_buffer.append(uop)
+                    budget -= 1
+                    continue
+            self._held = None
+            self._injected_for_held = False
+            uop = Uop(self._seq, pc, instr)
+            self._seq += 1
+            if fault_cause is not None:
+                # Poisoned fetch: precise fault at commit; stop fetching.
+                uop.fault = (pc, fault_cause)
+                uop.state = S_DONE
+                self.fetch_buffer.append(uop)
+                self.fetch_enabled = False
+                return
+            uop.pred_next = self._predict(pc, instr)
+            self.fetch_buffer.append(uop)
+            self.fetch_pc = uop.pred_next
+            budget -= 1
+            if instr.serializing:
+                self.fetch_enabled = False
+                break
+
+    def _next_fetch(self, cycle):
+        """Produce ``(pc, instr, fault_cause)`` for the next instruction.
+
+        Returns None while the fetch unit is stalled (I-cache miss).  On
+        a fetch-path fault the returned instruction is a poison marker
+        and *fault_cause* explains it.
+        """
+        if self._held is not None:
+            return self._held
+        if self._pending_fetch is not None:
+            pc, ready = self._pending_fetch
+            if cycle < ready:
+                self.stats.fetch_stall_cycles += 1
+                return None
+            self._pending_fetch = None
+            return self._decode_at(pc)
+        pc = self.fetch_pc
+        if pc & 3:
+            return pc, _FAULT_MARKER, "unaligned fetch"
+        if self.mem_check is not None:
+            cause = self.mem_check(pc, 4, "x")
+            if cause is not None:
+                return pc, _FAULT_MARKER, cause
+        done = self.hierarchy.ifetch(cycle, pc)
+        if done > cycle + 1:
+            self._pending_fetch = (pc, done)
+            self.stats.fetch_stall_cycles += 1
+            return None
+        return self._decode_at(pc)
+
+    def _decode_at(self, pc):
+        try:
+            return pc, decode(self.memory.load_word(pc)), None
+        except DecodeError as exc:
+            # Keep the raw word on the marker so the ICM's binary
+            # comparison sees what was actually fetched.
+            return pc, _fault_marker(exc.word), str(exc)
+        except MemoryFault as exc:
+            return pc, _FAULT_MARKER, str(exc)
+
+    def _predict(self, pc, instr):
+        iclass = instr.iclass
+        if iclass is InstrClass.BRANCH:
+            if self.predictor.predict_direction(pc):
+                return semantics.branch_target(instr, pc)
+            return (pc + 4) & MASK32
+        if iclass is InstrClass.JUMP:
+            if instr.name in ("j", "jal"):
+                return semantics.jump_target(instr, pc)
+            target = self.predictor.predict_target(pc)
+            self.predictor.lookups += 1
+            return target if target is not None else (pc + 4) & MASK32
+        return (pc + 4) & MASK32
+
+    # ----------------------------------------------------------------- flush
+
+    def _flush_younger(self, index):
+        """Squash every uop younger than ``rob[index]`` (mispredict recovery)."""
+        squashed = self.rob[index + 1:]
+        del self.rob[index + 1:]
+        squashed.extend(self.fetch_buffer)
+        self.fetch_buffer.clear()
+        self._pending_fetch = None
+        self._held = None
+        self._injected_for_held = False
+        self._lsq_used = sum(1 for u in self.rob if u.instr.is_mem)
+        self.rename.clear()
+        for uop in self.rob:
+            dest = uop.instr.dest
+            if dest:
+                self.rename[dest] = uop
+        self.stats.squashed += len(squashed)
+        if squashed and self.rse is not None:
+            self.rse.on_squash(squashed, self.cycle)
+
+    def flush_all(self):
+        """Squash the entire window (faults, CHECK errors, context switch)."""
+        squashed = self.rob + self.fetch_buffer
+        self.rob = []
+        self.fetch_buffer = []
+        self.rename.clear()
+        self._lsq_used = 0
+        self._pending_fetch = None
+        self._held = None
+        self._injected_for_held = False
+        self.stats.squashed += len(squashed)
+        if squashed and self.rse is not None:
+            self.rse.on_squash(squashed, self.cycle)

@@ -1,0 +1,33 @@
+"""Process images and loading.
+
+* :mod:`repro.program.layout` — the virtual memory layout of a process
+  (the structure the MLR module randomizes).
+* :mod:`repro.program.image` — executable images: segments, the "special
+  header" consumed by the MLR module, and GOT/PLT construction.
+* :mod:`repro.program.loader` — places an image into simulated memory,
+  sets up the stack and registers page permissions.
+"""
+
+from repro.program.layout import MemoryLayout, DEFAULT_LAYOUT_BASES
+from repro.program.image import (
+    ExecutableHeader,
+    Segment,
+    ProcessImage,
+    build_image,
+    build_plt_entry,
+    PLT_ENTRY_WORDS,
+)
+from repro.program.loader import Loader, LoadedProcess
+
+__all__ = [
+    "MemoryLayout",
+    "DEFAULT_LAYOUT_BASES",
+    "ExecutableHeader",
+    "Segment",
+    "ProcessImage",
+    "build_image",
+    "build_plt_entry",
+    "PLT_ENTRY_WORDS",
+    "Loader",
+    "LoadedProcess",
+]

@@ -1,0 +1,102 @@
+"""Virtual memory layout of a simulated process.
+
+This is precisely the structure the paper's Memory Layout Randomization
+module exists to randomize (Section 4.1): the bases of the
+position-independent regions (stack, heap, shared libraries) plus the
+position-dependent Global Offset Table / Procedure Linkage Table pair.
+
+The layout object is pure description — the loader materialises it and
+the MLR/TRR implementations perturb it.
+"""
+
+PAGE_SIZE = 4096
+
+#: Conventional (un-randomized) bases, loosely modelled on 32-bit Linux.
+DEFAULT_LAYOUT_BASES = {
+    "text": 0x00400000,
+    "data": 0x10000000,
+    "heap": 0x10800000,
+    "shlib": 0x30000000,
+    "stack_top": 0x7FFF0000,      # stack grows down from here
+    "header": 0x0FFF0000,         # the MLR "special header" staging area
+}
+
+#: Size of the mapped stack region, bytes.
+DEFAULT_STACK_BYTES = 256 * 1024
+
+#: Offsets (from the header base) of the predefined memory locations the
+#: MLR module writes its randomized base addresses to (Figure 3(B)).
+MLR_RESULT_SHLIB = 0x100
+MLR_RESULT_STACK = 0x104
+MLR_RESULT_HEAP = 0x108
+
+
+class MemoryLayout:
+    """Concrete address-space layout for one process.
+
+    Attributes mirror the fields of the executable header the MLR module
+    parses.  ``randomize`` returns a *new* layout with offsets applied to
+    the position-independent regions — the host-side equivalent of what
+    TRR/MLR do inside the simulation (used by the loader when a test or
+    example wants a pre-randomized process without running the guest
+    loader code).
+    """
+
+    def __init__(self, text_base=None, data_base=None, heap_base=None,
+                 shlib_base=None, stack_top=None, header_base=None,
+                 stack_bytes=DEFAULT_STACK_BYTES):
+        bases = DEFAULT_LAYOUT_BASES
+        self.text_base = text_base if text_base is not None else bases["text"]
+        self.data_base = data_base if data_base is not None else bases["data"]
+        self.heap_base = heap_base if heap_base is not None else bases["heap"]
+        self.shlib_base = (shlib_base if shlib_base is not None
+                           else bases["shlib"])
+        self.stack_top = (stack_top if stack_top is not None
+                          else bases["stack_top"])
+        self.header_base = (header_base if header_base is not None
+                            else bases["header"])
+        self.stack_bytes = stack_bytes
+
+    @property
+    def stack_base(self):
+        """Lowest mapped stack address."""
+        return self.stack_top - self.stack_bytes
+
+    def randomize(self, rng, max_offset_pages=2048):
+        """Return a copy with randomized position-independent bases.
+
+        Offsets are page-aligned and drawn from *rng* (a
+        ``random.Random``), mirroring TRR's page-granularity relocation.
+        The position-dependent regions (text/data, and with them the
+        GOT/PLT's *old* location) stay put — relocating the GOT is the
+        MLR module's separate, explicit job.
+        """
+        def offset():
+            return rng.randrange(1, max_offset_pages) * PAGE_SIZE
+
+        return MemoryLayout(
+            text_base=self.text_base,
+            data_base=self.data_base,
+            heap_base=self.heap_base + offset(),
+            shlib_base=self.shlib_base + offset(),
+            stack_top=self.stack_top - offset(),
+            header_base=self.header_base,
+            stack_bytes=self.stack_bytes,
+        )
+
+    def as_dict(self):
+        return {
+            "text_base": self.text_base,
+            "data_base": self.data_base,
+            "heap_base": self.heap_base,
+            "shlib_base": self.shlib_base,
+            "stack_top": self.stack_top,
+            "stack_base": self.stack_base,
+            "header_base": self.header_base,
+        }
+
+    def __repr__(self):
+        return ("MemoryLayout(text=0x%08x, data=0x%08x, heap=0x%08x, "
+                "shlib=0x%08x, stack_top=0x%08x)" % (
+                    self.text_base, self.data_base, self.heap_base,
+                    self.shlib_base, self.stack_top))

@@ -1,0 +1,11 @@
+"""Thread-crash recovery built on DDT tracking (Section 4.2).
+
+The DDT module collects dependency and checkpoint information but "does
+not perform the actual recovery operations.  System software performs
+recovery by retrieving information stored in PST and DDM" — that system
+software is this package.
+"""
+
+from repro.recovery.recovery import RecoveryManager, RecoveryReport
+
+__all__ = ["RecoveryManager", "RecoveryReport"]

@@ -1,0 +1,39 @@
+"""The Reliability and Security Engine (RSE) — the paper's contribution.
+
+The RSE lives "on the same die" as the processor: hardware modules
+providing error-detection and security services execute in parallel with
+the core pipeline (Section 3).  This package implements:
+
+* :mod:`repro.rse.check`     — CHECK-instruction vocabulary (module ids,
+  operations, encoding helpers);
+* :mod:`repro.rse.queues`    — the input interface (Fetch_Out,
+  Regfile_Data, Execute_Out, Memory_Out, Commit_Out) with the one-cycle
+  latch delay of Table 3;
+* :mod:`repro.rse.ioq`       — the Instruction Output Queue and its
+  check/checkValid semantics (Table 1);
+* :mod:`repro.rse.mau`       — the Memory Access Unit shared by modules;
+* :mod:`repro.rse.module`    — the module base class (sync/async modes);
+* :mod:`repro.rse.selfcheck` — the watchdog-based self-checking
+  mechanism and safe-mode decoupling (Table 2);
+* :mod:`repro.rse.engine`    — the framework tying it all together;
+* :mod:`repro.rse.modules`   — ICM, MLR, DDT and AHBM.
+"""
+
+from repro.rse import check
+from repro.rse.engine import RSE
+from repro.rse.module import RSEModule, ModuleMode
+from repro.rse.ioq import IOQ, IOQEntry
+from repro.rse.mau import MemoryAccessUnit, MAURequest
+from repro.rse.selfcheck import SelfChecker
+
+__all__ = [
+    "check",
+    "RSE",
+    "RSEModule",
+    "ModuleMode",
+    "IOQ",
+    "IOQEntry",
+    "MemoryAccessUnit",
+    "MAURequest",
+    "SelfChecker",
+]

@@ -1,0 +1,110 @@
+"""CHECK instruction vocabulary (Section 3.3).
+
+A CHECK instruction carries: the module number, a blocking/non-blocking
+flag (synchronous vs asynchronous operation), a 5-bit operation code and
+a 16-bit immediate parameter.  Pointer-sized parameters are passed in
+registers ``a0``/``a1``; operations that consume them set
+:data:`~repro.isa.instructions.CHK_OP_PAYLOAD_BIT` in their op code so
+the pipeline knows to deliver the values through ``Regfile_Data``.
+
+Operation codes are interpreted *per module* (each module has its own
+decoder), except ``OP_ENABLE``/``OP_DISABLE``, which every module's
+enable/disable unit understands.
+"""
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import CHK_OP_PAYLOAD_BIT, SPEC_BY_NAME
+
+# ----------------------------------------------------------- module numbers
+
+MODULE_ICM = 1          # Instruction Checker Module
+MODULE_MLR = 2          # Memory Layout Randomization
+MODULE_DDT = 3          # Data Dependency Tracker
+MODULE_AHBM = 4         # Adaptive Heartbeat Monitor
+
+MODULE_NAMES = {
+    MODULE_ICM: "ICM",
+    MODULE_MLR: "MLR",
+    MODULE_DDT: "DDT",
+    MODULE_AHBM: "AHBM",
+}
+
+# -------------------------------------------------- generic operations
+
+OP_ENABLE = 0x00
+OP_DISABLE = 0x01
+
+# -------------------------------------------------- ICM operations
+
+#: Blocking check of the next instruction in the stream (Figure 2(a)).
+OP_ICM_CHECK = 0x02
+
+# -------------------------------------------------- MLR operations (Fig. 3)
+
+#: I2: randomize position-independent regions from the parsed header.
+OP_MLR_PI_RAND = 0x02
+#: I1: a0 = header location, a1 = header size.
+OP_MLR_EXEC_HDR = 0x10
+#: I5: a0 = old GOT address, a1 = GOT size in bytes.
+OP_MLR_GOT_OLD = 0x11
+#: I6: a0 = new GOT address.
+OP_MLR_GOT_NEW = 0x12
+#: I7: copy the GOT from the old to the new location (hardware copy).
+OP_MLR_COPY_GOT = 0x13
+#: I8: a0 = PLT address, a1 = PLT size in bytes.
+OP_MLR_PLT_INFO = 0x14
+#: I10: rewrite PLT entries to reference the new GOT (4 entries/cycle).
+OP_MLR_WRITE_PLT = 0x15
+
+# -------------------------------------------------- DDT operations
+
+#: Dump PST + DDM to memory at a0 (the "size query and retrieval"
+#: instruction system software uses during recovery, Section 4.2.2).
+OP_DDT_DUMP = 0x10
+
+# -------------------------------------------------- AHBM operations
+
+#: a0 = entity id to start monitoring.
+OP_AHBM_REGISTER = 0x11
+#: a0 = entity id; the Increment Counter Value heartbeat.
+OP_AHBM_HEARTBEAT = 0x12
+#: a0 = entity id to stop monitoring.
+OP_AHBM_UNREGISTER = 0x13
+
+
+def op_reads_payload(op):
+    """True when CHECK operation *op* consumes the a0/a1 payload."""
+    return bool(op & CHK_OP_PAYLOAD_BIT)
+
+
+def encode_check(module, op, blocking=False, param=0):
+    """Encode a CHK word for *module*/*op* (test and injector helper)."""
+    return encode(SPEC_BY_NAME["chk"], module=module,
+                  blk=1 if blocking else 0, op=op, param=param)
+
+
+def asm_constants():
+    """Constants dict for the assembler: module names and operation codes.
+
+    Lets workload assembly say ``chk ICM, BLK, OP_ICM_CHECK, 0``.
+    """
+    return {
+        "ICM": MODULE_ICM,
+        "MLR": MODULE_MLR,
+        "DDT": MODULE_DDT,
+        "AHBM": MODULE_AHBM,
+        "OP_ENABLE": OP_ENABLE,
+        "OP_DISABLE": OP_DISABLE,
+        "OP_ICM_CHECK": OP_ICM_CHECK,
+        "OP_MLR_PI_RAND": OP_MLR_PI_RAND,
+        "OP_MLR_EXEC_HDR": OP_MLR_EXEC_HDR,
+        "OP_MLR_GOT_OLD": OP_MLR_GOT_OLD,
+        "OP_MLR_GOT_NEW": OP_MLR_GOT_NEW,
+        "OP_MLR_COPY_GOT": OP_MLR_COPY_GOT,
+        "OP_MLR_PLT_INFO": OP_MLR_PLT_INFO,
+        "OP_MLR_WRITE_PLT": OP_MLR_WRITE_PLT,
+        "OP_DDT_DUMP": OP_DDT_DUMP,
+        "OP_AHBM_REGISTER": OP_AHBM_REGISTER,
+        "OP_AHBM_HEARTBEAT": OP_AHBM_HEARTBEAT,
+        "OP_AHBM_UNREGISTER": OP_AHBM_UNREGISTER,
+    }

@@ -1,0 +1,101 @@
+"""Instruction Output Queue (IOQ) — Table 1 semantics.
+
+An IOQ entry is allocated for every instruction when it is forwarded to
+the framework (at dispatch) and freed at commit/squash.  Two bits per
+entry communicate module results back to the commit unit:
+
+=========  ======  ==========================================================
+checkValid check   meaning
+=========  ======  ==========================================================
+0          0       CHECK allocated, module still executing — commit may stall
+1          0       non-CHECK instruction, or CHECK finished with no error
+1          1       CHECK finished, error detected — pipeline is flushed
+=========  ======  ==========================================================
+
+Entries also support stuck-at fault injection on either bit (the error
+scenarios of Table 2); the effective value seen by the pipeline and the
+self-checking watchdog honours the stuck-at override.
+"""
+
+
+class IOQEntry:
+    """One IOQ entry, keyed by the in-flight instruction's sequence number."""
+
+    __slots__ = ("seq", "uop", "check_valid", "check", "alloc_cycle",
+                 "payload", "stuck_check_valid", "stuck_check",
+                 "valid_set_cycle", "error_transitions")
+
+    def __init__(self, seq, uop, cycle, is_check):
+        self.seq = seq
+        self.uop = uop
+        self.alloc_cycle = cycle
+        # Table 1: CHECK instructions start '00', everything else '10'.
+        self.check_valid = 0 if is_check else 1
+        self.check = 0
+        self.payload = None          # (a0, a1) once Regfile_Data delivers
+        self.stuck_check_valid = None
+        self.stuck_check = None
+        self.valid_set_cycle = None
+        self.error_transitions = 0
+
+    # ------------------------------------------------------ effective bits
+
+    @property
+    def effective_check_valid(self):
+        if self.stuck_check_valid is not None:
+            return self.stuck_check_valid
+        return self.check_valid
+
+    @property
+    def effective_check(self):
+        if self.stuck_check is not None:
+            return self.stuck_check
+        return self.check
+
+    # ------------------------------------------------------------- writes
+
+    def complete(self, error, cycle):
+        """Module writes its result: sets checkValid and the check bit."""
+        self.check_valid = 1
+        self.valid_set_cycle = cycle
+        if error:
+            if self.check == 0:
+                self.error_transitions += 1
+            self.check = 1
+        else:
+            self.check = 0
+
+    def __repr__(self):
+        return "IOQEntry(seq=%d, cv=%d, chk=%d)" % (
+            self.seq, self.effective_check_valid, self.effective_check)
+
+
+class IOQ:
+    """The queue itself: allocation, result lookup, and freeing."""
+
+    def __init__(self):
+        self._entries = {}
+        self.allocated_total = 0
+
+    def allocate(self, uop, cycle):
+        entry = IOQEntry(uop.seq, uop, cycle, uop.instr.is_check)
+        self._entries[uop.seq] = entry
+        self.allocated_total += 1
+        return entry
+
+    def get(self, seq):
+        return self._entries.get(seq)
+
+    def free(self, seq):
+        self._entries.pop(seq, None)
+
+    def pending_checks(self):
+        """CHECK entries whose module has not yet produced a result."""
+        return [entry for entry in self._entries.values()
+                if entry.uop.instr.is_check and entry.effective_check_valid == 0]
+
+    def entries(self):
+        return list(self._entries.values())
+
+    def __len__(self):
+        return len(self._entries)

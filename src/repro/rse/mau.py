@@ -1,0 +1,96 @@
+"""Memory Access Unit (MAU) — Section 3.2.
+
+The MAU performs memory accesses on behalf of RSE modules, eliminating a
+per-module bus interface.  A request names the address, access type
+(load/store), byte count and a completion callback (the hardware
+equivalent: a pointer to the module's buffer).  Requests queue and are
+serviced in cyclic (FIFO across modules) order; the MAU shares the bus
+interface unit with the pipeline and always loses arbitration to it
+(modelled by :meth:`MemoryHierarchy.mau_access`, which also keeps MAU
+traffic out of the processor caches).
+"""
+
+from collections import deque
+
+
+class MAURequest:
+    """One queued module request."""
+
+    __slots__ = ("module_name", "kind", "addr", "nbytes", "data", "callback",
+                 "done_cycle", "result")
+
+    def __init__(self, module_name, kind, addr, nbytes, data=None,
+                 callback=None):
+        if kind not in ("load", "store"):
+            raise ValueError("kind must be 'load' or 'store'")
+        self.module_name = module_name
+        self.kind = kind
+        self.addr = addr
+        self.nbytes = nbytes
+        self.data = data              # payload for stores
+        self.callback = callback      # called as callback(result_bytes|None)
+        self.done_cycle = None
+        self.result = None
+
+
+class MemoryAccessUnit:
+    """FIFO service of module memory requests over the shared bus."""
+
+    def __init__(self, memory, hierarchy):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self._queue = deque()
+        self._active = None
+        self.requests_total = 0
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+
+    # ---------------------------------------------------------------- submit
+
+    def load(self, module_name, addr, nbytes, callback):
+        """Queue a load of *nbytes* from *addr*; *callback(bytes)* on completion."""
+        request = MAURequest(module_name, "load", addr, nbytes,
+                             callback=callback)
+        self._queue.append(request)
+        self.requests_total += 1
+        return request
+
+    def store(self, module_name, addr, data, callback=None):
+        """Queue a store of *data* to *addr*; *callback(None)* on completion."""
+        request = MAURequest(module_name, "store", addr, len(data),
+                             data=bytes(data), callback=callback)
+        self._queue.append(request)
+        self.requests_total += 1
+        return request
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, cycle):
+        """Advance the MAU one cycle: finish/start requests as the bus allows."""
+        active = self._active
+        if active is not None:
+            if cycle < active.done_cycle:
+                return
+            # Transfer completes this cycle: move the data functionally.
+            if active.kind == "load":
+                active.result = self.memory.load_bytes(active.addr,
+                                                       active.nbytes)
+                self.bytes_loaded += active.nbytes
+            else:
+                self.memory.store_bytes(active.addr, active.data)
+                self.bytes_stored += active.nbytes
+            self._active = None
+            if active.callback is not None:
+                active.callback(active.result)
+        if self._active is None and self._queue:
+            request = self._queue.popleft()
+            request.done_cycle = self.hierarchy.mau_access(cycle,
+                                                           request.nbytes)
+            self._active = request
+
+    @property
+    def busy(self):
+        return self._active is not None or bool(self._queue)
+
+    def pending(self):
+        return len(self._queue) + (1 if self._active else 0)

@@ -1,0 +1,240 @@
+"""Memory Layout Randomization (MLR) module — Section 4.1 / Figure 3.
+
+The randomization task is split between the program loader and this
+module.  The loader assembles a *special header* (segment locations and
+sizes, stack/heap/shared-library bases) and drives the module with the
+CHECK sequence I0..I11 of Figure 3(A):
+
+====  ==================  ================================================
+I1    OP_MLR_EXEC_HDR     a0 = header location, a1 = header size
+I2    OP_MLR_PI_RAND      randomize position-independent regions: parse
+                          the header, add a value derived from the clock
+                          cycle counter to each base, write the results
+                          to predefined memory locations
+I5    OP_MLR_GOT_OLD      a0 = old GOT address, a1 = GOT size (bytes)
+I6    OP_MLR_GOT_NEW      a0 = new GOT address
+I7    OP_MLR_COPY_GOT     hardware copy old GOT -> GOT buffer -> new GOT
+I8    OP_MLR_PLT_INFO     a0 = PLT address, a1 = PLT size (bytes)
+I10   OP_MLR_WRITE_PLT    copy PLT into the PLT buffer, rewrite every
+                          entry to point into the new GOT (four adders
+                          update 4 entries in parallel), write back
+====  ==================  ================================================
+
+All memory traffic goes through the framework's MAU.  The entropy source
+is the clock cycle counter, exactly as in Figure 3(B); tests may inject
+a deterministic source.
+"""
+
+from repro.memory.mainmem import PAGE_SIZE
+from repro.program.image import (
+    ExecutableHeader,
+    PLT_ENTRY_BYTES,
+    plt_entry_target,
+    rewrite_plt_entry,
+)
+from repro.program.layout import (
+    MLR_RESULT_HEAP,
+    MLR_RESULT_SHLIB,
+    MLR_RESULT_STACK,
+)
+from repro.rse.check import (
+    MODULE_MLR,
+    OP_MLR_COPY_GOT,
+    OP_MLR_EXEC_HDR,
+    OP_MLR_GOT_NEW,
+    OP_MLR_GOT_OLD,
+    OP_MLR_PI_RAND,
+    OP_MLR_PLT_INFO,
+    OP_MLR_WRITE_PLT,
+)
+from repro.rse.module import ModuleMode, RSEModule
+
+#: Register-transfer cycles for parsing the header and the three parallel
+#: adds of Figure 3(B) (one cycle to parse/latch, one for the adders).
+PARSE_AND_ADD_CYCLES = 2
+#: Adders available for parallel PLT entry updates (Section 5.3: "4
+#: adders are used to update the PLT Table entries in parallel").
+PLT_ADDERS = 4
+
+MASK32 = 0xFFFFFFFF
+
+
+def cycle_counter_entropy(cycle):
+    """Derive a page-aligned random offset from the clock cycle counter.
+
+    The paper "computes the randomized address values ... by adding the
+    value from the clock cycle counter".  Adding the raw counter would
+    break alignment, so the hardware masks it to whole pages; the
+    multiplier spreads low-entropy early-boot counter values across the
+    offset range.
+    """
+    pages = ((cycle * 2654435761) >> 8) & 0x3FF          # up to 1023 pages
+    return (pages | 1) * PAGE_SIZE
+
+
+class MLR(RSEModule):
+    """The Memory Layout Randomization module."""
+
+    MODULE_ID = MODULE_MLR
+    MODE = ModuleMode.SYNC
+    #: MLR writes memory through the MAU; blocking MLR CHECKs are load
+    #: barriers in the pipeline (see RSE.check_blocks_loads).
+    WRITES_MEMORY = True
+
+    def __init__(self, entropy_source=cycle_counter_entropy):
+        super().__init__("MLR")
+        self.entropy_source = entropy_source
+        # Latched CHECK parameters (Figure 3(B) registers).
+        self.hdr_addr = 0
+        self.hdr_size = 0
+        self.got_old = 0
+        self.got_size = 0
+        self.got_new = 0
+        self.plt_addr = 0
+        self.plt_size = 0
+        # Internal buffers.
+        self.header = None
+        self.got_buffer = b""
+        self.plt_buffer = b""
+        # Results of the last PI randomization (also written to memory).
+        self.randomized = {}
+        self.operations_done = 0
+        self._pending_store = None
+        # Measured latency of the last position-independent randomization
+        # (the Section 5.3 "penalty for position independent regions").
+        self.pi_rand_started = None
+        self.pi_rand_finished = None
+
+    # --------------------------------------------------------------- checks
+
+    def on_check(self, uop, entry, cycle):
+        op = uop.instr.op
+        payload = entry.payload or (0, 0)
+        if op == OP_MLR_EXEC_HDR:
+            self.hdr_addr, self.hdr_size = payload
+            self._done(entry, cycle)
+        elif op == OP_MLR_GOT_OLD:
+            self.got_old, self.got_size = payload
+            self._done(entry, cycle)
+        elif op == OP_MLR_GOT_NEW:
+            self.got_new = payload[0]
+            self._done(entry, cycle)
+        elif op == OP_MLR_PLT_INFO:
+            self.plt_addr, self.plt_size = payload
+            self._done(entry, cycle)
+        elif op == OP_MLR_PI_RAND:
+            self._pi_randomize(entry, cycle)
+        elif op == OP_MLR_COPY_GOT:
+            self._copy_got(entry, cycle)
+        elif op == OP_MLR_WRITE_PLT:
+            self._write_plt(entry, cycle)
+        else:
+            self._done(entry, cycle)
+
+    def _done(self, entry, cycle, error=False):
+        self.operations_done += 1
+        self.finish_check(entry, error, cycle)
+
+    # --------------------------------- position-independent randomization
+
+    def _pi_randomize(self, entry, cycle):
+        """I2: parse the header, randomize stack/heap/shlib bases."""
+        mau = self.engine.mau
+        self.pi_rand_started = cycle
+        self.pi_rand_finished = None
+
+        def header_loaded(data):
+            try:
+                header = ExecutableHeader.unpack(data)
+            except ValueError:
+                self._done(entry, self.engine.cycle, error=True)
+                return
+            self.header = header
+            now = self.engine.cycle + PARSE_AND_ADD_CYCLES
+            shlib = (header.shlib_base + self.entropy_source(now)) & MASK32
+            heap = (header.heap_base +
+                    self.entropy_source(now + 1)) & MASK32
+            stack = (header.stack_base -
+                     self.entropy_source(now + 2)) & MASK32
+            self.randomized = {"shlib": shlib, "stack": stack, "heap": heap}
+            results = (shlib.to_bytes(4, "little") +
+                       stack.to_bytes(4, "little") +
+                       heap.to_bytes(4, "little"))
+            # One store covers the three adjacent predefined locations.
+            assert (MLR_RESULT_STACK == MLR_RESULT_SHLIB + 4 and
+                    MLR_RESULT_HEAP == MLR_RESULT_SHLIB + 8)
+            def stored(__):
+                self.pi_rand_finished = self.engine.cycle
+                self._done(entry, self.engine.cycle)
+
+            mau.store(self.name, self.hdr_addr + MLR_RESULT_SHLIB, results,
+                      stored)
+
+        mau.load(self.name, self.hdr_addr, self.hdr_size or 64, header_loaded)
+
+    # ------------------------------------------------------------ GOT copy
+
+    def _copy_got(self, entry, cycle):
+        """I7: copy the old GOT into the GOT buffer, then to its new home."""
+        if not self.got_size or not self.got_new:
+            self._done(entry, cycle, error=True)
+            return
+        mau = self.engine.mau
+
+        def got_loaded(data):
+            self.got_buffer = data
+            mau.store(self.name, self.got_new, data,
+                      lambda __: self._done(entry, self.engine.cycle))
+
+        mau.load(self.name, self.got_old, self.got_size, got_loaded)
+
+    # ----------------------------------------------------------- PLT rewrite
+
+    def _write_plt(self, entry, cycle):
+        """I10: rewrite the PLT so entries indirect through the new GOT."""
+        if not self.plt_size or not self.got_new:
+            self._done(entry, cycle, error=True)
+            return
+        mau = self.engine.mau
+        delta = (self.got_new - self.got_old) & MASK32
+
+        def plt_loaded(data):
+            self.plt_buffer = data
+            entries = len(data) // PLT_ENTRY_BYTES
+            rewritten = bytearray(data)
+            bad = False
+            for index in range(entries):
+                offset = index * PLT_ENTRY_BYTES
+                words = [int.from_bytes(data[offset + i * 4:offset + i * 4 + 4],
+                                        "little") for i in range(4)]
+                try:
+                    target = plt_entry_target(words)
+                except ValueError:
+                    bad = True
+                    continue
+                new_words = rewrite_plt_entry(words, (target + delta) & MASK32)
+                for i, word in enumerate(new_words):
+                    rewritten[offset + i * 4:offset + i * 4 + 4] = \
+                        word.to_bytes(4, "little")
+            # Four adders update four entries per cycle (footnote in 5.3).
+            rewrite_cycles = -(-entries // PLT_ADDERS)
+            self._schedule_store(entry, rewritten, rewrite_cycles, bad)
+
+        mau.load(self.name, self.plt_addr, self.plt_size, plt_loaded)
+
+    def _schedule_store(self, entry, rewritten, delay_cycles, bad):
+        """Charge the adder latency, then write the PLT buffer back."""
+        due = self.engine.cycle + delay_cycles
+        self._pending_store = (due, entry, bytes(rewritten), bad)
+
+    def step(self, cycle):
+        pending = self._pending_store
+        if pending is None:
+            return
+        due, entry, data, bad = pending
+        if cycle < due:
+            return
+        self._pending_store = None
+        self.engine.mau.store(
+            self.name, self.plt_addr, data,
+            lambda __: self._done(entry, self.engine.cycle, error=bad))

@@ -1,0 +1,46 @@
+"""Security substrate: attack models, fault injection, the TRR baseline.
+
+The MLR module's security argument (Section 4.1) is that the attacks
+responsible for ~60% of CERT advisories "are based on an attacker's
+knowledge of the memory layout of a target application".  This package
+provides that attacker:
+
+* :mod:`repro.security.attacks` — a vulnerable guest service plus
+  stack-smashing and GOT-hijack exploit builders that assume a fixed
+  layout;
+* :mod:`repro.security.trr`     — the host-side Transparent Runtime
+  Randomization baseline (the authors' earlier software system);
+* :mod:`repro.security.faults`  — instruction bit-flip injection
+  campaigns for the ICM, and module fault modes for the self-checking
+  experiments.
+"""
+
+from repro.security.trr import trr_randomize_layout
+from repro.security.attacks import (
+    AttackOutcome,
+    build_stack_smash_payload,
+    vulnerable_service_program,
+    run_stack_smash,
+    run_got_hijack,
+)
+from repro.security.rerandomize import (
+    register_pointer_table,
+    rerandomize_heap,
+)
+from repro.security.faults import (
+    BitFlipOutcome,
+    run_bitflip_campaign,
+)
+
+__all__ = [
+    "trr_randomize_layout",
+    "AttackOutcome",
+    "build_stack_smash_payload",
+    "vulnerable_service_program",
+    "run_stack_smash",
+    "run_got_hijack",
+    "register_pointer_table",
+    "rerandomize_heap",
+    "BitFlipOutcome",
+    "run_bitflip_campaign",
+]

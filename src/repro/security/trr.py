@@ -1,0 +1,32 @@
+"""Transparent Runtime Randomization (TRR) — the software baseline.
+
+TRR (the authors' SRDS 2003 system, [30] in the paper) randomizes a
+process' memory layout entirely in software at load time.  Two forms
+exist in this reproduction:
+
+* the **host-side loader path** here: the layout is randomized before
+  the image is built/loaded — what the TRR-modified loader does to an
+  ordinary process (used by the attack experiments);
+* the **guest instruction path** in
+  :func:`repro.workloads.gotplt.software_version`: the measured
+  loop-based GOT copy / PLT rewrite of Table 5.
+"""
+
+import random
+
+from repro.program.layout import MemoryLayout
+
+
+def trr_randomize_layout(layout=None, seed=None, rng=None,
+                         max_offset_pages=2048):
+    """Return a TRR-randomized copy of *layout*.
+
+    Page-granularity random offsets are applied to the
+    position-independent regions (stack, heap, shared libraries), which
+    is precisely the protection that defeats fixed-address stack
+    attacks.  Pass *seed* (or an ``rng``) for deterministic tests.
+    """
+    layout = layout or MemoryLayout()
+    if rng is None:
+        rng = random.Random(seed)
+    return layout.randomize(rng, max_offset_pages=max_offset_pages)

@@ -1,0 +1,27 @@
+"""Workloads (guest programs written in the reproduction's assembly).
+
+The paper's evaluation runs SPEC2000 ``vpr`` (placement and routing), a
+kMeans clustering application, a GOT/PLT randomization micro-program
+(Table 5), and a multithreaded network server (Figure 9).  This package
+provides behavioural equivalents assembled for our ISA:
+
+* :mod:`repro.workloads.kmeans`    — k-means clustering (integer);
+* :mod:`repro.workloads.vpr_place` — simulated-annealing placement;
+* :mod:`repro.workloads.vpr_route` — BFS maze routing;
+* :mod:`repro.workloads.gotplt`    — the TRR-vs-MLR randomization pair;
+* :mod:`repro.workloads.server`    — the multithreaded request server.
+"""
+
+from repro.workloads.asmlib import std_constants, build_workload_image
+from repro.workloads import figure8, gotplt, kmeans, server, vpr_place, vpr_route
+
+__all__ = [
+    "std_constants",
+    "build_workload_image",
+    "figure8",
+    "gotplt",
+    "kmeans",
+    "server",
+    "vpr_place",
+    "vpr_route",
+]

@@ -1,0 +1,143 @@
+"""The scripted Figure 8 scenario as a reusable workload.
+
+Five worker threads reproduce the paper's dependency diagram exactly
+(paper thread names in parentheses; kernel tids in brackets, with the
+main thread as tid 1):
+
+* W1 (t2) [2] writes page p1 on its first turn and crashes on turn 2;
+* W2 (t1) [3] reads p1 (dependency t2->t1) and writes p2; on turn 1 it
+  reads p3 (dependency t0->t1);
+* W3 (t0) [4] reads p2 (dependency t1->t0) and writes p3;
+* W4 (t3) [5] and W5 (t4) [6] only touch private pages and finish after
+  the crash.
+
+Phase ordering uses cooperative round-robin yielding with *private*
+turn counters, so synchronization itself adds no inter-thread data
+dependencies.  Expected recovery outcome: kill set {W1, W2, W3}; W4, W5
+and main survive; p1-p3 roll back to their pre-crash snapshots.
+"""
+
+from repro.program.layout import MemoryLayout
+from repro.workloads.asmlib import build_workload_image
+
+SOURCE = """
+.data
+.align 12
+p1: .space 4096
+p2: .space 4096
+p3: .space 4096
+p4: .space 4096
+p5: .space 4096
+
+.text
+main:
+    la $a0, w1
+    li $v0, SYS_SPAWN
+    syscall
+    la $a0, w2
+    li $v0, SYS_SPAWN
+    syscall
+    la $a0, w3
+    li $v0, SYS_SPAWN
+    syscall
+    la $a0, w4
+    li $v0, SYS_SPAWN
+    syscall
+    la $a0, w5
+    li $v0, SYS_SPAWN
+    syscall
+main_wait:
+    li $v0, SYS_YIELD
+    syscall
+    lw $t0, p4+8           # W4 done flag
+    lw $t1, p5+8           # W5 done flag
+    and $t0, $t0, $t1
+    beqz $t0, main_wait
+    halt
+
+# ---- W1 (paper t2): writes p1, crashes on turn 2 ------------------------
+w1:
+    li $s0, 0
+w1_loop:
+    bnez $s0, w1_not0
+    la $t0, p1
+    li $t1, 0x0A110001
+    sw $t1, 0($t0)         # write p1
+    j w1_next
+w1_not0:
+    li $t2, 2
+    bne $s0, $t2, w1_next
+    li $t0, 0x60000000
+    lw $t1, 0($t0)         # CRASH: unmapped load
+w1_next:
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, 1
+    j w1_loop
+
+# ---- W2 (paper t1): reads p1, writes p2; later reads p3 -----------------
+w2:
+    li $s0, 0
+w2_loop:
+    bnez $s0, w2_not0
+    lw $t1, p1             # read p1 -> dependency W1 -> W2
+    la $t0, p2
+    addi $t1, $t1, 1
+    sw $t1, 0($t0)         # write p2
+    j w2_next
+w2_not0:
+    li $t2, 1
+    bne $s0, $t2, w2_next
+    lw $t1, p3             # read p3 -> dependency W3 -> W2
+w2_next:
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, 1
+    j w2_loop
+
+# ---- W3 (paper t0): reads p2, writes p3 ---------------------------------
+w3:
+    li $s0, 0
+w3_loop:
+    bnez $s0, w3_next
+    lw $t1, p2             # read p2 -> dependency W2 -> W3
+    la $t0, p3
+    addi $t1, $t1, 1
+    sw $t1, 0($t0)         # write p3
+w3_next:
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, 1
+    j w3_loop
+
+# ---- W4 / W5 (paper t3 / t4): private pages, finish after the crash -----
+w4:
+    li $s0, 0
+    la $s1, p4
+    j wp_loop
+w5:
+    li $s0, 0
+    la $s1, p5
+wp_loop:
+    bnez $s0, wp_not0
+    li $t1, 0x0A110004
+    sw $t1, 0($s1)         # private-page work
+    j wp_next
+wp_not0:
+    li $t2, 4
+    bne $s0, $t2, wp_next
+    li $t1, 1
+    sw $t1, 8($s1)         # done flag
+    li $v0, SYS_EXIT
+    syscall
+wp_next:
+    li $v0, SYS_YIELD
+    syscall
+    addi $s0, $s0, 1
+    j wp_loop
+"""
+
+
+def program(layout=None):
+    """Build the Figure 8 process image; returns (image, assembly)."""
+    return build_workload_image(SOURCE, layout or MemoryLayout())

@@ -1,0 +1,213 @@
+"""kMeans clustering workload (Section 5: "a numerical clustering strategy
+using a predetermined number of clusters, k").
+
+The paper's configuration — 3 iterations, 200 patterns, 16 clusters — is
+the default here too (they note the full run "takes [a] prohibitively
+long time" under simulation; the same is true of a pure-Python cycle
+simulator, and the defaults already run in well under a million cycles).
+
+Integer arithmetic throughout (squared Euclidean distance, truncating
+mean), with :func:`reference_kmeans` providing the bit-exact oracle used
+by the differential tests.
+"""
+
+import random
+
+from repro.program.layout import MemoryLayout
+from repro.workloads.asmlib import build_workload_image
+
+DEFAULT_PATTERNS = 200
+DEFAULT_CLUSTERS = 16
+DEFAULT_ITERATIONS = 3
+COORD_RANGE = 1024
+
+_SOURCE_TEMPLATE = """
+.data
+patterns:
+{pattern_words}
+centroids:
+{centroid_words}
+sums:    .space {sums_bytes}
+counts:  .space {counts_bytes}
+assign:  .space {assign_bytes}
+
+.text
+main:
+    la $s0, patterns
+    la $s1, centroids
+    la $s2, sums
+    la $s3, counts
+    la $s4, assign
+    li $s5, {iterations}
+
+iter_loop:
+    # ---- zero per-iteration accumulators -------------------------------
+    move $t0, $s2
+    li $t1, {k2}
+zero_sums:
+    sw $zero, 0($t0)
+    addi $t0, $t0, 4
+    addi $t1, $t1, -1
+    bnez $t1, zero_sums
+    move $t0, $s3
+    li $t1, {clusters}
+zero_counts:
+    sw $zero, 0($t0)
+    addi $t0, $t0, 4
+    addi $t1, $t1, -1
+    bnez $t1, zero_counts
+
+    # ---- assignment pass ------------------------------------------------
+    li $t0, 0                  # pattern index p
+pat_loop:
+    sll $t1, $t0, 3
+    add $t1, $s0, $t1
+    lw $t2, 0($t1)             # px
+    lw $t3, 4($t1)             # py
+    li $t4, 0                  # cluster index k
+    li $t5, 0x7FFFFFFF         # best distance
+    li $t6, 0                  # best cluster
+    move $t7, $s1
+k_loop:
+    lw $t8, 0($t7)
+    lw $t9, 4($t7)
+    sub $t8, $t2, $t8
+    mul $t8, $t8, $t8
+    sub $t9, $t3, $t9
+    mul $t9, $t9, $t9
+    add $t8, $t8, $t9          # squared distance
+    slt $at, $t8, $t5
+    beqz $at, k_next
+    move $t5, $t8
+    move $t6, $t4
+k_next:
+    addi $t7, $t7, 8
+    addi $t4, $t4, 1
+    slti $at, $t4, {clusters}
+    bnez $at, k_loop
+
+    sll $t1, $t0, 2
+    add $t1, $s4, $t1
+    sw $t6, 0($t1)             # assign[p] = best
+    sll $t1, $t6, 2
+    add $t1, $s3, $t1
+    lw $t4, 0($t1)
+    addi $t4, $t4, 1
+    sw $t4, 0($t1)             # counts[best]++
+    sll $t1, $t6, 3
+    add $t1, $s2, $t1
+    lw $t4, 0($t1)
+    add $t4, $t4, $t2
+    sw $t4, 0($t1)             # sums[best].x += px
+    lw $t4, 4($t1)
+    add $t4, $t4, $t3
+    sw $t4, 4($t1)             # sums[best].y += py
+    addi $t0, $t0, 1
+    slti $at, $t0, {patterns}
+    bnez $at, pat_loop
+
+    # ---- centroid update -------------------------------------------------
+    li $t0, 0
+upd_loop:
+    sll $t1, $t0, 2
+    add $t1, $s3, $t1
+    lw $t2, 0($t1)             # count
+    beqz $t2, upd_next
+    sll $t1, $t0, 3
+    add $t3, $s2, $t1
+    add $t4, $s1, $t1
+    lw $t5, 0($t3)
+    div $t5, $t5, $t2
+    sw $t5, 0($t4)
+    lw $t5, 4($t3)
+    div $t5, $t5, $t2
+    sw $t5, 4($t4)
+upd_next:
+    addi $t0, $t0, 1
+    slti $at, $t0, {clusters}
+    bnez $at, upd_loop
+
+    addi $s5, $s5, -1
+    bnez $s5, iter_loop
+    halt
+"""
+
+
+def generate_patterns(count=DEFAULT_PATTERNS, clusters=DEFAULT_CLUSTERS,
+                      seed=42):
+    """Deterministic 2-D integer patterns drawn around *clusters* centres."""
+    rng = random.Random(seed)
+    centres = [(rng.randrange(COORD_RANGE), rng.randrange(COORD_RANGE))
+               for __ in range(clusters)]
+    patterns = []
+    for index in range(count):
+        cx, cy = centres[index % clusters]
+        patterns.append((
+            max(0, min(COORD_RANGE - 1, cx + rng.randrange(-40, 41))),
+            max(0, min(COORD_RANGE - 1, cy + rng.randrange(-40, 41))),
+        ))
+    return patterns
+
+
+def source(patterns=None, clusters=DEFAULT_CLUSTERS,
+           iterations=DEFAULT_ITERATIONS, seed=42,
+           pattern_count=DEFAULT_PATTERNS):
+    """Assembly source for the kMeans program."""
+    if patterns is None:
+        patterns = generate_patterns(pattern_count, clusters, seed)
+    initial = patterns[:clusters]          # first-k initialisation
+    pattern_words = "\n".join("    .word %d, %d" % p for p in patterns)
+    centroid_words = "\n".join("    .word %d, %d" % c for c in initial)
+    return _SOURCE_TEMPLATE.format(
+        pattern_words=pattern_words,
+        centroid_words=centroid_words,
+        sums_bytes=clusters * 8,
+        counts_bytes=clusters * 4,
+        assign_bytes=len(patterns) * 4,
+        iterations=iterations,
+        clusters=clusters,
+        k2=clusters * 2,
+        patterns=len(patterns),
+    )
+
+
+def program(patterns=None, clusters=DEFAULT_CLUSTERS,
+            iterations=DEFAULT_ITERATIONS, seed=42,
+            pattern_count=DEFAULT_PATTERNS, layout=None):
+    """Build the kMeans process image; returns (image, assembly)."""
+    return build_workload_image(
+        source(patterns, clusters, iterations, seed, pattern_count),
+        layout or MemoryLayout())
+
+
+def reference_kmeans(patterns, clusters=DEFAULT_CLUSTERS,
+                     iterations=DEFAULT_ITERATIONS):
+    """Bit-exact Python oracle for the assembly program.
+
+    Returns (assignments, centroids) after *iterations* passes with the
+    same truncating integer arithmetic.
+    """
+    def trunc_div(a, b):
+        quotient = abs(a) // abs(b)
+        return -quotient if (a < 0) != (b < 0) else quotient
+
+    centroids = [list(p) for p in patterns[:clusters]]
+    assignments = [0] * len(patterns)
+    for __ in range(iterations):
+        sums = [[0, 0] for __ in range(clusters)]
+        counts = [0] * clusters
+        for index, (px, py) in enumerate(patterns):
+            best, best_dist = 0, None
+            for k, (cx, cy) in enumerate(centroids):
+                dist = (px - cx) ** 2 + (py - cy) ** 2
+                if best_dist is None or dist < best_dist:
+                    best, best_dist = k, dist
+            assignments[index] = best
+            counts[best] += 1
+            sums[best][0] += px
+            sums[best][1] += py
+        for k in range(clusters):
+            if counts[k]:
+                centroids[k][0] = trunc_div(sums[k][0], counts[k])
+                centroids[k][1] = trunc_div(sums[k][1], counts[k])
+    return assignments, centroids

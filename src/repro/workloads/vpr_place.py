@@ -1,0 +1,250 @@
+"""``vpr``-Placement surrogate: simulated-annealing cell placement.
+
+SPEC2000 ``vpr``'s placement phase anneals a netlist onto an FPGA grid,
+minimising bounding-box wirelength.  This surrogate runs the same kernel
+at laptop-simulation scale: cells with (x, y) positions, two-point nets,
+an LCG random-move generator, Manhattan wirelength, and a linearly
+decaying integer temperature as the acceptance threshold.  The code is
+branch- and load/store-heavy in the same way the original's inner loop
+is, which is what the Table 4 experiments (control-flow CHECKs, cache
+pressure) care about.
+
+The data layout is CSR adjacency (cell -> incident nets) so each move
+only re-evaluates the nets of the moved cell, exactly like VPR's
+incremental bounding-box update.
+"""
+
+import random
+
+from repro.program.layout import MemoryLayout
+from repro.workloads.asmlib import build_workload_image
+
+DEFAULT_CELLS = 64
+DEFAULT_NETS = 96
+DEFAULT_MOVES = 1200
+DEFAULT_GRID = 32
+
+_SOURCE_TEMPLATE = """
+.data
+posx:      {posx_words}
+posy:      {posy_words}
+neta:      {neta_words}
+netb:      {netb_words}
+adjidx:    {adjidx_words}
+adjlist:   {adjlist_words}
+lcg_state: .word {seed}
+accepts:   .word 0
+final_cost:.word 0
+
+.text
+main:
+    la $s0, posx
+    la $s1, posy
+    la $s2, neta
+    la $s3, netb
+    la $s4, adjidx
+    la $s5, adjlist
+    li $s6, {moves}            # moves remaining
+    li $s7, {temperature}      # integer temperature
+
+move_loop:
+    # ---- LCG: pick a cell and a new position ---------------------------
+    lw  $t0, lcg_state
+    li  $t1, 1664525
+    mul $t0, $t0, $t1
+    li  $t1, 1013904223
+    add $t0, $t0, $t1
+    sw  $t0, lcg_state
+    srl $t1, $t0, 16
+    li  $t2, {cells}
+    remu $t3, $t1, $t2         # cell c
+    srl $t1, $t0, 4
+    li  $t2, {grid}
+    remu $t4, $t1, $t2         # new x
+    srl $t1, $t0, 10
+    remu $t5, $t1, $t2         # new y
+
+    # ---- delta = sum over nets of c of (new length - old length) -------
+    sll $t6, $t3, 2
+    add $t6, $s4, $t6
+    lw  $t7, 0($t6)            # adj start
+    lw  $t8, 4($t6)            # adj end
+    li  $t9, 0                 # delta
+    sll $t6, $t3, 2
+    add $t0, $s0, $t6
+    lw  $v0, 0($t0)            # old x of c
+    add $t0, $s1, $t6
+    lw  $v1, 0($t0)            # old y of c
+
+net_loop:
+    slt $at, $t7, $t8
+    beqz $at, net_done
+    sll $t0, $t7, 2
+    add $t0, $s5, $t0
+    lw  $t0, 0($t0)            # net id
+    sll $t0, $t0, 2
+    add $t1, $s2, $t0
+    lw  $t1, 0($t1)            # endpoint a
+    add $t2, $s3, $t0
+    lw  $t2, 0($t2)            # endpoint b
+    bne $t1, $t3, other_is_a
+    move $t1, $t2              # other endpoint
+other_is_a:
+    sll $t1, $t1, 2
+    add $t0, $s0, $t1
+    lw  $t0, 0($t0)            # ox
+    add $t2, $s1, $t1
+    lw  $t2, 0($t2)            # oy
+    # old length |oldx-ox| + |oldy-oy|
+    sub $t1, $v0, $t0
+    bgez $t1, abs_old_x
+    neg $t1, $t1
+abs_old_x:
+    sub $a3, $v1, $t2
+    bgez $a3, abs_old_y
+    neg $a3, $a3
+abs_old_y:
+    add $t1, $t1, $a3
+    sub $t9, $t9, $t1          # delta -= old
+    # new length |nx-ox| + |ny-oy|
+    sub $t1, $t4, $t0
+    bgez $t1, abs_new_x
+    neg $t1, $t1
+abs_new_x:
+    sub $a3, $t5, $t2
+    bgez $a3, abs_new_y
+    neg $a3, $a3
+abs_new_y:
+    add $t1, $t1, $a3
+    add $t9, $t9, $t1          # delta += new
+    addi $t7, $t7, 1
+    j net_loop
+net_done:
+
+    # ---- accept if delta <= temperature --------------------------------
+    slt $at, $s7, $t9
+    bnez $at, reject
+    sll $t6, $t3, 2
+    add $t0, $s0, $t6
+    sw  $t4, 0($t0)
+    add $t0, $s1, $t6
+    sw  $t5, 0($t0)
+    lw  $t0, accepts
+    addi $t0, $t0, 1
+    sw  $t0, accepts
+reject:
+
+    # ---- anneal: decay temperature every {decay_every} moves ------------
+    li  $t0, {decay_every}
+    remu $t1, $s6, $t0
+    bnez $t1, no_decay
+    blez $s7, no_decay
+    addi $s7, $s7, -1
+no_decay:
+    addi $s6, $s6, -1
+    bnez $s6, move_loop
+
+    # ---- final cost: sum all net lengths --------------------------------
+    li  $t0, 0                 # net index
+    li  $t9, 0                 # cost
+cost_loop:
+    sll $t1, $t0, 2
+    add $t2, $s2, $t1
+    lw  $t2, 0($t2)
+    add $t3, $s3, $t1
+    lw  $t3, 0($t3)
+    sll $t2, $t2, 2
+    sll $t3, $t3, 2
+    add $t4, $s0, $t2
+    lw  $t4, 0($t4)
+    add $t5, $s0, $t3
+    lw  $t5, 0($t5)
+    sub $t4, $t4, $t5
+    bgez $t4, cost_abs_x
+    neg $t4, $t4
+cost_abs_x:
+    add $t9, $t9, $t4
+    add $t4, $s1, $t2
+    lw  $t4, 0($t4)
+    add $t5, $s1, $t3
+    lw  $t5, 0($t5)
+    sub $t4, $t4, $t5
+    bgez $t4, cost_abs_y
+    neg $t4, $t4
+cost_abs_y:
+    add $t9, $t9, $t4
+    addi $t0, $t0, 1
+    slti $at, $t0, {nets}
+    bnez $at, cost_loop
+    sw  $t9, final_cost
+    halt
+"""
+
+
+def _words(values):
+    return ".word " + ", ".join(str(v) for v in values)
+
+
+def make_netlist(cells=DEFAULT_CELLS, nets=DEFAULT_NETS, grid=DEFAULT_GRID,
+                 seed=7):
+    """Random initial placement and two-point netlist (deterministic)."""
+    rng = random.Random(seed)
+    posx = [rng.randrange(grid) for __ in range(cells)]
+    posy = [rng.randrange(grid) for __ in range(cells)]
+    net_pairs = []
+    for __ in range(nets):
+        a = rng.randrange(cells)
+        b = rng.randrange(cells)
+        while b == a:
+            b = rng.randrange(cells)
+        net_pairs.append((a, b))
+    return posx, posy, net_pairs
+
+
+def _csr_adjacency(cells, net_pairs):
+    adjacency = [[] for __ in range(cells)]
+    for net_id, (a, b) in enumerate(net_pairs):
+        adjacency[a].append(net_id)
+        adjacency[b].append(net_id)
+    index = [0]
+    flat = []
+    for nets_of_cell in adjacency:
+        flat.extend(nets_of_cell)
+        index.append(len(flat))
+    return index, flat
+
+
+def wirelength(posx, posy, net_pairs):
+    """Total Manhattan wirelength (the cost the annealer minimises)."""
+    return sum(abs(posx[a] - posx[b]) + abs(posy[a] - posy[b])
+               for a, b in net_pairs)
+
+
+def source(cells=DEFAULT_CELLS, nets=DEFAULT_NETS, moves=DEFAULT_MOVES,
+           grid=DEFAULT_GRID, seed=7, temperature=None, decay_every=None):
+    posx, posy, net_pairs = make_netlist(cells, nets, grid, seed)
+    adjidx, adjlist = _csr_adjacency(cells, net_pairs)
+    temperature = temperature if temperature is not None else grid // 2
+    decay_every = decay_every or max(1, moves // (temperature + 1))
+    return _SOURCE_TEMPLATE.format(
+        posx_words=_words(posx),
+        posy_words=_words(posy),
+        neta_words=_words([a for a, __ in net_pairs]),
+        netb_words=_words([b for __, b in net_pairs]),
+        adjidx_words=_words(adjidx),
+        adjlist_words=_words(adjlist or [0]),
+        seed=seed * 2654435761 % (1 << 31) or 1,
+        moves=moves,
+        temperature=temperature,
+        cells=cells,
+        grid=grid,
+        decay_every=decay_every,
+        nets=nets,
+    )
+
+
+def program(cells=DEFAULT_CELLS, nets=DEFAULT_NETS, moves=DEFAULT_MOVES,
+            grid=DEFAULT_GRID, seed=7, layout=None):
+    """Build the placement process image; returns (image, assembly)."""
+    return build_workload_image(
+        source(cells, nets, moves, grid, seed), layout or MemoryLayout())

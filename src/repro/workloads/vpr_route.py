@@ -1,0 +1,228 @@
+"""``vpr``-Routing surrogate: BFS maze routing on an obstacle grid.
+
+SPEC2000 ``vpr``'s router rips up and re-routes nets with a maze router
+(breadth-first wave expansion over the routing-resource graph).  The
+surrogate routes a sequence of source/sink pairs over a bordered grid:
+
+* wave expansion with an explicit FIFO queue;
+* a generation-stamped ``visited`` array (no O(grid) clearing per net);
+* parent pointers and a backtrack pass that marks the found path as
+  occupied, so later nets contend for resources like real routing.
+
+The grid carries a one-cell obstacle border, removing all bounds checks
+from the inner loop (the classic maze-router trick).
+"""
+
+import random
+from collections import deque
+
+from repro.program.layout import MemoryLayout
+from repro.workloads.asmlib import build_workload_image
+
+DEFAULT_WIDTH = 24
+DEFAULT_HEIGHT = 24
+DEFAULT_ROUTES = 12
+DEFAULT_OBSTACLE_PCT = 20
+
+_SOURCE_TEMPLATE = """
+.data
+occ:      {occ_words}
+visited:  .space {cells_bytes}
+parent:   .space {cells_bytes}
+queue:    .space {cells_bytes}
+srcs:     {src_words}
+sinks:    {sink_words}
+routed:   .word 0
+total_len:.word 0
+
+.text
+main:
+    la $s0, occ
+    la $s1, visited
+    la $s2, parent
+    la $s3, queue
+    la $s4, srcs
+    la $s5, sinks
+    li $s6, 0                  # route index (also visited generation - 1)
+
+route_loop:
+    # ---- BFS from srcs[i] towards sinks[i] ------------------------------
+    sll $t0, $s6, 2
+    add $t1, $s4, $t0
+    lw  $t2, 0($t1)            # src cell index
+    add $t1, $s5, $t0
+    lw  $s7, 0($t1)            # sink cell index
+    # skip the route when an earlier path occupied either endpoint
+    sll $t0, $t2, 2
+    add $t1, $s0, $t0
+    lw  $t1, 0($t1)
+    bnez $t1, bfs_fail
+    sll $t0, $s7, 2
+    add $t1, $s0, $t0
+    lw  $t1, 0($t1)
+    bnez $t1, bfs_fail
+    sll $t0, $t2, 2
+    addi $v1, $s6, 1           # generation stamp for this route
+    li  $t3, 0                 # queue head
+    li  $t4, 0                 # queue tail
+    sw  $t2, 0($s3)            # queue[0] = src
+    addi $t4, $t4, 1
+    sll $t0, $t2, 2
+    add $t1, $s1, $t0
+    sw  $v1, 0($t1)            # visited[src] = gen
+    add $t1, $s2, $t0
+    sw  $t2, 0($t1)            # parent[src] = src
+
+bfs_loop:
+    slt $at, $t3, $t4
+    beqz $at, bfs_fail         # queue empty: unroutable
+    sll $t0, $t3, 2
+    add $t1, $s3, $t0
+    lw  $t5, 0($t1)            # current cell
+    addi $t3, $t3, 1
+    beq $t5, $s7, bfs_found
+
+    # neighbour offsets: +1, -1, +W, -W (border cells are occupied)
+    addi $t6, $t5, 1
+    jal try_neighbor
+    addi $t6, $t5, -1
+    jal try_neighbor
+    addi $t6, $t5, {width}
+    jal try_neighbor
+    addi $t6, $t5, -{width}
+    jal try_neighbor
+    j bfs_loop
+
+# in: $t6 candidate cell, $t5 current cell, $v1 generation
+# clobbers $t7..$t9; enqueues at $t4
+try_neighbor:
+    sll $t7, $t6, 2
+    add $t8, $s1, $t7
+    lw  $t9, 0($t8)
+    beq $t9, $v1, tn_done      # already visited this generation
+    add $t9, $s0, $t7
+    lw  $t9, 0($t9)
+    bnez $t9, tn_done          # occupied / border
+    sw  $v1, 0($t8)            # visited[n] = gen
+    add $t8, $s2, $t7
+    sw  $t5, 0($t8)            # parent[n] = current
+    sll $t8, $t4, 2
+    add $t8, $s3, $t8
+    sw  $t6, 0($t8)            # enqueue
+    addi $t4, $t4, 1
+tn_done:
+    jr $ra
+
+bfs_found:
+    # ---- backtrack: mark the path occupied, count its length ------------
+    move $t0, $s7
+    li  $t1, 0                 # path length
+back_loop:
+    sll $t7, $t0, 2
+    add $t8, $s0, $t7
+    li  $t9, 1
+    sw  $t9, 0($t8)            # occ[cell] = 1
+    addi $t1, $t1, 1
+    add $t8, $s2, $t7
+    lw  $t9, 0($t8)            # parent
+    beq $t9, $t0, back_done    # reached the source (self-parent)
+    move $t0, $t9
+    j back_loop
+back_done:
+    lw  $t0, total_len
+    add $t0, $t0, $t1
+    sw  $t0, total_len
+    lw  $t0, routed
+    addi $t0, $t0, 1
+    sw  $t0, routed
+
+bfs_fail:
+    addi $s6, $s6, 1
+    slti $at, $s6, {routes}
+    bnez $at, route_loop
+    halt
+"""
+
+
+def make_maze(width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
+              routes=DEFAULT_ROUTES, obstacle_pct=DEFAULT_OBSTACLE_PCT,
+              seed=11):
+    """Bordered occupancy grid plus route endpoints (deterministic).
+
+    Returns ``(occ, srcs, sinks, stride)`` where *occ* is the flattened
+    (width+2) x (height+2) grid and endpoints are flat indices.
+    """
+    rng = random.Random(seed)
+    stride = width + 2
+    occ = [1] * (stride * (height + 2))
+    for y in range(1, height + 1):
+        for x in range(1, width + 1):
+            occ[y * stride + x] = 1 if rng.randrange(100) < obstacle_pct else 0
+    free = [i for i, v in enumerate(occ) if v == 0]
+    srcs, sinks = [], []
+    for __ in range(routes):
+        srcs.append(rng.choice(free))
+        sinks.append(rng.choice(free))
+    return occ, srcs, sinks, stride
+
+
+def reference_route(occ, srcs, sinks, stride):
+    """Python oracle: same BFS + path marking; returns (routed, total_len)."""
+    occ = list(occ)
+    routed = 0
+    total_len = 0
+    for src, sink in zip(srcs, sinks):
+        if occ[src] or occ[sink]:
+            continue
+        parent = {src: src}
+        queue = deque([src])
+        found = False
+        while queue:
+            cell = queue.popleft()
+            if cell == sink:
+                found = True
+                break
+            for offset in (1, -1, stride, -stride):
+                neighbor = cell + offset
+                if neighbor not in parent and not occ[neighbor]:
+                    parent[neighbor] = cell
+                    queue.append(neighbor)
+        if not found:
+            continue
+        cell = sink
+        length = 0
+        while True:
+            occ[cell] = 1
+            length += 1
+            if parent[cell] == cell:
+                break
+            cell = parent[cell]
+        total_len += length
+        routed += 1
+    return routed, total_len
+
+
+def _words(values):
+    return ".word " + ", ".join(str(v) for v in values)
+
+
+def source(width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT, routes=DEFAULT_ROUTES,
+           obstacle_pct=DEFAULT_OBSTACLE_PCT, seed=11):
+    occ, srcs, sinks, stride = make_maze(width, height, routes, obstacle_pct,
+                                         seed)
+    return _SOURCE_TEMPLATE.format(
+        occ_words=_words(occ),
+        cells_bytes=len(occ) * 4,
+        src_words=_words(srcs),
+        sink_words=_words(sinks),
+        width=stride,
+        routes=routes,
+    )
+
+
+def program(width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT, routes=DEFAULT_ROUTES,
+            obstacle_pct=DEFAULT_OBSTACLE_PCT, seed=11, layout=None):
+    """Build the routing process image; returns (image, assembly)."""
+    return build_workload_image(
+        source(width, height, routes, obstacle_pct, seed),
+        layout or MemoryLayout())

@@ -1,0 +1,80 @@
+"""Analysis helpers: stats math, tables, the hardware-cost arithmetic."""
+
+import pytest
+
+from repro.analysis.hardware_cost import (
+    framework_input_cost,
+    mlr_hardware_cost,
+    mux_gate_count,
+)
+from repro.analysis.stats import RunRecord, improvement_pct, overhead_pct
+from repro.analysis.tables import format_table
+
+
+def test_framework_cost_matches_paper_footnote():
+    """Footnote 4: 2560 flip-flops, 12,800 gates."""
+    cost = framework_input_cost()
+    assert cost["flip_flops"] == 2560
+    assert cost["gates"] == 12800
+    assert cost["gates_per_bit"] == 25
+
+
+def test_cost_scales_with_rob():
+    small = framework_input_cost(entries_per_queue=16)
+    big = framework_input_cost(entries_per_queue=32)
+    assert big["flip_flops"] == 2 * small["flip_flops"]
+    assert big["gates"] == 2 * small["gates"]
+
+
+def test_mux_gate_model():
+    assert mux_gate_count(2) == 4
+    assert mux_gate_count(3) == 5
+    assert mux_gate_count(4) == 6
+    with pytest.raises(ValueError):
+        mux_gate_count(5)
+
+
+def test_mlr_cost_matches_section_5_3():
+    cost = mlr_hardware_cost()
+    assert cost["pi_registers"] == 24
+    assert cost["pi_adders"] == 4
+    assert cost["pd_adders"] == 5
+    assert cost["total_buffer_bytes"] == 3 * 4096
+
+
+def test_overhead_pct():
+    assert overhead_pct(100, 104) == pytest.approx(4.0)
+    assert overhead_pct(0, 50) == 0.0
+
+
+def test_improvement_pct():
+    assert improvement_pct(100, 80) == pytest.approx(20.0)
+
+
+def test_run_record_from_machine():
+    from repro.system import build_machine
+    from repro.program.layout import MemoryLayout
+    from repro.workloads.asmlib import build_workload_image
+
+    machine = build_machine()
+    image, __ = build_workload_image("main: li $t0, 1\n halt\n",
+                                     MemoryLayout())
+    machine.run_program(image)
+    record = RunRecord.from_machine("tiny", machine)
+    assert record.cycles > 0
+    assert record.instret == 2
+    assert 0 < record.ipc <= 4
+    assert record.cache("il1", "accesses") > 0
+
+
+def test_format_table():
+    text = format_table(
+        ["Benchmark", "Cycles", "Overhead"],
+        [["vpr-place", 12345, 3.47], ["kMeans", 260, 4.99]],
+        title="Table 4")
+    lines = text.splitlines()
+    assert lines[0] == "Table 4"
+    assert "Benchmark" in lines[2]
+    assert "vpr-place" in text and "3.47" in text
+    # Numeric columns are right-aligned.
+    assert lines[4].endswith("3.47")

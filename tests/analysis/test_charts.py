@@ -1,0 +1,39 @@
+"""ASCII chart rendering."""
+
+from repro.analysis.charts import ascii_chart
+
+
+def test_renders_points_with_distinct_glyphs():
+    chart = ascii_chart([("one", [(0, 0), (1, 1)]),
+                         ("two", [(0, 1), (1, 0)])], width=20, height=5)
+    assert "*" in chart and "o" in chart
+    assert "one" in chart and "two" in chart
+
+
+def test_axis_labels():
+    chart = ascii_chart([("s", [(1, 10), (9, 30)])], title="T",
+                        x_label="threads")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert "threads" in chart
+    assert "10" in chart and "30" in chart
+    assert "1" in lines[-3] and "9" in lines[-3]
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = ascii_chart([("flat", [(0, 5), (1, 5), (2, 5)])])
+    assert "flat" in chart
+
+
+def test_single_point():
+    chart = ascii_chart([("p", [(3, 3)])])
+    assert "*" in chart
+
+
+def test_empty_series():
+    assert ascii_chart([("none", [])]) == "(no data)"
+
+
+def test_float_formatting():
+    chart = ascii_chart([("s", [(0, 0.25), (1, 1.75)])])
+    assert "1.75" in chart and "0.25" in chart

@@ -1,0 +1,65 @@
+"""Functional-simulator hooks: memory tracing and edge behaviour."""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+
+
+def build(source, **kwargs):
+    asm = assemble(source)
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    return FuncSim(mem, entry=asm.entry, sp=0x7FFF0000, **kwargs), asm
+
+
+def test_trace_mem_sees_loads_and_stores():
+    events = []
+
+    def trace(sim, instr, addr, is_store):
+        events.append((instr.name, addr, is_store))
+
+    sim, asm = build("""
+        .data
+        x: .word 9
+        .text
+        main:
+            la $t0, x
+            lw $t1, 0($t0)
+            sw $t1, 4($t0)
+            lb $t2, 0($t0)
+            halt
+    """, trace_mem=trace)
+    assert sim.run() is StepResult.HALTED
+    x = asm.symbols["x"]
+    assert events == [("lw", x, False), ("sw", x + 4, True),
+                      ("lb", x, False)]
+
+
+def test_stepping_after_halt_is_stable():
+    sim, __ = build("main: halt\n")
+    assert sim.step() is StepResult.HALTED
+    assert sim.step() is StepResult.HALTED
+    assert sim.instret == 1
+
+
+def test_fault_recorded_once():
+    sim, __ = build("main: li $t0, 1\n div $t1, $t0, $zero\n halt\n")
+    assert sim.run() is StepResult.FAULT
+    pc, cause = sim.fault
+    assert "divide" in cause
+    assert sim.halted
+
+
+def test_set_reg_ignores_r0_and_masks():
+    sim, __ = build("main: halt\n")
+    sim.set_reg(0, 123)
+    assert sim.reg(0) == 0
+    sim.set_reg(5, 0x1_0000_0005)
+    assert sim.reg(5) == 5
+
+
+def test_max_steps_returns_ok():
+    sim, __ = build("main: j main\n")
+    assert sim.run(max_steps=10) is StepResult.OK
+    assert sim.instret == 10

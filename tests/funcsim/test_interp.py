@@ -1,0 +1,198 @@
+"""Functional simulator: program-level semantics."""
+
+import pytest
+
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+
+
+def run_program(source, max_steps=100_000, syscall_handler=None):
+    asm = assemble(source)
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    sim = FuncSim(mem, entry=asm.entry, sp=0x7FFF0000,
+                  syscall_handler=syscall_handler)
+    result = sim.run(max_steps)
+    return sim, asm, result
+
+
+def test_arithmetic_loop():
+    sim, __, result = run_program("""
+        main:
+            li $t0, 0          # sum
+            li $t1, 10         # counter
+        loop:
+            add $t0, $t0, $t1
+            addi $t1, $t1, -1
+            bnez $t1, loop
+            halt
+    """)
+    assert result is StepResult.HALTED
+    assert sim.reg(8) == 55
+
+
+def test_memory_store_load():
+    sim, asm, __ = run_program("""
+        .data
+        buf: .space 64
+        .text
+        main:
+            la $t0, buf
+            li $t1, 0x1234
+            sw $t1, 8($t0)
+            lw $t2, 8($t0)
+            halt
+    """)
+    assert sim.reg(10) == 0x1234
+    assert sim.memory.load_word(asm.symbols["buf"] + 8) == 0x1234
+
+
+def test_signed_byte_load():
+    sim, __, __ = run_program("""
+        .data
+        b: .byte 0xFF
+        .text
+        main:
+            lb  $t0, b
+            lbu $t1, b
+            halt
+    """)
+    assert sim.reg(8) == 0xFFFFFFFF          # sign-extended -1
+    assert sim.reg(9) == 0xFF
+
+
+def test_function_call_and_return():
+    sim, __, __ = run_program("""
+        main:
+            li $a0, 6
+            jal double
+            move $s0, $v0
+            halt
+        double:
+            add $v0, $a0, $a0
+            jr $ra
+    """)
+    assert sim.reg(16) == 12
+
+
+def test_slt_signed_comparison():
+    sim, __, __ = run_program("""
+        main:
+            li $t0, -1
+            li $t1, 1
+            slt $t2, $t0, $t1
+            sltu $t3, $t0, $t1
+            halt
+    """)
+    assert sim.reg(10) == 1          # -1 < 1 signed
+    assert sim.reg(11) == 0          # 0xFFFFFFFF > 1 unsigned
+
+
+def test_mul_div_rem():
+    sim, __, __ = run_program("""
+        main:
+            li $t0, -7
+            li $t1, 2
+            mul $t2, $t0, $t1
+            div $t3, $t0, $t1
+            rem $t4, $t0, $t1
+            halt
+    """)
+    assert sim.reg(10) == 0xFFFFFFF2          # -14
+    assert sim.reg(11) == 0xFFFFFFFD          # -3 (truncating)
+    assert sim.reg(12) == 0xFFFFFFFF          # -1
+
+
+def test_divide_by_zero_faults():
+    sim, __, result = run_program("""
+        main:
+            li $t0, 1
+            div $t1, $t0, $zero
+            halt
+    """)
+    assert result is StepResult.FAULT
+    assert "divide" in sim.fault[1]
+
+
+def test_bad_fetch_faults():
+    sim, __, result = run_program("""
+        main:
+            li $t0, 0
+            jr $t0
+    """)
+    # pc=0 holds word 0 (nop), keeps walking through zeroed memory without
+    # end; instead jump to an unaligned target to fault immediately.
+    mem = MainMemory()
+    sim2 = FuncSim(mem, entry=0x2)
+    assert sim2.step() is StepResult.FAULT
+
+
+def test_illegal_instruction_faults():
+    mem = MainMemory()
+    mem.store_word(0x1000, 0x3D << 26)
+    sim = FuncSim(mem, entry=0x1000)
+    assert sim.step() is StepResult.FAULT
+
+
+def test_syscall_dispatch():
+    seen = []
+
+    def handler(sim):
+        seen.append(sim.reg(2))
+        return sim.reg(2) != 99
+
+    sim, __, __ = run_program("""
+        main:
+            li $v0, 1
+            syscall
+            li $v0, 99
+            syscall
+            halt
+    """, syscall_handler=handler)
+    assert seen == [1, 99]
+    assert not sim.halted          # stopped by handler, not by halt
+
+
+def test_chk_is_functional_nop():
+    sim, __, result = run_program("""
+        main:
+            li $t0, 3
+            chk 1, NBLK, 0, 0
+            addi $t0, $t0, 1
+            halt
+    """)
+    assert result is StepResult.HALTED
+    assert sim.reg(8) == 4
+
+
+def test_chk_handler_hook():
+    captured = []
+    asm = assemble("main:\n chk 2, BLK, 7, 0x55\n halt\n")
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    sim = FuncSim(mem, entry=asm.entry,
+                  chk_handler=lambda s, i: captured.append((i.module, i.op)))
+    sim.run()
+    assert captured == [(2, 7)]
+
+
+def test_register_zero_stays_zero():
+    sim, __, __ = run_program("""
+        main:
+            addi $zero, $zero, 5
+            move $t0, $zero
+            halt
+    """)
+    assert sim.reg(8) == 0
+
+
+def test_instret_counts():
+    sim, __, __ = run_program("""
+        main:
+            addi $t0, $zero, 1
+            addi $t0, $t0, 1
+            halt
+    """)
+    assert sim.instret == 3

@@ -1,0 +1,111 @@
+"""CLI smoke tests (in-process via cli.main for speed)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "2560 flip-flops" in out and "12800 gates" in out
+
+
+def test_run_program(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+        main:
+            li $v0, SYS_PRINT_INT
+            li $a0, 99
+            syscall
+            halt
+    """)
+    assert main(["run", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "run ended: halt" in out
+    assert "guest output: 99" in out
+
+
+def test_run_functional(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("main: li $t0, 1\n halt\n")
+    assert main(["run", "--func", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "functional run: halted" in out
+
+
+def test_run_with_icm(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+        main:
+            li $t0, 5
+        loop:
+            addi $t0, $t0, -1
+            bnez $t0, loop
+            halt
+    """)
+    assert main(["run", "--icm", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "ICM:" in out and "0 mismatches" in out
+
+
+def test_run_faulting_program_exit_code(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("main: li $t0, 1\n div $t1, $t0, $zero\n halt\n")
+    assert main(["run", str(source)]) == 1
+    assert "fault" in capsys.readouterr().out
+
+
+def test_attack_commands(capsys):
+    assert main(["attack", "stack", "--defense", "none"]) == 0
+    assert "hijacked" in capsys.readouterr().out
+    assert main(["attack", "got", "--defense", "mlr"]) == 0
+    assert "foiled" in capsys.readouterr().out
+
+
+def test_attack_rejects_bad_combo(capsys):
+    assert main(["attack", "got", "--defense", "trr"]) == 2
+
+
+def test_experiment_quick_table5(capsys):
+    assert main(["experiment", "table5", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out and "penalty" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_disasm(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("main: li $t0, 1\n loop: j loop\n halt\n")
+    assert main(["disasm", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out and "<loop>" in out
+
+
+def test_trace(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("main: li $t0, 7\n halt\n")
+    assert main(["trace", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "$t0=0x00000007" in out
+    assert "halt" in out
+
+
+def test_report_collects_results(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "a.txt").write_text("Table A\n1 2 3\n")
+    (results / "b.txt").write_text("Table B\n4 5 6\n")
+    out_file = tmp_path / "report.md"
+    assert main(["report", "--results-dir", str(results),
+                 "--output", str(out_file)]) == 0
+    report = out_file.read_text()
+    assert "Table A" in report and "Table B" in report
+
+
+def test_report_empty_dir(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path)]) == 1

@@ -1,0 +1,50 @@
+"""Simulation determinism: identical inputs, identical cycle counts.
+
+Everything in the reproduction is seeded and nothing consults wall-clock
+time, so two runs of the same configuration must agree bit-for-bit —
+cycle counts, cache statistics, saved pages, even the MLR's
+"random" layout (its entropy is the deterministic cycle counter).
+"""
+
+from repro.program.layout import MLR_RESULT_SHLIB
+from repro.system import build_machine
+from repro.workloads import gotplt, kmeans, server
+
+
+def run_kmeans():
+    image, __ = kmeans.program(pattern_count=60, clusters=8, iterations=1)
+    machine = build_machine()
+    machine.run_program(image)
+    return machine
+
+
+def test_pipeline_runs_are_reproducible():
+    one = run_kmeans()
+    two = run_kmeans()
+    assert one.pipeline.stats.as_dict() == two.pipeline.stats.as_dict()
+    assert one.hierarchy.stats() == two.hierarchy.stats()
+
+
+def test_threaded_runs_are_reproducible():
+    def run():
+        machine = build_machine(with_rse=True, modules=("ddt",))
+        machine.rse.enable_module(3)
+        image, __ = server.program(3, work_iters=50)
+        machine.kernel.set_request_source(8)
+        machine.kernel.load_process(image)
+        result = machine.kernel.run(max_cycles=20_000_000)
+        return (result.cycles, machine.kernel.checkpoints.saves_total,
+                dict(machine.kernel.responses))
+
+    assert run() == run()
+
+
+def test_mlr_entropy_is_deterministic_per_run():
+    def run():
+        machine = build_machine(with_rse=True, modules=("mlr",))
+        image, __ = gotplt.pi_rand_program()
+        machine.run_program(image)
+        return machine.memory.load_word(
+            image.layout.header_base + MLR_RESULT_SHLIB)
+
+    assert run() == run()          # same cycle counter -> same "random" base

@@ -1,0 +1,28 @@
+"""The shipped examples must run clean (they assert their own claims)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "mlr_defense.py",
+    "ddt_recovery.py",
+    "fault_campaign.py",
+    "ahbm_liveness.py",
+    "selfcheck_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run([sys.executable, path],
+                               capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert completed.stdout.strip()          # it narrated something

@@ -1,0 +1,211 @@
+"""Assembler behaviour: labels, directives, pseudo-ops, expressions."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import decode
+
+
+def _words(assembly):
+    return [int.from_bytes(assembly.text[i:i + 4], "little")
+            for i in range(0, len(assembly.text), 4)]
+
+
+def test_simple_program():
+    asm = assemble("""
+        main:
+            addi $t0, $zero, 5
+            add  $t1, $t0, $t0
+            halt
+    """)
+    instrs = asm.instructions()
+    assert [i.name for i in instrs] == ["addi", "add", "halt"]
+    assert asm.entry == asm.symbols["main"] == asm.text_base
+
+
+def test_branch_offset_backward():
+    asm = assemble("""
+        loop:
+            addi $t0, $t0, -1
+            bne  $t0, $zero, loop
+            halt
+    """)
+    branch = asm.instructions()[1]
+    # branch at pc+4; target = pc_branch + 4 + imm*4 == loop
+    assert branch.imm == -2
+
+
+def test_branch_offset_forward():
+    asm = assemble("""
+            beq $t0, $zero, done
+            addi $t1, $zero, 1
+        done:
+            halt
+    """)
+    assert asm.instructions()[0].imm == 1
+
+
+def test_labels_in_data_section():
+    asm = assemble("""
+        .data
+        table:  .word 1, 2, 3
+        msg:    .asciiz "hi"
+        .text
+        main:   la $t0, table
+                lw $t1, 0($t0)
+                halt
+    """)
+    assert asm.symbols["table"] == asm.data_base
+    assert asm.symbols["msg"] == asm.data_base + 12
+    assert asm.data[:4] == (1).to_bytes(4, "little")
+    assert asm.data[12:15] == b"hi\x00"
+
+
+def test_la_loads_full_address():
+    asm = assemble("""
+        .data
+        x: .word 42
+        .text
+        main: la $t0, x
+              halt
+    """)
+    lui, ori = asm.instructions()[:2]
+    addr = (lui.uimm << 16) | ori.uimm
+    assert addr == asm.symbols["x"]
+
+
+def test_li_small_and_large():
+    asm = assemble("""
+        main:
+            li $t0, 7
+            li $t1, -9
+            li $t2, 0x12345678
+            halt
+    """)
+    names = [i.name for i in asm.instructions()]
+    assert names == ["addi", "addi", "lui", "ori", "halt"]
+
+
+def test_pseudo_blt_expansion():
+    asm = assemble("""
+        main:
+            blt $t0, $t1, target
+            halt
+        target:
+            halt
+    """)
+    instrs = asm.instructions()
+    assert [i.name for i in instrs[:2]] == ["slt", "bne"]
+    assert instrs[0].rd == 1          # uses $at
+
+
+def test_label_addressed_load_pseudo():
+    asm = assemble("""
+        .data
+        v: .word 99
+        .text
+        main:
+            lw $t0, v
+            halt
+    """)
+    names = [i.name for i in asm.instructions()]
+    assert names == ["lui", "ori", "lw", "halt"]
+
+
+def test_chk_instruction():
+    asm = assemble("""
+        .set ICM, 1
+        main:
+            chk ICM, BLK, 2, 0x10
+            halt
+    """)
+    chk = asm.instructions()[0]
+    assert chk.name == "chk"
+    assert chk.module == 1 and chk.blk == 1 and chk.op == 2
+    assert chk.param == 0x10
+
+
+def test_chk_from_constants_dict():
+    asm = assemble("chk DDT, NBLK, 0, 0\nhalt\n", constants={"DDT": 3})
+    assert asm.instructions()[0].module == 3
+
+
+def test_set_and_expressions():
+    asm = assemble("""
+        .set SIZE, 16
+        .data
+        buf: .space SIZE
+        end: .word buf+4, end-buf
+        .text
+        main: halt
+    """)
+    assert asm.symbols["end"] == asm.data_base + 16
+    word0 = int.from_bytes(asm.data[16:20], "little")
+    word1 = int.from_bytes(asm.data[20:24], "little")
+    assert word0 == asm.data_base + 4
+    assert word1 == 16
+
+
+def test_hi_lo_operators():
+    asm = assemble("""
+        .data
+        x: .word 0
+        .text
+        main:
+            lui $t0, hi(x)
+            ori $t0, $t0, lo(x)
+            halt
+    """)
+    lui, ori = asm.instructions()[:2]
+    assert ((lui.uimm << 16) | ori.uimm) == asm.symbols["x"]
+
+
+def test_align_directive():
+    asm = assemble("""
+        .data
+        a: .byte 1
+        .align 2
+        b: .word 2
+        .text
+        main: halt
+    """)
+    assert asm.symbols["b"] == asm.data_base + 4
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("x: halt\nx: halt\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("main: j nowhere\n")
+
+
+def test_unknown_instruction_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("main: frobnicate $t0\n")
+
+
+def test_immediate_range_checked():
+    with pytest.raises(AssemblyError):
+        assemble("main: addi $t0, $zero, 70000\n")
+
+
+def test_entry_prefers_start():
+    asm = assemble("""
+        helper: halt
+        _start: halt
+        main:   halt
+    """)
+    assert asm.entry == asm.symbols["_start"]
+
+
+def test_comments_and_blank_lines():
+    asm = assemble("""
+        # leading comment
+        main:   addi $t0, $zero, 1   # trailing
+                ; semicolon comment
+                halt
+    """)
+    assert [i.name for i in asm.instructions()] == ["addi", "halt"]

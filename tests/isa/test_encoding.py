@@ -1,0 +1,108 @@
+"""Encode/decode round-trips and decode-error behaviour."""
+
+import pytest
+
+from repro.isa.encoding import DecodeError, decode, encode, flip_bit, is_valid
+from repro.isa.instructions import SPEC_BY_NAME, SPECS, InstrClass
+
+
+def test_nop_decodes_as_nop():
+    instr = decode(0)
+    assert instr.name == "nop"
+    assert instr.iclass is InstrClass.NOP
+
+
+def test_rtype_roundtrip():
+    word = encode(SPEC_BY_NAME["add"], rs=9, rt=10, rd=8)
+    instr = decode(word)
+    assert instr.name == "add"
+    assert (instr.rs, instr.rt, instr.rd) == (9, 10, 8)
+    assert instr.dest == 8
+    assert instr.srcs == (9, 10)
+
+
+def test_itype_sign_extension():
+    word = encode(SPEC_BY_NAME["addi"], rt=8, rs=9, imm=-5)
+    instr = decode(word)
+    assert instr.imm == -5
+    assert instr.uimm == 0xFFFB
+
+
+def test_load_store_reg_usage():
+    load = decode(encode(SPEC_BY_NAME["lw"], rt=8, rs=29, imm=16))
+    assert load.dest == 8 and load.srcs == (29,)
+    store = decode(encode(SPEC_BY_NAME["sw"], rt=8, rs=29, imm=16))
+    assert store.dest is None and store.srcs == (29, 8)
+
+
+def test_jal_links_ra():
+    instr = decode(encode(SPEC_BY_NAME["jal"], target=0x100))
+    assert instr.dest == 31
+    assert instr.target == 0x100
+
+
+def test_regimm_branches():
+    bltz = decode(encode(SPEC_BY_NAME["bltz"], rs=8, imm=4))
+    assert bltz.name == "bltz"
+    bgez = decode(encode(SPEC_BY_NAME["bgez"], rs=8, imm=4))
+    assert bgez.name == "bgez"
+
+
+def test_chk_fields_roundtrip():
+    word = encode(SPEC_BY_NAME["chk"], module=3, blk=1, op=17, param=0xBEEF)
+    instr = decode(word)
+    assert instr.iclass is InstrClass.CHECK
+    assert instr.module == 3
+    assert instr.blk == 1
+    assert instr.op == 17
+    assert instr.param == 0xBEEF
+
+
+def test_chk_payload_register_convention():
+    # Operations with bit 4 set carry a register payload in a0/a1 ...
+    instr = decode(encode(SPEC_BY_NAME["chk"], module=1, blk=0, op=0x12,
+                          param=0))
+    assert instr.srcs == (4, 5)          # a0, a1
+    # ... operations without it must not create a0/a1 dependencies.
+    instr = decode(encode(SPEC_BY_NAME["chk"], module=1, blk=1, op=0x02,
+                          param=0))
+    assert instr.srcs == ()
+
+
+def test_every_spec_roundtrips():
+    for spec in SPECS:
+        word = encode(spec, rs=3, rt=7, rd=11, shamt=2, imm=100, target=0x40,
+                      module=2, blk=1, op=5, param=9)
+        instr = decode(word)
+        assert instr.name == spec.name, spec.name
+        assert instr.iclass is spec.iclass
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(DecodeError):
+        decode(0x3D << 26)          # unassigned opcode
+
+
+def test_unknown_funct_raises():
+    with pytest.raises(DecodeError):
+        decode(0x0000003E)          # R-type funct 0x3E unassigned
+
+
+def test_is_valid():
+    assert is_valid(0)
+    assert not is_valid(0x3D << 26)
+
+
+def test_flip_bit():
+    assert flip_bit(0, 0) == 1
+    assert flip_bit(0, 31) == 0x80000000
+    assert flip_bit(flip_bit(0xDEADBEEF, 13), 13) == 0xDEADBEEF
+    with pytest.raises(ValueError):
+        flip_bit(0, 32)
+
+
+def test_flip_bit_changes_decode_or_faults():
+    word = encode(SPEC_BY_NAME["beq"], rs=8, rt=9, imm=12)
+    corrupted = flip_bit(word, 26)          # hits the opcode field
+    if is_valid(corrupted):
+        assert decode(corrupted).name != "beq"

@@ -1,0 +1,111 @@
+"""Direct unit tests of the shared architectural semantics."""
+
+import pytest
+
+from repro.isa import semantics
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import SPEC_BY_NAME
+
+
+def make(name, **fields):
+    return decode(encode(SPEC_BY_NAME[name], **fields))
+
+
+def test_add_wraps():
+    instr = make("add", rd=1, rs=2, rt=3)
+    assert semantics.alu_result(instr, 0xFFFFFFFF, 1) == 0
+
+
+def test_sub_wraps():
+    instr = make("sub", rd=1, rs=2, rt=3)
+    assert semantics.alu_result(instr, 0, 1) == 0xFFFFFFFF
+
+
+def test_signed_vs_unsigned_compare():
+    slt = make("slt", rd=1, rs=2, rt=3)
+    sltu = make("sltu", rd=1, rs=2, rt=3)
+    assert semantics.alu_result(slt, 0xFFFFFFFF, 0) == 1          # -1 < 0
+    assert semantics.alu_result(sltu, 0xFFFFFFFF, 0) == 0
+
+
+def test_shift_semantics():
+    assert semantics.alu_result(make("sll", rd=1, rt=2, shamt=4),
+                                0, 0x1) == 0x10
+    assert semantics.alu_result(make("srl", rd=1, rt=2, shamt=4),
+                                0, 0x80000000) == 0x08000000
+    assert semantics.alu_result(make("sra", rd=1, rt=2, shamt=4),
+                                0, 0x80000000) == 0xF8000000
+
+
+def test_variable_shifts_mask_amount():
+    sllv = make("sllv", rd=1, rt=2, rs=3)
+    assert semantics.alu_result(sllv, 33, 1) == 2          # 33 & 31 == 1
+
+
+def test_lui():
+    assert semantics.alu_result(make("lui", rt=1, imm=0x1234), 0, 0) \
+        == 0x12340000
+
+
+def test_division_truncates_toward_zero():
+    div = make("div", rd=1, rs=2, rt=3)
+    rem = make("rem", rd=1, rs=2, rt=3)
+    neg7 = 0xFFFFFFF9
+    assert semantics.to_signed(semantics.alu_result(div, neg7, 2)) == -3
+    assert semantics.to_signed(semantics.alu_result(rem, neg7, 2)) == -1
+    assert semantics.to_signed(semantics.alu_result(div, 7,
+                                                    0xFFFFFFFE)) == -3
+
+
+def test_divide_by_zero_raises():
+    div = make("div", rd=1, rs=2, rt=3)
+    with pytest.raises(semantics.ArithmeticFault):
+        semantics.alu_result(div, 5, 0)
+
+
+def test_unsigned_division():
+    divu = make("divu", rd=1, rs=2, rt=3)
+    assert semantics.alu_result(divu, 0xFFFFFFFF, 2) == 0x7FFFFFFF
+
+
+def test_branch_conditions():
+    assert semantics.branch_taken(make("beq", rs=1, rt=2, imm=0), 5, 5)
+    assert not semantics.branch_taken(make("bne", rs=1, rt=2, imm=0), 5, 5)
+    assert semantics.branch_taken(make("blez", rs=1, imm=0), 0, 0)
+    assert semantics.branch_taken(make("blez", rs=1, imm=0), 0xFFFFFFFF, 0)
+    assert semantics.branch_taken(make("bgtz", rs=1, imm=0), 1, 0)
+    assert semantics.branch_taken(make("bltz", rs=1, imm=0), 0x80000000, 0)
+    assert semantics.branch_taken(make("bgez", rs=1, imm=0), 0, 0)
+
+
+def test_branch_target_arithmetic():
+    instr = make("beq", rs=1, rt=2, imm=-2)
+    assert semantics.branch_target(instr, 0x1000) == 0x1000 + 4 - 8
+
+
+def test_jump_targets():
+    j = make("j", target=0x100)
+    assert semantics.jump_target(j, 0x00400000) == 0x00000400
+    jr = make("jr", rs=5)
+    assert semantics.jump_target(jr, 0, 0xCAFE0000) == 0xCAFE0000
+
+
+def test_jump_region_is_pc_relative_high_bits():
+    j = make("j", target=0x100)
+    assert semantics.jump_target(j, 0x10000000) == 0x10000400
+
+
+def test_effective_address_wraps():
+    lw = make("lw", rt=1, rs=2, imm=-4)
+    assert semantics.effective_address(lw, 0) == 0xFFFFFFFC
+
+
+def test_access_sizes():
+    assert semantics.access_size(make("lw", rt=1, rs=2, imm=0)) == 4
+    assert semantics.access_size(make("lh", rt=1, rs=2, imm=0)) == 2
+    assert semantics.access_size(make("sb", rt=1, rs=2, imm=0)) == 1
+
+
+def test_to_signed_unsigned_roundtrip():
+    for value in (0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF):
+        assert semantics.to_unsigned(semantics.to_signed(value)) == value

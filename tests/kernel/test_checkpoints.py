@@ -1,0 +1,97 @@
+"""Checkpoint store: histories, GC policies, recovery impossibility."""
+
+import pytest
+
+from repro.kernel.checkpoints import CheckpointStore, RecoveryImpossible
+from repro.memory.mainmem import PAGE_SIZE
+
+
+def page(byte):
+    return bytes([byte]) * PAGE_SIZE
+
+
+def test_save_and_rollback_single_writer():
+    store = CheckpointStore()
+    store.save(0x10, 100, writer=2, data=page(0xAA))
+    snapshot = store.rollback_snapshot(0x10, {2})
+    assert snapshot.data == page(0xAA)
+    assert snapshot.cycle == 100
+
+
+def test_rollback_picks_earliest_contamination():
+    store = CheckpointStore()
+    store.save(0x10, 100, writer=1, data=page(0x01))          # healthy write
+    store.save(0x10, 200, writer=2, data=page(0x02))          # killed thread
+    store.save(0x10, 300, writer=3, data=page(0x03))          # killed thread
+    snapshot = store.rollback_snapshot(0x10, {2, 3})
+    assert snapshot.cycle == 200          # pre-image of the first bad write
+
+
+def test_rollback_none_when_page_untouched_by_kill_set():
+    store = CheckpointStore()
+    store.save(0x10, 100, writer=1, data=page(0x01))
+    assert store.rollback_snapshot(0x10, {2, 3}) is None
+
+
+def test_capacity_eviction_marks_deleted():
+    store = CheckpointStore(max_snapshots=2)
+    store.save(0x10, 100, writer=1, data=page(1))
+    store.save(0x11, 200, writer=1, data=page(2))
+    store.save(0x12, 300, writer=1, data=page(3))
+    assert store.snapshot_count() == 2
+    assert 0x10 in store.pages_touched()          # history remembered
+
+
+def test_deleted_history_makes_recovery_impossible():
+    """Section 4.2.2: "when any of the deleted pages is needed for
+    recovery, the recovery algorithm terminates the entire process"."""
+    store = CheckpointStore(max_snapshots=1)
+    store.save(0x10, 100, writer=2, data=page(1))
+    store.save(0x11, 200, writer=2, data=page(2))          # evicts 0x10
+    with pytest.raises(RecoveryImpossible):
+        store.rollback_snapshot(0x10, {2})
+
+
+def test_time_based_gc():
+    store = CheckpointStore(gc_age_cycles=1000)
+    store.save(0x10, 100, writer=1, data=page(1))
+    store.save(0x11, 1500, writer=1, data=page(2))
+    removed = store.garbage_collect(now_cycle=2000)
+    assert removed == 1
+    assert store.rollback_snapshot(0x11, {1}).cycle == 1500
+    with pytest.raises(RecoveryImpossible):
+        store.rollback_snapshot(0x10, {1})
+
+
+def test_gc_disabled_by_default():
+    store = CheckpointStore()
+    store.save(0x10, 100, writer=1, data=page(1))
+    assert store.garbage_collect(10_000_000) == 0
+
+
+def test_clear():
+    store = CheckpointStore()
+    store.save(0x10, 100, writer=1, data=page(1))
+    store.clear()
+    assert store.snapshot_count() == 0
+    assert not store.pages_touched()
+
+
+def test_recovery_impossible_end_to_end():
+    """A tiny checkpoint budget forces the kill-all path during recovery."""
+    from repro.kernel.kernel import KernelConfig
+    from repro.rse.check import MODULE_DDT
+    from repro.system import build_machine
+    from repro.workloads import figure8
+
+    machine = build_machine(with_rse=True, modules=("ddt",),
+                            kernel_config=KernelConfig(
+                                quantum_cycles=200_000,
+                                checkpoint_max=1))
+    machine.rse.enable_module(MODULE_DDT)
+    machine.enable_ddt_recovery()
+    image, __ = figure8.program()
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=30_000_000)
+    assert result.reason == "recovery_impossible"
+    assert all(not t.alive for t in machine.kernel.threads.values())

@@ -1,0 +1,347 @@
+"""Kernel: loading, syscalls, threads, scheduling, protection."""
+
+from repro.kernel.syscalls import RECV_EXHAUSTED
+from repro.kernel.threads import ThreadState
+from repro.program.layout import MemoryLayout
+from repro.system import build_machine
+from repro.workloads.asmlib import build_workload_image
+
+
+def run(source, max_cycles=2_000_000, machine=None, requests=0,
+        kernel_config=None):
+    machine = machine or build_machine(kernel_config=kernel_config)
+    image, asm = build_workload_image(source, MemoryLayout())
+    if requests:
+        machine.kernel.set_request_source(requests)
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=max_cycles)
+    return machine, asm, result
+
+
+def test_halt_ends_process():
+    machine, __, result = run("main: li $t0, 3\n halt\n")
+    assert result.reason == "halt"
+    assert machine.pipeline.regs[8] == 3
+
+
+def test_print_syscall():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_PRINT_INT
+            li $a0, 77
+            syscall
+            li $v0, SYS_PUTC
+            li $a0, 'A'
+            syscall
+            halt
+    """)
+    assert result.reason == "halt"
+    assert machine.kernel.output == [("int", 77), ("char", "A")]
+
+
+def test_gettid_and_cycle():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_GETTID
+            syscall
+            move $s0, $v0
+            li $v0, SYS_CYCLE
+            syscall
+            move $s1, $v0
+            halt
+    """)
+    assert machine.pipeline.regs[16] == 1          # main thread tid
+    assert machine.pipeline.regs[17] > 0
+
+
+def test_sbrk_maps_heap():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_SBRK
+            li $a0, 8192
+            syscall
+            move $t0, $v0
+            li $t1, 1234
+            sw $t1, 0($t0)
+            lw $s0, 0($t0)
+            halt
+    """)
+    assert result.reason == "halt"
+    assert machine.pipeline.regs[16] == 1234
+
+
+def test_write_to_text_segment_faults():
+    machine, __, result = run("""
+        main:
+            la $t0, main
+            li $t1, 0
+            sw $t1, 0($t0)          # .text is r-x
+            halt
+    """)
+    assert result.reason == "fault"
+    assert machine.kernel.faults
+    assert "violation" in machine.kernel.faults[0][2]
+
+
+def test_unmapped_access_faults():
+    machine, __, result = run("""
+        main:
+            li $t0, 0x60000000
+            lw $t1, 0($t0)
+            halt
+    """)
+    assert result.reason == "fault"
+    assert "unmapped" in machine.kernel.faults[0][2]
+
+
+def test_mprotect_changes_permissions():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_MPROTECT
+            la $a0, main
+            li $a1, 4096
+            li $a2, 7          # rwx
+            syscall
+            la $t0, main
+            lw $t1, 0($t0)
+            sw $t1, 0($t0)          # now allowed
+            halt
+    """)
+    assert result.reason == "halt"
+
+
+def test_spawn_and_exit():
+    machine, __, result = run("""
+        .data
+        flag: .word 0
+        .text
+        main:
+            li $v0, SYS_SPAWN
+            la $a0, child
+            li $a1, 55
+            syscall
+        wait:
+            li $v0, SYS_YIELD
+            syscall
+            lw $t0, flag
+            beqz $t0, wait
+            lw $s0, flag
+            halt
+        child:
+            la $t0, flag
+            sw $a0, 0($t0)          # publish the spawn argument
+            li $v0, SYS_EXIT
+            li $a0, 0
+            syscall
+    """)
+    assert result.reason == "halt"
+    assert machine.pipeline.regs[16] == 55
+    assert len(machine.kernel.threads) == 2
+    child = machine.kernel.threads[2]
+    assert child.state is ThreadState.TERMINATED
+
+
+def test_threads_get_distinct_stacks():
+    machine, __, result = run("""
+        .data
+        sp1: .word 0
+        sp2: .word 0
+        done: .word 0
+        .text
+        main:
+            li $v0, SYS_SPAWN
+            la $a0, child1
+            li $a1, 0
+            syscall
+            li $v0, SYS_SPAWN
+            la $a0, child2
+            li $a1, 0
+            syscall
+        wait:
+            li $v0, SYS_YIELD
+            syscall
+            lw $t0, done
+            slti $at, $t0, 2
+            bnez $at, wait
+            halt
+        child1:
+            la $t0, sp1
+            sw $sp, 0($t0)
+            j finish
+        child2:
+            la $t0, sp2
+            sw $sp, 0($t0)
+        finish:
+            la $t0, done
+            lw $t1, 0($t0)
+            addi $t1, $t1, 1
+            sw $t1, 0($t0)
+            li $v0, SYS_EXIT
+            syscall
+    """)
+    assert result.reason == "halt"
+    sp1 = machine.memory.load_word(machine.kernel.loaded.image.symbols["sp1"])
+    sp2 = machine.memory.load_word(machine.kernel.loaded.image.symbols["sp2"])
+    assert sp1 != 0 and sp2 != 0 and sp1 != sp2
+
+
+def test_preemption_interleaves_threads():
+    # Two compute-bound threads must both make progress under the timer.
+    from repro.kernel.kernel import KernelConfig
+
+    machine, asm, result = run("""
+        .data
+        counter1: .word 0
+        counter2: .word 0
+        done: .word 0
+        .text
+        main:
+            li $v0, SYS_SPAWN
+            la $a0, spin1
+            li $a1, 0
+            syscall
+            li $v0, SYS_SPAWN
+            la $a0, spin2
+            li $a1, 0
+            syscall
+        wait:
+            li $v0, SYS_YIELD
+            syscall
+            lw $t0, done
+            slti $at, $t0, 2
+            bnez $at, wait
+            halt
+        spin1:
+            li $t1, 4000
+            la $t2, counter1
+            j spin
+        spin2:
+            li $t1, 4000
+            la $t2, counter2
+        spin:
+            lw $t3, 0($t2)
+            addi $t3, $t3, 1
+            sw $t3, 0($t2)
+            addi $t1, $t1, -1
+            bnez $t1, spin
+            la $t0, done
+            lw $t1, 0($t0)
+            addi $t1, $t1, 1
+            sw $t1, 0($t0)
+            li $v0, SYS_EXIT
+            syscall
+    """, kernel_config=KernelConfig(quantum_cycles=1000))
+    assert result.reason == "halt"
+    assert machine.kernel.scheduler.switches > 4
+
+
+def test_recv_send_request_flow():
+    machine, __, result = run("""
+        main:
+        loop:
+            li $v0, SYS_RECV
+            syscall
+            li $t1, -1
+            beq $v0, $t1, finished
+            move $a0, $v0
+            addi $a1, $v0, 100          # response = id + 100
+            li $v0, SYS_SEND
+            syscall
+            j loop
+        finished:
+            halt
+    """, requests=5)
+    assert result.reason == "halt"
+    assert machine.kernel.responses == {i: i + 100 for i in range(5)}
+
+
+def test_recv_blocks_for_latency():
+    from repro.kernel.kernel import KernelConfig
+
+    config = KernelConfig(io_recv_latency=5000, io_recv_jitter=0)
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_RECV
+            syscall
+            halt
+    """, requests=1, kernel_config=config)
+    assert result.reason == "halt"
+    assert result.cycles >= 5000
+
+
+def test_unknown_syscall_faults_thread():
+    machine, __, result = run("""
+        main:
+            li $v0, 999
+            syscall
+            halt
+    """)
+    assert result.reason == "fault"
+    assert "syscall" in machine.kernel.faults[0][2]
+
+
+def test_divide_fault_without_recovery_kills_process():
+    machine, __, result = run("""
+        main:
+            li $t0, 1
+            div $t1, $t0, $zero
+            halt
+    """)
+    assert result.reason == "fault"
+
+
+def test_sleep_blocks_for_requested_cycles():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_CYCLE
+            syscall
+            move $s0, $v0
+            li $v0, SYS_SLEEP
+            li $a0, 8000
+            syscall
+            li $v0, SYS_CYCLE
+            syscall
+            move $s1, $v0
+            halt
+    """)
+    assert result.reason == "halt"
+    slept = machine.pipeline.regs[17] - machine.pipeline.regs[16]
+    assert slept >= 8000
+
+
+def test_join_returns_exit_code():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_SPAWN
+            la $a0, child
+            li $a1, 0
+            syscall
+            move $a0, $v0          # child tid
+            li $v0, SYS_JOIN
+            syscall
+            move $s0, $v0          # child's exit code
+            halt
+        child:
+            li $t0, 2000
+        spin:
+            addi $t0, $t0, -1
+            bnez $t0, spin
+            li $v0, SYS_EXIT
+            li $a0, 42
+            syscall
+    """)
+    assert result.reason == "halt"
+    assert machine.pipeline.regs[16] == 42
+
+
+def test_join_unknown_tid():
+    machine, __, result = run("""
+        main:
+            li $v0, SYS_JOIN
+            li $a0, 99
+            syscall
+            move $s0, $v0
+            halt
+    """)
+    assert result.reason == "halt"
+    assert machine.pipeline.regs[16] == 0xFFFFFFFF

@@ -1,0 +1,74 @@
+"""Round-robin scheduler unit tests."""
+
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.threads import Thread, ThreadState
+
+
+def make_thread(tid):
+    return Thread(tid, pc=0x1000 * tid, regs=[0] * 32)
+
+
+def test_fifo_order():
+    scheduler = RoundRobinScheduler()
+    threads = [make_thread(i) for i in (1, 2, 3)]
+    for thread in threads:
+        scheduler.make_ready(thread)
+    assert scheduler.pick_next() is threads[0]
+    assert scheduler.pick_next() is threads[1]
+    scheduler.make_ready(threads[0])
+    assert scheduler.pick_next() is threads[2]
+    assert scheduler.pick_next() is threads[0]
+
+
+def test_pick_marks_running():
+    scheduler = RoundRobinScheduler()
+    thread = make_thread(1)
+    scheduler.make_ready(thread)
+    picked = scheduler.pick_next()
+    assert picked.state is ThreadState.RUNNING
+
+
+def test_terminated_threads_skipped():
+    scheduler = RoundRobinScheduler()
+    dead = make_thread(1)
+    live = make_thread(2)
+    scheduler.make_ready(dead)
+    scheduler.make_ready(live)
+    dead.state = ThreadState.TERMINATED
+    assert scheduler.pick_next() is live
+    assert scheduler.pick_next() is None
+
+
+def test_make_ready_ignores_terminated():
+    scheduler = RoundRobinScheduler()
+    dead = make_thread(1)
+    dead.state = ThreadState.TERMINATED
+    scheduler.make_ready(dead)
+    assert scheduler.pick_next() is None
+
+
+def test_no_duplicate_queue_entries():
+    scheduler = RoundRobinScheduler()
+    thread = make_thread(1)
+    scheduler.make_ready(thread)
+    scheduler.make_ready(thread)
+    assert scheduler.pick_next() is thread
+    assert scheduler.pick_next() is None
+
+
+def test_remove():
+    scheduler = RoundRobinScheduler()
+    thread = make_thread(1)
+    scheduler.make_ready(thread)
+    scheduler.remove(thread)
+    assert scheduler.pick_next() is None
+    scheduler.remove(thread)          # idempotent
+
+
+def test_switch_counter():
+    scheduler = RoundRobinScheduler()
+    for tid in (1, 2):
+        scheduler.make_ready(make_thread(tid))
+    scheduler.pick_next()
+    scheduler.pick_next()
+    assert scheduler.switches == 2

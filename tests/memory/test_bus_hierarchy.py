@@ -1,0 +1,108 @@
+"""Bus timing (the 18/2 vs 19/3 configurations) and the cache hierarchy."""
+
+import pytest
+
+from repro.memory.bus import (
+    BASELINE_TIMING,
+    FRAMEWORK_TIMING,
+    BusTiming,
+    MemoryBus,
+)
+from repro.memory.hierarchy import (
+    L1_HIT_LATENCY,
+    L2_HIT_LATENCY,
+    MemoryHierarchy,
+)
+
+
+def test_paper_timings():
+    # Section 5.2: a 32-byte block is 4 chunks on the 8-byte bus.
+    assert BASELINE_TIMING.transfer_latency(32) == 18 + 3 * 2
+    assert FRAMEWORK_TIMING.transfer_latency(32) == 19 + 3 * 3
+
+
+def test_transfer_latency_rounds_up_chunks():
+    timing = BusTiming(10, 2, bus_width=8)
+    assert timing.transfer_latency(1) == 10
+    assert timing.transfer_latency(8) == 10
+    assert timing.transfer_latency(9) == 12
+    assert timing.transfer_latency(0) == 0
+
+
+def test_bus_serialises_transfers():
+    bus = MemoryBus(BusTiming(10, 2))
+    done1 = bus.cpu_transfer(0, 8)
+    assert done1 == 10
+    done2 = bus.cpu_transfer(5, 8)          # must wait for the first
+    assert done2 == 20
+
+
+def test_mau_waits_for_cpu():
+    bus = MemoryBus(BusTiming(10, 2))
+    bus.cpu_transfer(0, 8)
+    done = bus.mau_transfer(0, 8)
+    assert done == 20
+    assert bus.mau_wait_cycles == 10
+
+
+def test_cpu_after_mau_also_waits():
+    # Priority is arbitration order (CPU first in a cycle), not preemption.
+    bus = MemoryBus(BusTiming(10, 2))
+    bus.mau_transfer(0, 8)
+    assert bus.cpu_transfer(0, 8) == 20
+
+
+def test_hierarchy_l1_hit_latency():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    hier.ifetch(0, 0x1000)          # warm
+    done = hier.ifetch(100, 0x1000)
+    assert done == 100 + L1_HIT_LATENCY
+
+
+def test_hierarchy_l2_hit_latency():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    hier.ifetch(0, 0x1000)            # fills il1 + il2
+    # Evict from il1 (8KB direct-mapped): same set, different tag.
+    hier.ifetch(50, 0x1000 + 8 * 1024)
+    done = hier.ifetch(100, 0x1000)   # il1 miss, il2 hit
+    assert done == 100 + L1_HIT_LATENCY + L2_HIT_LATENCY
+
+
+def test_hierarchy_memory_latency():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    done = hier.ifetch(0, 0x1000)          # cold: misses both levels
+    expected = L1_HIT_LATENCY + L2_HIT_LATENCY + BASELINE_TIMING.transfer_latency(32)
+    assert done == expected
+
+
+def test_framework_timing_is_slower():
+    base = MemoryHierarchy(BASELINE_TIMING)
+    framework = MemoryHierarchy(FRAMEWORK_TIMING)
+    assert framework.ifetch(0, 0x1000) > base.ifetch(0, 0x1000)
+
+
+def test_store_miss_allocates_dirty():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    hier.dstore(0, 0x2000)
+    assert hier.dl1.probe(0x2000)
+    # Conflict eviction should produce a writeback in the stats.
+    hier.dstore(0, 0x2000 + 8 * 1024)
+    assert hier.dl1.stats.writebacks == 1
+
+
+def test_mau_access_bypasses_caches():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    hier.mau_access(0, 32)
+    assert hier.il1.stats.accesses == 0
+    assert hier.dl1.stats.accesses == 0
+    assert hier.bus.mau_transfers == 1
+
+
+def test_stats_shape():
+    hier = MemoryHierarchy(BASELINE_TIMING)
+    hier.ifetch(0, 0)
+    stats = hier.stats()
+    assert stats["il1"]["accesses"] == 1
+    assert "miss_rate" in stats["il1"]
+    hier.reset_stats()
+    assert hier.stats()["il1"]["accesses"] == 0

@@ -1,0 +1,70 @@
+"""Main memory: scalar and bulk access, paging, faults."""
+
+import pytest
+
+from repro.memory.mainmem import PAGE_SIZE, MainMemory, MemoryFault
+
+
+def test_fresh_memory_reads_zero():
+    mem = MainMemory()
+    assert mem.load_word(0x1000) == 0
+    assert mem.load_byte(0xDEADBEEF) == 0
+
+
+def test_word_roundtrip():
+    mem = MainMemory()
+    mem.store_word(0x2000, 0xCAFEBABE)
+    assert mem.load_word(0x2000) == 0xCAFEBABE
+
+
+def test_little_endian_layout():
+    mem = MainMemory()
+    mem.store_word(0x100, 0x11223344)
+    assert mem.load_byte(0x100) == 0x44
+    assert mem.load_byte(0x103) == 0x11
+    assert mem.load_half(0x100) == 0x3344
+
+
+def test_unaligned_word_faults():
+    mem = MainMemory()
+    with pytest.raises(MemoryFault):
+        mem.load_word(0x1001)
+    with pytest.raises(MemoryFault):
+        mem.store_word(0x1002, 1)
+    with pytest.raises(MemoryFault):
+        mem.load_half(0x1001)
+
+
+def test_bulk_crosses_page_boundary():
+    mem = MainMemory()
+    base = PAGE_SIZE - 3
+    payload = bytes(range(10))
+    mem.store_bytes(base, payload)
+    assert mem.load_bytes(base, 10) == payload
+
+
+def test_snapshot_and_restore_page():
+    mem = MainMemory()
+    mem.store_word(0x5000, 123)
+    snap = mem.snapshot_page(0x5000 >> 12)
+    mem.store_word(0x5000, 456)
+    mem.restore_page(0x5000 >> 12, snap)
+    assert mem.load_word(0x5000) == 123
+
+
+def test_restore_rejects_bad_size():
+    mem = MainMemory()
+    with pytest.raises(ValueError):
+        mem.restore_page(1, b"short")
+
+
+def test_cstring():
+    mem = MainMemory()
+    mem.store_bytes(0x300, b"hello\x00junk")
+    assert mem.load_cstring(0x300) == "hello"
+
+
+def test_word_store_masks_to_32_bits():
+    mem = MainMemory()
+    mem.store_word(0x400, 0x1_FFFF_FFFF)
+    assert mem.load_word(0x400) == 0xFFFFFFFF

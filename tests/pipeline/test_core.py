@@ -1,0 +1,350 @@
+"""Out-of-order pipeline: correctness, events, hazards, speculation."""
+
+import pytest
+
+from repro.pipeline.core import EventKind
+
+from helpers import (
+    assert_same_architectural_state,
+    run_pipeline,
+)
+
+
+def test_straightline_arithmetic():
+    pipe, __, event = run_pipeline("""
+        main:
+            li  $t0, 5
+            li  $t1, 7
+            add $t2, $t0, $t1
+            sub $t3, $t1, $t0
+            halt
+    """)
+    assert event.kind is EventKind.HALT
+    assert pipe.regs[10] == 12
+    assert pipe.regs[11] == 2
+
+
+def test_raw_dependency_chain():
+    pipe, __, __ = run_pipeline("""
+        main:
+            li  $t0, 1
+            add $t0, $t0, $t0
+            add $t0, $t0, $t0
+            add $t0, $t0, $t0
+            add $t0, $t0, $t0
+            halt
+    """)
+    assert pipe.regs[8] == 16
+
+
+def test_loop_with_branch():
+    pipe, __, __ = run_pipeline("""
+        main:
+            li $t0, 0
+            li $t1, 100
+        loop:
+            add $t0, $t0, $t1
+            addi $t1, $t1, -1
+            bnez $t1, loop
+            halt
+    """)
+    assert pipe.regs[8] == 5050
+    assert pipe.stats.branches >= 100
+
+
+def test_branch_misprediction_recovers():
+    # Alternating taken/not-taken defeats the bimodal predictor but must
+    # still produce correct results.
+    pipe, __, __ = run_pipeline("""
+        main:
+            li $t0, 0          # i
+            li $t1, 0          # evens count
+            li $t2, 20         # limit
+        loop:
+            andi $t3, $t0, 1
+            bnez $t3, odd
+            addi $t1, $t1, 1
+        odd:
+            addi $t0, $t0, 1
+            blt $t0, $t2, loop
+            halt
+    """)
+    assert pipe.regs[9] == 10
+    assert pipe.stats.mispredicts > 0
+
+
+def test_store_load_forwarding():
+    pipe, __, __ = run_pipeline("""
+        .data
+        slot: .word 0
+        .text
+        main:
+            la $t0, slot
+            li $t1, 77
+            sw $t1, 0($t0)
+            lw $t2, 0($t0)
+            addi $t2, $t2, 1
+            halt
+    """)
+    assert pipe.regs[10] == 78
+
+
+def test_partial_overlap_store_load():
+    pipe, __, __ = run_pipeline("""
+        .data
+        slot: .word 0
+        .text
+        main:
+            la $t0, slot
+            li $t1, 0x11223344
+            sw $t1, 0($t0)
+            lb $t2, 0($t0)          # overlaps the sw: must see the stored byte
+            halt
+    """)
+    assert pipe.regs[10] == 0x44
+
+
+def test_memory_loop_differential():
+    assert_same_architectural_state("""
+        .data
+        array: .space 40
+        .text
+        main:
+            la $t0, array
+            li $t1, 0          # i
+            li $t2, 10
+        fill:
+            mul $t3, $t1, $t1
+            sll $t4, $t1, 2
+            add $t5, $t0, $t4
+            sw  $t3, 0($t5)
+            addi $t1, $t1, 1
+            blt $t1, $t2, fill
+            li $t6, 0          # sum
+            li $t1, 0
+        sum:
+            sll $t4, $t1, 2
+            add $t5, $t0, $t4
+            lw  $t3, 0($t5)
+            add $t6, $t6, $t3
+            addi $t1, $t1, 1
+            blt $t1, $t2, sum
+            halt
+    """, mem_words=["array"])
+
+
+def test_function_calls_differential():
+    assert_same_architectural_state("""
+        main:
+            li $sp, 0x7FFE0000
+            li $a0, 10
+            jal fib
+            move $s0, $v0
+            halt
+        fib:                      # iterative fibonacci
+            li $v0, 0
+            li $t0, 1
+            beqz $a0, fib_done
+            move $t1, $a0
+        fib_loop:
+            add $t2, $v0, $t0
+            move $v0, $t0
+            move $t0, $t2
+            addi $t1, $t1, -1
+            bnez $t1, fib_loop
+        fib_done:
+            jr $ra
+    """)
+
+
+def test_jr_indirect_jump():
+    pipe, __, __ = run_pipeline("""
+        main:
+            la $t0, target
+            jr $t0
+            li $s0, 111          # skipped
+        target:
+            li $s0, 222
+            halt
+    """)
+    assert pipe.regs[16] == 222
+
+
+def test_jalr_links():
+    pipe, __, __ = run_pipeline("""
+        main:
+            la $t0, callee
+            jalr $ra, $t0
+            halt
+        callee:
+            li $s0, 5
+            jr $ra
+    """)
+    assert pipe.regs[16] == 5
+
+
+def test_mdu_latency_and_result():
+    pipe, __, __ = run_pipeline("""
+        main:
+            li $t0, 12
+            li $t1, 5
+            mul $t2, $t0, $t1
+            div $t3, $t0, $t1
+            rem $t4, $t0, $t1
+            halt
+    """)
+    assert pipe.regs[10] == 60
+    assert pipe.regs[11] == 2
+    assert pipe.regs[12] == 2
+
+
+def test_divide_by_zero_precise_fault():
+    pipe, __, event = run_pipeline("""
+        main:
+            li $s0, 1          # must be architecturally visible at fault
+            li $t0, 4
+            div $t1, $t0, $zero
+            li $s0, 2          # must NOT commit
+            halt
+    """)
+    assert event.kind is EventKind.FAULT
+    assert "divide" in event.cause
+    assert pipe.regs[16] == 1
+
+
+def test_illegal_instruction_fault():
+    pipe, __, event = run_pipeline("""
+        main:
+            la $t0, data_area
+            jr $t0
+        .data
+        data_area: .word 0xF4000000          # unassigned opcode pattern
+    """)
+    assert event.kind is EventKind.FAULT
+
+
+def test_wrong_path_fault_is_squashed():
+    # The load behind the never-taken branch would fault (unaligned), but
+    # it is only ever on the wrong path -> must not surface.
+    pipe, __, event = run_pipeline("""
+        main:
+            li $t0, 0
+            li $t2, 0x1001
+            li $t3, 50
+        loop:
+            addi $t0, $t0, 1
+            blt $t0, $t3, cont
+            lw $t4, 1($t2)          # unaligned; fetched speculatively only
+        cont:
+            blt $t0, $t3, loop
+            halt
+    """)
+    assert event.kind is EventKind.FAULT          # final fall-through reaches it
+    # But importantly it only faults after the loop actually exits:
+    assert pipe.regs[8] == 50
+
+
+def test_syscall_event_surfaces():
+    pipe, __, event = run_pipeline("""
+        main:
+            li $v0, 42
+            syscall
+            halt
+    """)
+    assert event.kind is EventKind.SYSCALL
+    assert pipe.regs[2] == 42
+    assert not pipe.rob and not pipe.fetch_buffer
+    # Kernel-style resume: continue after the syscall.
+    pipe.resume(event.pc + 4)
+    event = pipe.run(max_cycles=10_000)
+    assert event.kind is EventKind.HALT
+
+
+def test_timer_drains_and_fires():
+    pipe, asm, event = run_pipeline("""
+        main:
+            li $t0, 0
+        loop:
+            addi $t0, $t0, 1
+            j loop
+    """, max_cycles=100)
+    assert event.kind is EventKind.MAX_CYCLES
+    pipe.timer_deadline = pipe.cycle + 50
+    event = pipe.run(max_cycles=10_000)
+    assert event.kind is EventKind.TIMER
+    assert not pipe.rob
+    count_at_timer = pipe.regs[8]
+    pipe.resume(event.pc)
+    pipe.timer_deadline = None
+    pipe.run(max_cycles=100)
+    assert pipe.regs[8] > count_at_timer          # resumed where it left off
+
+
+def test_mem_check_hook_blocks_store():
+    def deny_writes(addr, size, kind):
+        if kind == "w" and addr >= 0x10000000:
+            return "write to protected page"
+        return None
+
+    pipe, __, event = run_pipeline("""
+        .data
+        x: .word 0
+        .text
+        main:
+            la $t0, x
+            li $t1, 1
+            sw $t1, 0($t0)
+            halt
+    """)
+    assert event.kind is EventKind.HALT          # without the hook: fine
+
+    from helpers import load_assembly, make_pipeline
+    asm, mem = load_assembly("""
+        .data
+        x: .word 0
+        .text
+        main:
+            la $t0, x
+            li $t1, 1
+            sw $t1, 0($t0)
+            halt
+    """)
+    pipe = make_pipeline(mem, asm.entry)
+    pipe.mem_check = deny_writes
+    event = pipe.run(max_cycles=10_000)
+    assert event.kind is EventKind.FAULT
+    assert "protected" in event.cause
+
+
+def test_ipc_is_sane():
+    pipe, __, __ = run_pipeline("""
+        main:
+            li $t0, 2000
+        loop:
+            addi $t1, $t0, 1
+            addi $t2, $t0, 2
+            addi $t3, $t0, 3
+            addi $t0, $t0, -1
+            bnez $t0, loop
+            halt
+    """)
+    assert 0.3 < pipe.stats.ipc <= 4.0
+
+
+def test_instret_matches_funcsim_on_branchy_code():
+    assert_same_architectural_state("""
+        main:
+            li $t0, 0
+            li $t1, 0
+        outer:
+            li $t2, 0
+        inner:
+            add $t1, $t1, $t2
+            addi $t2, $t2, 1
+            slti $at, $t2, 5
+            bnez $at, inner
+            addi $t0, $t0, 1
+            slti $at, $t0, 8
+            bnez $at, outer
+            halt
+    """)

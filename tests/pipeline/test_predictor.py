@@ -1,0 +1,129 @@
+"""Branch predictor unit tests."""
+
+import pytest
+
+from repro.pipeline.predictor import BranchPredictor
+
+
+def test_initial_state_weakly_taken():
+    predictor = BranchPredictor()
+    assert predictor.predict_direction(0x1000)
+
+
+def test_counter_saturation():
+    predictor = BranchPredictor()
+    pc = 0x2000
+    for __ in range(10):
+        predictor.update(pc, taken=False, target=0)
+    assert not predictor.predict_direction(pc)
+    # One taken outcome must not flip a saturated not-taken counter.
+    predictor.update(pc, taken=True, target=0x3000)
+    assert not predictor.predict_direction(pc)
+    predictor.update(pc, taken=True, target=0x3000)
+    assert predictor.predict_direction(pc)
+
+
+def test_btb_learns_targets():
+    predictor = BranchPredictor()
+    assert predictor.predict_target(0x4000) is None
+    predictor.update(0x4000, taken=True, target=0xBEEF0)
+    assert predictor.predict_target(0x4000) == 0xBEEF0
+
+
+def test_btb_not_updated_on_not_taken():
+    predictor = BranchPredictor()
+    predictor.update(0x4000, taken=False, target=0xBEEF0)
+    assert predictor.predict_target(0x4000) is None
+
+
+def test_btb_conflict_eviction():
+    predictor = BranchPredictor(btb_entries=512)
+    pc_a = 0x1000
+    pc_b = pc_a + 512 * 4          # same BTB index
+    predictor.update(pc_a, taken=True, target=0xAAAA0)
+    predictor.update(pc_b, taken=True, target=0xBBBB0)
+    assert predictor.predict_target(pc_a) is None          # evicted
+    assert predictor.predict_target(pc_b) == 0xBBBB0
+
+
+def test_distinct_pcs_use_distinct_counters():
+    predictor = BranchPredictor()
+    predictor.update(0x1000, taken=False, target=0)
+    predictor.update(0x1000, taken=False, target=0)
+    assert not predictor.predict_direction(0x1000)
+    assert predictor.predict_direction(0x1004)          # untouched
+
+
+def test_sizes_must_be_powers_of_two():
+    with pytest.raises(ValueError):
+        BranchPredictor(bimodal_entries=1000)
+    with pytest.raises(ValueError):
+        BranchPredictor(btb_entries=100)
+
+
+def test_accuracy_bookkeeping():
+    predictor = BranchPredictor()
+    predictor.predict_direction(0x1000)
+    predictor.record_hit(True)
+    predictor.predict_direction(0x1000)
+    predictor.record_hit(False)
+    assert predictor.accuracy == pytest.approx(0.5)
+
+
+def test_gshare_uses_history():
+    from repro.pipeline.predictor import GsharePredictor
+
+    predictor = GsharePredictor(history_bits=4)
+    pc = 0x1000
+    # Train an alternating pattern; gshare's history disambiguates it.
+    for __ in range(40):
+        predictor.update(pc, taken=True, target=0x2000)
+        predictor.update(pc, taken=False, target=0)
+    # After a taken outcome the history predicts not-taken, and vice versa.
+    predictor.update(pc, taken=True, target=0x2000)
+    after_taken = predictor.predict_direction(pc)
+    predictor.update(pc, taken=False, target=0)
+    after_not_taken = predictor.predict_direction(pc)
+    assert after_taken != after_not_taken
+
+
+def test_gshare_beats_bimodal_on_alternating_branch():
+    from helpers import load_assembly, make_pipeline
+    from repro.pipeline import PipelineConfig
+
+    source = """
+        main:
+            li $t0, 0
+            li $t1, 0
+            li $t2, 400
+        loop:
+            andi $t3, $t0, 1
+            bnez $t3, odd          # alternates taken/not-taken
+            addi $t1, $t1, 1
+        odd:
+            addi $t0, $t0, 1
+            blt $t0, $t2, loop
+            halt
+    """
+    results = {}
+    for kind in ("bimodal", "gshare"):
+        asm, mem = load_assembly(source)
+        pipe = make_pipeline(mem, asm.entry,
+                             config=PipelineConfig().copy(predictor=kind))
+        pipe.run(max_cycles=200_000)
+        assert pipe.regs[9] == 200
+        results[kind] = pipe.stats.mispredicts
+    assert results["gshare"] < results["bimodal"]
+
+
+def test_pipeline_config_selects_predictor():
+    from repro.pipeline import PipelineConfig
+    from repro.pipeline.core import Pipeline
+    from repro.pipeline.predictor import GsharePredictor
+    from repro.memory.mainmem import MainMemory
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.memory.bus import BASELINE_TIMING
+
+    pipe = Pipeline(MainMemory(), MemoryHierarchy(BASELINE_TIMING),
+                    config=PipelineConfig().copy(predictor="gshare"))
+    assert isinstance(pipe.predictor, GsharePredictor)

@@ -1,0 +1,137 @@
+"""Structural-hazard behaviour: ROB/LSQ/fetch-buffer limits, widths."""
+
+from repro.pipeline import PipelineConfig
+from repro.pipeline.core import EventKind
+
+from helpers import load_assembly, make_pipeline, run_pipeline
+
+
+def run_with_config(source, **overrides):
+    asm, mem = load_assembly(source)
+    config = PipelineConfig().copy(**overrides)
+    pipeline = make_pipeline(mem, asm.entry, config=config)
+    event = pipeline.run(max_cycles=500_000)
+    return pipeline, event
+
+
+INDEPENDENT_ALU = """
+    main:
+        li $t0, 300
+    loop:
+        addi $t1, $t0, 1
+        addi $t2, $t0, 2
+        addi $t3, $t0, 3
+        addi $t4, $t0, 4
+        addi $t0, $t0, -1
+        bnez $t0, loop
+        halt
+"""
+
+
+def test_narrow_machine_still_correct_but_slower():
+    wide, event_w = run_with_config(INDEPENDENT_ALU)
+    narrow, event_n = run_with_config(INDEPENDENT_ALU, fetch_width=1,
+                                      dispatch_width=1, issue_width=1,
+                                      commit_width=1)
+    assert event_w.kind is event_n.kind is EventKind.HALT
+    assert wide.regs[8] == narrow.regs[8] == 0
+    assert narrow.stats.cycles > 2 * wide.stats.cycles
+    assert narrow.stats.instret == wide.stats.instret
+
+
+def test_tiny_rob_still_correct():
+    small, event = run_with_config(INDEPENDENT_ALU, rob_entries=2,
+                                   lsq_entries=1)
+    assert event.kind is EventKind.HALT
+    assert small.stats.instret > 0
+
+
+MEMORY_BURST = """
+.data
+buf: .space 128
+.text
+    main:
+        la $t0, buf
+        li $t1, 20
+    loop:
+        sw $t1, 0($t0)
+        sw $t1, 4($t0)
+        lw $t2, 0($t0)
+        lw $t3, 4($t0)
+        add $t4, $t2, $t3
+        addi $t1, $t1, -1
+        bnez $t1, loop
+        halt
+"""
+
+
+def test_single_entry_lsq_correct():
+    pipe, event = run_with_config(MEMORY_BURST, lsq_entries=1)
+    assert event.kind is EventKind.HALT
+    assert pipe.regs[12] == 2          # 1 + 1 on the last iteration
+
+
+def test_single_mem_port_correct():
+    pipe, event = run_with_config(MEMORY_BURST, mem_ports=1)
+    assert event.kind is EventKind.HALT
+    assert pipe.regs[12] == 2
+
+
+def test_mdu_structural_hazard():
+    # Five back-to-back independent multiplies against a single MDU.
+    source = """
+        main:
+            li $t0, 3
+            mul $t1, $t0, $t0
+            mul $t2, $t0, $t0
+            mul $t3, $t0, $t0
+            mul $t4, $t0, $t0
+            mul $t5, $t0, $t0
+            halt
+    """
+    one_mdu, __ = run_with_config(source, mdus=1)
+    many_mdu, __ = run_with_config(source, mdus=4)
+    assert all(one_mdu.regs[r] == 9 for r in range(9, 14))
+    assert many_mdu.stats.cycles <= one_mdu.stats.cycles
+
+
+def test_long_div_latency_serialises_dependents():
+    fast, __ = run_with_config("""
+        main:
+            li $t0, 100
+            li $t1, 7
+            div $t2, $t0, $t1
+            addi $t3, $t2, 1
+            halt
+    """, div_latency=1)
+    slow, __ = run_with_config("""
+        main:
+            li $t0, 100
+            li $t1, 7
+            div $t2, $t0, $t1
+            addi $t3, $t2, 1
+            halt
+    """, div_latency=40)
+    assert fast.regs[11] == slow.regs[11] == 15
+    assert slow.stats.cycles > fast.stats.cycles + 30
+
+
+def test_fetch_buffer_minimum():
+    pipe, event = run_with_config(INDEPENDENT_ALU, fetch_buffer_entries=1)
+    assert event.kind is EventKind.HALT
+    assert pipe.regs[8] == 0
+
+
+def test_config_copy_rejects_unknown_field():
+    import pytest
+
+    with pytest.raises(AttributeError):
+        PipelineConfig().copy(bogus_field=1)
+
+
+def test_stats_dict_shape():
+    pipe, __, event = run_pipeline("main: li $t0, 1\n halt\n")
+    stats = pipe.stats.as_dict()
+    for field in ("cycles", "instret", "branches", "mispredicts",
+                  "squashed", "fetch_stall_cycles"):
+        assert field in stats

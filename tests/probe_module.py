@@ -1,0 +1,32 @@
+"""A minimal synchronous test module used by engine/self-check tests."""
+
+from repro.rse.module import ModuleMode, RSEModule
+
+TEST_MODULE_ID = 7
+
+
+class ProbeModule(RSEModule):
+    """Synchronous module completing after a fixed delay, for gate tests."""
+
+    MODULE_ID = TEST_MODULE_ID
+    MODE = ModuleMode.SYNC
+
+    def __init__(self, delay=3, error=False):
+        super().__init__("Probe")
+        self.delay = delay
+        self.error = error
+        self.seen = []
+        self._due = []
+
+    def on_check(self, uop, entry, cycle):
+        self.seen.append((uop.instr.op, uop.instr.param, entry.payload))
+        self._due.append((cycle + self.delay, entry))
+
+    def step(self, cycle):
+        still_due = []
+        for due, entry in self._due:
+            if cycle >= due:
+                self.finish_check(entry, self.error, cycle)
+            else:
+                still_due.append((due, entry))
+        self._due = still_due

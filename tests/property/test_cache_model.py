@@ -1,0 +1,77 @@
+"""Property: the cache behaves exactly like a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+
+class ReferenceLRU:
+    """Obviously-correct set-associative LRU write-back model."""
+
+    def __init__(self, num_sets, assoc, block_shift):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.block_shift = block_shift
+        self.sets = [OrderedDict() for __ in range(num_sets)]
+
+    def access(self, addr, is_write):
+        block = addr >> self.block_shift
+        lru = self.sets[block % self.num_sets]
+        if block in lru:
+            dirty = lru.pop(block)
+            lru[block] = dirty or is_write
+            return True, None
+        writeback = None
+        if len(lru) >= self.assoc:
+            victim, dirty = lru.popitem(last=False)
+            if dirty:
+                writeback = victim << self.block_shift
+        lru[block] = is_write
+        return False, writeback
+
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=0x3FFF),
+              st.booleans()),
+    min_size=1, max_size=300)
+
+
+@given(ops=accesses,
+       geometry=st.sampled_from([(512, 1, 32), (1024, 2, 32),
+                                 (2048, 4, 64), (256, 1, 16)]))
+@settings(max_examples=150, deadline=None)
+def test_cache_matches_reference(ops, geometry):
+    size, assoc, block = geometry
+    cache = Cache("dut", size, assoc, block)
+    reference = ReferenceLRU(cache.num_sets, assoc, block.bit_length() - 1)
+    for addr, is_write in ops:
+        got = cache.access(addr, is_write)
+        want = reference.access(addr, is_write)
+        assert got == want, (hex(addr), is_write)
+
+
+@given(ops=accesses)
+@settings(max_examples=80, deadline=None)
+def test_stats_are_consistent(ops):
+    cache = Cache("dut", 1024, 2, 32)
+    for addr, is_write in ops:
+        cache.access(addr, is_write)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(ops)
+    assert 0.0 <= stats.miss_rate <= 1.0
+    assert stats.writebacks <= stats.misses
+
+
+@given(ops=accesses)
+@settings(max_examples=50, deadline=None)
+def test_probe_never_mutates(ops):
+    cache = Cache("dut", 512, 1, 32)
+    for addr, is_write in ops:
+        cache.access(addr, is_write)
+    before = cache.stats.accesses
+    for addr, __ in ops:
+        cache.probe(addr)
+    assert cache.stats.accesses == before

@@ -1,0 +1,123 @@
+"""Property tests of DDT invariants against a reference tracker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rse.modules.ddt import DDT
+
+
+class _FakeEngine:
+    def __init__(self):
+        self.current_tid = 1
+
+
+class _FakeUop:
+    class _I:
+        def __init__(self, kind):
+            self.is_load = kind == "load"
+            self.is_store = kind == "store"
+
+    def __init__(self, kind, addr):
+        self.instr = self._I(kind)
+        self.eff_addr = addr
+
+
+def make_ddt():
+    ddt = DDT()
+    ddt.engine = _FakeEngine()
+    ddt.save_page_handler = lambda page, tid, cycle: 0
+    for tid in (1, 2, 3, 4):
+        ddt.register_thread(tid)
+    return ddt
+
+
+class ReferenceTracker:
+    """Straight transcription of Section 4.2.1's four outcomes."""
+
+    def __init__(self):
+        self.owners = {}          # page -> [write_owner, read_owner]
+        self.deps = set()         # (producer, consumer)
+        self.saves = []
+
+    def load(self, tid, page):
+        owners = self.owners.setdefault(page, [None, None])
+        if owners[1] == tid:
+            return
+        owners[1] = tid
+        if owners[0] is not None and owners[0] != tid:
+            self.deps.add((owners[0], tid))
+
+    def store(self, tid, page):
+        owners = self.owners.setdefault(page, [None, None])
+        if owners[0] == tid:
+            return
+        self.saves.append((page, tid))
+        owners[0] = tid
+        owners[1] = tid
+
+
+events = st.lists(
+    st.tuples(st.sampled_from([1, 2, 3, 4]),
+              st.sampled_from(["load", "store"]),
+              st.integers(min_value=0x100, max_value=0x107)),   # 8 pages
+    min_size=1, max_size=120)
+
+
+def apply_events(ddt, reference, ops):
+    saves = []
+    ddt.save_page_handler = lambda page, tid, cycle: saves.append(
+        (page, tid)) or 0
+    for cycle, (tid, kind, page) in enumerate(ops):
+        ddt.engine.current_tid = tid
+        addr = page << 12
+        if kind == "load":
+            ddt.on_commit(_FakeUop("load", addr), cycle)
+            reference.load(tid, page)
+        else:
+            ddt.pre_commit_store(_FakeUop("store", addr), cycle)
+            reference.store(tid, page)
+    return saves
+
+
+@given(ops=events)
+@settings(max_examples=150, deadline=None)
+def test_ddt_matches_reference(ops):
+    ddt = make_ddt()
+    reference = ReferenceTracker()
+    saves = apply_events(ddt, reference, ops)
+    # Same SavePage sequence.
+    assert saves == reference.saves
+    # Same owner state for every touched page.
+    for page, owners in reference.owners.items():
+        assert list(ddt.pst[page]) == owners, hex(page)
+    # Same dependency edges.
+    got = {(producer, consumer)
+           for producer, consumers in ddt.ddm.items()
+           for consumer in consumers}
+    assert got == reference.deps
+
+
+@given(ops=events)
+@settings(max_examples=100, deadline=None)
+def test_dependency_closure_properties(ops):
+    ddt = make_ddt()
+    apply_events(ddt, ReferenceTracker(), ops)
+    for tid in (1, 2, 3, 4):
+        closure = ddt.dependents_of(tid)
+        assert tid not in closure
+        # Closure is really closed: dependents of dependents are included.
+        for dependent in closure:
+            assert ddt.dependents_of(dependent) <= closure | {tid}
+
+
+@given(ops=events, victim=st.sampled_from([1, 2, 3, 4]))
+@settings(max_examples=80, deadline=None)
+def test_forget_thread_removes_all_traces(ops, victim):
+    ddt = make_ddt()
+    apply_events(ddt, ReferenceTracker(), ops)
+    ddt.forget_thread(victim)
+    assert victim not in ddt.ddm
+    for consumers in ddt.ddm.values():
+        assert victim not in consumers
+    for owners in ddt.pst.values():
+        assert victim not in owners

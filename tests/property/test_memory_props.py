@@ -1,0 +1,90 @@
+"""Property tests for main memory, layouts, and the checkpoint store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import random
+
+from repro.kernel.checkpoints import CheckpointStore
+from repro.memory.mainmem import PAGE_SIZE, MainMemory
+from repro.program.layout import MemoryLayout
+
+
+@given(writes=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=0xFFFF0),
+              st.binary(min_size=1, max_size=64)),
+    min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_memory_matches_flat_model(writes):
+    mem = MainMemory()
+    model = {}
+    for addr, payload in writes:
+        mem.store_bytes(addr, payload)
+        for offset, byte in enumerate(payload):
+            model[addr + offset] = byte
+    for addr, payload in writes:
+        got = mem.load_bytes(addr, len(payload))
+        want = bytes(model.get(addr + i, 0) for i in range(len(payload)))
+        assert got == want
+
+
+@given(addr=st.integers(min_value=0, max_value=0xFFFF0).map(lambda a: a & ~3),
+       value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_word_byte_agreement(addr, value):
+    mem = MainMemory()
+    mem.store_word(addr, value)
+    reassembled = int.from_bytes(
+        bytes(mem.load_byte(addr + i) for i in range(4)), "little")
+    assert reassembled == value
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_randomized_layout_invariants(seed):
+    layout = MemoryLayout()
+    randomized = layout.randomize(random.Random(seed))
+    # Page-aligned, moved, and position-dependent regions untouched.
+    for base in (randomized.heap_base, randomized.shlib_base,
+                 randomized.stack_top):
+        assert base % PAGE_SIZE == 0
+    assert randomized.text_base == layout.text_base
+    assert randomized.data_base == layout.data_base
+    assert randomized.heap_base > layout.heap_base
+    assert randomized.stack_top < layout.stack_top
+    assert randomized.shlib_base > layout.shlib_base
+    # The stack never collides with the heap or shared libraries.
+    assert randomized.stack_base > randomized.shlib_base
+
+
+save_events = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=6),       # page
+              st.integers(min_value=1, max_value=4)),      # writer
+    min_size=1, max_size=40)
+
+
+@given(events=save_events,
+       kill=st.sets(st.integers(min_value=1, max_value=4), min_size=1))
+@settings(max_examples=150, deadline=None)
+def test_rollback_snapshot_is_earliest_contamination(events, kill):
+    store = CheckpointStore()
+    reference = {}          # page -> list of (cycle, writer)
+    for cycle, (page, writer) in enumerate(events):
+        store.save(page, cycle, writer, bytes([cycle % 256]) * PAGE_SIZE)
+        reference.setdefault(page, []).append((cycle, writer))
+    for page, history in reference.items():
+        expected = next((cycle for cycle, writer in history
+                         if writer in kill), None)
+        snapshot = store.rollback_snapshot(page, kill)
+        if expected is None:
+            assert snapshot is None
+        else:
+            assert snapshot is not None and snapshot.cycle == expected
+
+
+@given(events=save_events)
+@settings(max_examples=80, deadline=None)
+def test_capacity_bound_is_respected(events):
+    store = CheckpointStore(max_snapshots=10)
+    for cycle, (page, writer) in enumerate(events):
+        store.save(page, cycle, writer, b"\x00" * PAGE_SIZE)
+    assert store.snapshot_count() <= 10
+    assert store.gc_removed == max(0, len(events) - 10)

@@ -1,0 +1,136 @@
+"""Property: the OoO pipeline and the functional simulator agree.
+
+Hypothesis generates random (but always-terminating) programs — ALU
+chains, memory traffic to a scratch buffer, and bounded counted loops —
+and every architectural result must match between the two engines, as
+must the retired-instruction count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import run_func, run_pipeline
+
+SCRATCH_WORDS = 16
+
+ALU_OPS = ["add", "sub", "and", "or", "xor", "nor", "slt", "sltu", "mul"]
+IMM_OPS = ["addi", "slti", "andi", "ori", "xori"]
+SHIFT_OPS = ["sll", "srl", "sra"]
+# t0..t7, s0..s5 as working registers (avoid $at and ABI registers).
+WORK_REGS = ["$t%d" % i for i in range(8)] + ["$s%d" % i for i in range(6)]
+
+reg = st.sampled_from(WORK_REGS)
+simm = st.integers(min_value=-0x7FF, max_value=0x7FF)
+uimm = st.integers(min_value=0, max_value=0xFFF)
+shamt = st.integers(min_value=0, max_value=31)
+slot = st.integers(min_value=0, max_value=SCRATCH_WORDS - 1)
+
+
+def alu_line(draw_data):
+    op, rd, rs, rt = draw_data
+    return "    %s %s, %s, %s" % (op, rd, rs, rt)
+
+
+instruction = st.one_of(
+    st.tuples(st.sampled_from(ALU_OPS), reg, reg, reg).map(
+        lambda t: "    %s %s, %s, %s" % t),
+    st.tuples(st.sampled_from(IMM_OPS), reg, reg, simm).map(
+        lambda t: "    %s %s, %s, %d"
+        % (t[0], t[1], t[2], t[3] if t[0] not in ("andi", "ori", "xori")
+           else abs(t[3]))),
+    st.tuples(st.sampled_from(SHIFT_OPS), reg, reg, shamt).map(
+        lambda t: "    %s %s, %s, %d" % t),
+    st.tuples(reg, slot).map(
+        lambda t: "    sw %s, %d($gp)" % (t[0], t[1] * 4)),
+    st.tuples(reg, slot).map(
+        lambda t: "    lw %s, %d($gp)" % (t[0], t[1] * 4)),
+)
+
+
+def build_program(body_lines, loop_count):
+    body = "\n".join(body_lines)
+    return """
+.data
+scratch: .space %d
+.text
+main:
+    la $gp, scratch
+    li $s7, %d
+outer:
+%s
+    addi $s7, $s7, -1
+    bnez $s7, outer
+    halt
+""" % (SCRATCH_WORDS * 4, loop_count, body)
+
+
+@given(body=st.lists(instruction, min_size=1, max_size=24),
+       loops=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_pipeline_matches_funcsim(body, loops):
+    source = build_program(body, loops)
+    func_sim, __, func_result = run_func(source)
+    assert func_result.value == "halted", func_result
+    pipe, __, event = run_pipeline(source, max_cycles=500_000)
+    assert event.kind.value == "halt"
+    for index in range(2, 32):
+        assert pipe.regs[index] == func_sim.regs[index], (
+            "reg %d differs:\n%s" % (index, source))
+    assert pipe.stats.instret == func_sim.instret
+
+
+@given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                       min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_divides_and_remainders_agree(values):
+    lines = []
+    for index, value in enumerate(values):
+        lines.append("    li $t0, %d" % value)
+        lines.append("    li $t1, %d" % (index + 1))
+        lines.append("    div $t2, $t0, $t1")
+        lines.append("    rem $t3, $t0, $t1")
+        lines.append("    add $s0, $s0, $t2")
+        lines.append("    xor $s1, $s1, $t3")
+    source = "main:\n%s\n    halt\n" % "\n".join(lines)
+    func_sim, __, func_result = run_func(source)
+    pipe, __, event = run_pipeline(source)
+    assert func_result.value == "halted" and event.kind.value == "halt"
+    assert pipe.regs[16] == func_sim.regs[16]
+    assert pipe.regs[17] == func_sim.regs[17]
+
+
+# ---------------------------------------------------------------- branches
+
+# Random forward-branch structure: each block optionally skips the next
+# instruction based on a data-dependent condition — always terminating,
+# heavy on mispredictions and flush paths.
+branch_kind = st.sampled_from(["beqz", "bnez", "bgez", "bltz"])
+branch_block = st.tuples(branch_kind, reg, reg, simm)
+
+
+@given(blocks=st.lists(branch_block, min_size=1, max_size=16),
+       loops=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_branchy_programs_match_funcsim(blocks, loops):
+    lines = []
+    for index, (kind, cond_reg, work_reg, imm) in enumerate(blocks):
+        lines.append("    %s %s, skip_%d" % (kind, cond_reg, index))
+        lines.append("    addi %s, %s, %d" % (work_reg, work_reg, imm))
+        lines.append("skip_%d:" % index)
+        lines.append("    addi %s, %s, 1" % (cond_reg, cond_reg))
+    source = """
+main:
+    li $s7, %d
+outer:
+%s
+    addi $s7, $s7, -1
+    bnez $s7, outer
+    halt
+""" % (loops, "\n".join(lines))
+    func_sim, __, func_result = run_func(source)
+    assert func_result.value == "halted"
+    pipe, __, event = run_pipeline(source, max_cycles=500_000)
+    assert event.kind.value == "halt"
+    for index in range(2, 32):
+        assert pipe.regs[index] == func_sim.regs[index], (index, source)
+    assert pipe.stats.instret == func_sim.instret

@@ -1,0 +1,134 @@
+"""AHBM: registration, heartbeats, adaptive timeout, failure detection."""
+
+from repro.rse.check import MODULE_AHBM
+from repro.rse.modules.ahbm import AHBM
+from repro.system import build_machine
+
+
+def make_ahbm(**kwargs):
+    machine = build_machine(with_rse=True)
+    ahbm = machine.rse.attach(AHBM(**kwargs))
+    machine.rse.enable_module(MODULE_AHBM)
+    return machine, ahbm
+
+
+def drive(ahbm, until, beats=(), entity=1):
+    """Step the module cycle by cycle, delivering beats at given cycles."""
+    beat_set = set(beats)
+    for cycle in range(until):
+        if cycle in beat_set:
+            ahbm.beat(entity, cycle)
+        ahbm.step(cycle)
+
+
+def test_healthy_entity_stays_alive():
+    machine, ahbm = make_ahbm(sample_period=64)
+    ahbm.register(1, 0)
+    drive(ahbm, 20_000, beats=range(0, 20_000, 500))
+    assert ahbm.is_alive(1)
+    assert not ahbm.failures
+
+
+def test_hung_entity_detected():
+    machine, ahbm = make_ahbm(sample_period=64)
+    ahbm.register(1, 0)
+    # Regular beats, then silence.
+    drive(ahbm, 60_000, beats=range(0, 10_000, 500))
+    assert ahbm.is_alive(1) is False
+    assert ahbm.failures and ahbm.failures[0][1] == 1
+
+
+def test_adaptive_timeout_tracks_beat_rate():
+    machine, ahbm = make_ahbm(sample_period=64, min_timeout=128)
+    ahbm.register(1, 0)
+    drive(ahbm, 50_000, beats=range(0, 50_000, 200))          # fast beats
+    fast_timeout = ahbm.timeout_for(ahbm.entities[1])
+    machine2, ahbm2 = make_ahbm(sample_period=64, min_timeout=128)
+    ahbm2.register(1, 0)
+    drive(ahbm2, 50_000, beats=range(0, 50_000, 4000))          # slow beats
+    slow_timeout = ahbm2.timeout_for(ahbm2.entities[1])
+    assert fast_timeout < slow_timeout
+
+
+def test_slow_but_regular_entity_not_flagged():
+    machine, ahbm = make_ahbm(sample_period=64)
+    ahbm.register(1, 0)
+    drive(ahbm, 100_000, beats=range(0, 100_000, 8000))
+    assert ahbm.is_alive(1)
+
+
+def test_failure_callback_fires_once():
+    machine, ahbm = make_ahbm(sample_period=64)
+    calls = []
+    ahbm.on_failure = lambda entity, cycle: calls.append((entity, cycle))
+    ahbm.register(1, 0)
+    drive(ahbm, 120_000, beats=range(0, 5_000, 500))
+    assert len(calls) == 1
+
+
+def test_unregister_stops_monitoring():
+    machine, ahbm = make_ahbm(sample_period=64)
+    ahbm.register(1, 0)
+    ahbm.unregister(1)
+    drive(ahbm, 60_000)
+    assert not ahbm.failures
+    assert ahbm.is_alive(1) is None
+
+
+def test_check_instruction_interface():
+    """Heartbeats issued by the application through CHECK instructions."""
+    from repro.isa.assembler import assemble
+    from repro.pipeline.core import EventKind
+    from repro.rse.check import asm_constants
+
+    machine, ahbm = make_ahbm(sample_period=64)
+    source = """
+        main:
+            li $a0, 42
+            li $a1, 0
+            chk AHBM, NBLK, OP_AHBM_REGISTER, 0
+            li $t0, 12
+        beat_loop:
+            li $a0, 42
+            chk AHBM, NBLK, OP_AHBM_HEARTBEAT, 0
+            li $t1, 200
+        delay:
+            addi $t1, $t1, -1
+            bnez $t1, delay
+            addi $t0, $t0, -1
+            bnez $t0, beat_loop
+            halt
+    """
+    asm = assemble(source, constants=asm_constants())
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.pipeline.reset_at(asm.entry)
+    machine.pipeline.regs[29] = 0x7FFF0000
+    event = machine.pipeline.run(max_cycles=200_000)
+    assert event.kind is EventKind.HALT
+    assert 42 in ahbm.entities
+    assert ahbm.entities[42].counter == 12
+    assert ahbm.entities[42].mean_gap is not None
+
+
+def test_os_heartbeat_via_kernel_driver():
+    """The kernel-driver path: the OS beats on every event it handles."""
+    from repro.program.layout import MemoryLayout
+    from repro.workloads.asmlib import build_workload_image
+
+    machine, ahbm = make_ahbm(sample_period=64)
+    ahbm.register(99, 0)
+    machine.kernel.os_heartbeat_id = 99
+    image, __ = build_workload_image("""
+        main:
+            li $t0, 8
+        loop:
+            li $v0, SYS_YIELD
+            syscall
+            addi $t0, $t0, -1
+            bnez $t0, loop
+            halt
+    """, MemoryLayout())
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=2_000_000)
+    assert result.reason == "halt"
+    assert ahbm.entities[99].counter >= 8

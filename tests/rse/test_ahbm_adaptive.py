@@ -1,0 +1,70 @@
+"""AHBM adaptive-timeout behaviour under cadence drift."""
+
+from repro.rse.modules.ahbm import AHBM, MonitoredEntity
+from repro.system import build_machine
+
+
+def make():
+    machine = build_machine(with_rse=True)
+    ahbm = machine.rse.attach(AHBM(sample_period=64, min_timeout=128))
+    machine.rse.enable_module(AHBM.MODULE_ID)
+    return ahbm
+
+
+def drive(ahbm, beats, until, entity=1):
+    beat_set = set(beats)
+    for cycle in range(until):
+        if cycle in beat_set:
+            ahbm.beat(entity, cycle)
+        ahbm.step(cycle)
+
+
+def test_timeout_adapts_upward_when_cadence_slows_gradually():
+    ahbm = make()
+    ahbm.register(1, 0)
+    # Gradually slowing heartbeat: 200 -> 400 -> 800 cycles apart.
+    beats = list(range(0, 10_000, 200))
+    beats += list(range(10_000, 30_000, 400))
+    beats += list(range(30_000, 80_000, 800))
+    drive(ahbm, beats, 80_000)
+    assert ahbm.is_alive(1)          # gradual drift is not a failure
+    assert ahbm.timeout_for(ahbm.entities[1]) > 800
+
+
+def test_sudden_stop_after_fast_cadence_detected_quickly():
+    ahbm = make()
+    ahbm.register(1, 0)
+    drive(ahbm, range(0, 20_000, 200), 20_000)
+    timeout = ahbm.timeout_for(ahbm.entities[1])
+    # Continue stepping with no beats: failure within a few timeouts.
+    for cycle in range(20_000, 20_000 + 6 * timeout):
+        ahbm.step(cycle)
+    assert ahbm.is_alive(1) is False
+    fail_cycle = ahbm.failures[0][0]
+    assert fail_cycle - 20_000 < 5 * timeout
+
+
+def test_entity_record_statistics():
+    entity = MonitoredEntity(1, 0)
+    for cycle in (100, 200, 300, 400):
+        entity.observe_beat(cycle)
+    assert entity.counter == 4
+    assert 80 <= entity.mean_gap <= 120          # EWMA around 100
+    assert entity.last_change_cycle == 400
+
+
+def test_min_timeout_floor():
+    ahbm = make()
+    ahbm.register(1, 0)
+    # Very fast beats would yield a tiny timeout; the floor holds.
+    drive(ahbm, range(0, 5_000, 10), 5_000)
+    assert ahbm.timeout_for(ahbm.entities[1]) >= 128
+
+
+def test_initial_timeout_before_learning():
+    ahbm = make()
+    ahbm.register(1, 0)
+    entity = ahbm.entities[1]
+    assert ahbm.timeout_for(entity) == ahbm.initial_timeout
+    entity.observe_beat(100)
+    assert ahbm.timeout_for(entity) == ahbm.initial_timeout  # 1 beat: still

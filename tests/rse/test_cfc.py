@@ -1,0 +1,128 @@
+"""Control-Flow Checker module: CFG extraction and violation detection."""
+
+from repro.isa.assembler import assemble
+from repro.pipeline.core import EventKind
+from repro.rse.modules.cfc import CFC, MODULE_CFC, build_cfg
+from repro.system import build_machine
+
+PROGRAM = """
+    main:
+        li $a0, 4
+        jal double
+        move $s0, $v0
+        li $t0, 2
+    loop:
+        addi $t0, $t0, -1
+        bnez $t0, loop
+        j finish
+        li $s1, 111          # dead code
+    finish:
+        halt
+    double:
+        add $v0, $a0, $a0
+        jr $ra
+"""
+
+
+def build(source=PROGRAM):
+    machine = build_machine(with_rse=True)
+    cfc = machine.rse.attach(CFC())
+    asm = assemble(source)
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.memory.store_bytes(asm.data_base, asm.data)
+    cfc.configure(*build_cfg(machine.memory, asm.text_base, len(asm.text)))
+    machine.rse.enable_module(MODULE_CFC)
+    machine.pipeline.reset_at(asm.entry)
+    machine.pipeline.regs[29] = 0x7FFF0000
+    return machine, asm, cfc
+
+
+def test_cfg_extraction():
+    machine, asm, cfc = build()
+    branch_pc = asm.symbols["loop"] + 4          # the bnez
+    assert cfc.successors[branch_pc] == frozenset(
+        {asm.symbols["loop"], branch_pc + 4})
+    jal_pc = asm.symbols["main"] + 4
+    assert cfc.successors[jal_pc] == frozenset({asm.symbols["double"]})
+    # jr legal landing sites: the function entry and both return sites.
+    assert asm.symbols["double"] in cfc.indirect_targets
+    assert jal_pc + 4 in cfc.indirect_targets
+
+
+def test_clean_run_has_no_violations():
+    machine, asm, cfc = build()
+    event = machine.pipeline.run(max_cycles=100_000)
+    assert event.kind is EventKind.HALT
+    assert machine.pipeline.regs[16] == 8
+    assert cfc.transfers_checked >= 4
+    assert cfc.violations == []
+
+
+def test_corrupted_branch_target_detected():
+    machine, asm, cfc = build()
+    # Redirect the final `j finish` to the dead code instead: decodes
+    # fine, executes fine, but is not the static CFG successor.
+    from repro.isa.encoding import encode
+    from repro.isa.instructions import SPEC_BY_NAME
+
+    j_pc = asm.symbols["loop"] + 8
+    dead_code = j_pc + 4
+    machine.memory.store_word(j_pc, encode(SPEC_BY_NAME["j"],
+                                           target=dead_code >> 2))
+    event = machine.pipeline.run(max_cycles=100_000)
+    assert event.kind is EventKind.HALT
+    assert any(v.from_pc == j_pc and v.to_pc == dead_code
+               for v in cfc.violations)
+    assert machine.pipeline.regs[17] == 111          # the damage it caught
+
+
+def test_hijacked_return_detected():
+    # A stack-smash-style hijack: $ra is corrupted so `jr $ra` lands at
+    # an address that is neither a function entry nor a return site.
+    machine, asm, cfc = build("""
+        main:
+            jal victim
+            halt
+        victim:
+            li $t0, 0x00400100          # attacker-controlled address
+            move $ra, $t0
+            jr $ra
+        filler:
+            nop
+            nop
+    """)
+    violations = []
+    cfc.on_violation = violations.append
+    machine.pipeline.run(max_cycles=100_000)
+    assert violations
+    assert violations[0].kind == "indirect"
+
+
+def test_legal_indirect_calls_pass():
+    machine, asm, cfc = build("""
+        main:
+            la $t0, helper
+            jalr $ra, $t0
+            halt
+        helper:
+            jr $ra
+    """)
+    # jalr targets are not statically known; register the helper entry.
+    cfc.indirect_targets = cfc.indirect_targets | {asm.symbols["helper"]}
+    event = machine.pipeline.run(max_cycles=100_000)
+    assert event.kind is EventKind.HALT
+    assert cfc.violations == []
+
+
+def test_module_is_detection_only():
+    """Asynchronous mode: the program still runs to completion."""
+    machine, asm, cfc = build()
+    from repro.isa.encoding import encode
+    from repro.isa.instructions import SPEC_BY_NAME
+
+    j_pc = asm.symbols["loop"] + 8
+    machine.memory.store_word(j_pc, encode(SPEC_BY_NAME["j"],
+                                           target=(j_pc + 4) >> 2))
+    event = machine.pipeline.run(max_cycles=100_000)
+    assert event.kind is EventKind.HALT          # detected, not prevented
+    assert cfc.violations

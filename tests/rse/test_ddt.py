@@ -1,0 +1,174 @@
+"""DDT: the Figure 5 state machine, DDM logging, SavePage, PST LRU."""
+
+from repro.rse.check import MODULE_DDT
+from repro.rse.modules.ddt import DDT
+from repro.system import build_machine
+
+
+class FakeInstr:
+    def __init__(self, kind):
+        self.is_load = kind == "load"
+        self.is_store = kind == "store"
+
+
+class FakeUop:
+    def __init__(self, kind, addr):
+        self.instr = FakeInstr(kind)
+        self.eff_addr = addr
+
+
+def make_ddt(**kwargs):
+    machine = build_machine(with_rse=True)
+    ddt = machine.rse.attach(DDT(**kwargs))
+    machine.rse.enable_module(MODULE_DDT)
+    saved = []
+
+    def handler(page, tid, cycle):
+        saved.append((page, tid))
+        return 0
+
+    ddt.save_page_handler = handler
+    for tid in (1, 2, 3):
+        ddt.register_thread(tid)
+    return machine, ddt, saved
+
+
+def _load(machine, ddt, tid, addr, cycle=0):
+    machine.rse.set_current_thread(tid)
+    ddt.on_commit(FakeUop("load", addr), cycle)
+
+
+def _store(machine, ddt, tid, addr, cycle=0):
+    machine.rse.set_current_thread(tid)
+    return ddt.pre_commit_store(FakeUop("store", addr), cycle)
+
+
+PAGE_A = 0x100 << 12
+PAGE_B = 0x200 << 12
+
+
+def test_first_store_saves_page_and_takes_ownership():
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    assert saved == [(0x100, 1)]
+    assert ddt.pst[0x100] == [1, 1]
+
+
+def test_own_store_does_not_resave():
+    """Outcome (3): store by the current write-owner is free."""
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _store(machine, ddt, 1, PAGE_A + 64)
+    assert len(saved) == 1
+
+
+def test_foreign_store_saves_and_transfers_ownership():
+    """Outcome (4): store by a non-owner raises SavePage."""
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _store(machine, ddt, 2, PAGE_A)
+    assert saved == [(0x100, 1), (0x100, 2)]
+    assert ddt.pst[0x100] == [2, 2]
+
+
+def test_own_load_logs_nothing():
+    """Outcome (1): load by the current read-owner."""
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 1, PAGE_A)
+    assert ddt.dependencies_logged == 0
+
+
+def test_foreign_load_logs_dependency():
+    """Outcome (2): t2 reads a page t1 wrote -> dependency t1 -> t2."""
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 2, PAGE_A)
+    assert 2 in ddt.ddm[1]
+    assert ddt.dependencies_logged == 1
+    assert ddt.pst[0x100] == [1, 2]          # read-owner moved to t2
+
+
+def test_load_from_unwritten_page_logs_nothing():
+    machine, ddt, saved = make_ddt()
+    _load(machine, ddt, 2, PAGE_B)
+    assert ddt.dependencies_logged == 0
+
+
+def test_dependency_not_symmetric():
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 2, PAGE_A)
+    assert 2 in ddt.ddm[1]
+    assert 1 not in ddt.ddm.get(2, set())
+
+
+def test_transitive_closure():
+    # t1 -> t2 (page A), t2 -> t3 (page B): dependents of t1 = {2, 3}.
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 2, PAGE_A)
+    _store(machine, ddt, 2, PAGE_B)
+    _load(machine, ddt, 3, PAGE_B)
+    assert ddt.dependents_of(1) == {2, 3}
+    assert ddt.dependents_of(2) == {3}
+    assert ddt.dependents_of(3) == set()
+
+
+def test_figure8_dependency_chain():
+    """The exact scenario of Figure 8 (five threads, pages p1-p3)."""
+    machine, ddt, saved = make_ddt()
+    for tid in (4, 5):
+        ddt.register_thread(tid)
+    p1, p2, p3 = PAGE_A, PAGE_B, 0x300 << 12
+    _store(machine, ddt, 3, p1)          # t2 (paper) writes p1
+    _load(machine, ddt, 2, p1)           # t1 reads p1  => t2 -> t1
+    _store(machine, ddt, 2, p2)          # t1 writes p2
+    _load(machine, ddt, 1, p2)           # t0 reads p2  => t1 -> t0
+    _store(machine, ddt, 1, p3)          # t0 writes p3
+    _load(machine, ddt, 2, p3)           # t1 reads p3  => t0 -> t1
+    # Crash of paper-t2 (our tid 3): dependents are t1 and t0 (2 and 1).
+    assert ddt.dependents_of(3) == {1, 2}
+    # Threads 4 and 5 never touched shared pages: healthy.
+    assert 4 not in ddt.dependents_of(3)
+
+
+def test_forget_thread_clears_state():
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 2, PAGE_A)
+    ddt.forget_thread(1)
+    assert 1 not in ddt.ddm
+    assert ddt.pst[0x100][0] is None
+
+
+def test_pst_lru_eviction():
+    machine, ddt, saved = make_ddt(pst_capacity=2)
+    _store(machine, ddt, 1, 0x100 << 12)
+    _store(machine, ddt, 1, 0x101 << 12)
+    _store(machine, ddt, 1, 0x102 << 12)          # evicts 0x100
+    assert ddt.pst_evictions == 1
+    assert 0x100 not in ddt.pst
+    # Re-store to the evicted page: conservatively re-saves.
+    _store(machine, ddt, 1, 0x100 << 12)
+    assert saved.count((0x100, 1)) == 2
+
+
+def test_model_lag_drops_back_to_back_dependencies():
+    machine, ddt, saved = make_ddt(model_lag=True)
+    _store(machine, ddt, 1, PAGE_A)
+    _store(machine, ddt, 1, PAGE_B)
+    _load(machine, ddt, 2, PAGE_A, cycle=100)
+    _load(machine, ddt, 3, PAGE_B, cycle=101)          # within 1 cycle: missed
+    assert ddt.dependencies_logged == 1
+    assert ddt.dependencies_missed == 1
+
+
+def test_reset_tracking():
+    machine, ddt, saved = make_ddt()
+    _store(machine, ddt, 1, PAGE_A)
+    _load(machine, ddt, 2, PAGE_A)
+    ddt.reset_tracking()
+    assert not ddt.pst
+    assert ddt.dependents_of(1) == set()

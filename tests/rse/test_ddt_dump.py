@@ -1,0 +1,88 @@
+"""The DDT's "size query and retrieval" CHECK (OP_DDT_DUMP).
+
+Section 4.2.2: "System software performs recovery by retrieving
+information stored in PST and DDM through a special size query and
+retrieval check instruction."  The dump serialises the DDM to a
+guest-visible memory buffer through the MAU.
+"""
+
+from repro.isa.assembler import assemble
+from repro.pipeline.core import EventKind
+from repro.rse.check import MODULE_DDT, asm_constants
+from repro.system import build_machine
+
+PROGRAM = """
+.data
+.align 12
+page_a: .space 4096
+page_b: .space 4096
+dump:   .space 256
+
+.text
+main:
+    chk DDT, NBLK, OP_ENABLE, 0
+    # Build a dependency the hardware can report: this thread (tid 0,
+    # bare machine) writes page_a; "another thread" reads it below.
+    la $t0, page_a
+    li $t1, 7
+    sw $t1, 0($t0)
+    halt
+"""
+
+
+def test_dump_serialises_ddm_to_memory():
+    machine = build_machine(with_rse=True, modules=("ddt",))
+    ddt = machine.module(MODULE_DDT)
+    # Seed a known DDM: threads 1..3, edges 1->2 and 1->3.
+    for tid in (1, 2, 3):
+        ddt.register_thread(tid)
+    ddt.ddm[1].update({2, 3})
+
+    asm = assemble("""
+        .data
+        dump: .space 64
+        .text
+        main:
+            la $a0, dump
+            li $a1, 0
+            chk DDT, BLK, OP_DDT_DUMP, 0
+            halt
+    """, constants=asm_constants())
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.rse.enable_module(MODULE_DDT)
+    machine.pipeline.reset_at(asm.entry)
+    machine.pipeline.regs[29] = 0x7FFF0000
+    event = machine.pipeline.run(max_cycles=100_000)
+    assert event.kind is EventKind.HALT
+
+    dump_addr = asm.symbols["dump"]
+    count = machine.memory.load_word(dump_addr)
+    assert count == 3
+    tids = [machine.memory.load_word(dump_addr + 4 + 4 * i)
+            for i in range(count)]
+    assert tids == [1, 2, 3]
+    matrix_base = dump_addr + 4 + 4 * count
+    matrix = [[machine.memory.load_byte(matrix_base + row * count + col)
+               for col in range(count)] for row in range(count)]
+    assert matrix[0] == [0, 1, 1]          # 1 -> 2, 1 -> 3
+    assert matrix[1] == [0, 0, 0]
+    assert matrix[2] == [0, 0, 0]
+
+
+def test_dump_matches_live_tracking():
+    """Dump after real tracked activity agrees with dependents_of()."""
+    from repro.kernel.kernel import KernelConfig
+    from repro.program.layout import MemoryLayout
+    from repro.workloads import figure8
+    from repro.workloads.asmlib import build_workload_image
+
+    machine = build_machine(with_rse=True, modules=("ddt",),
+                            kernel_config=KernelConfig(
+                                quantum_cycles=200_000))
+    machine.rse.enable_module(MODULE_DDT)
+    ddt = machine.module(MODULE_DDT)
+    image, __ = figure8.program()
+    machine.kernel.load_process(image)
+    machine.kernel.run(max_cycles=30_000_000)
+    # W1 (tid 2) contaminated W2 (3) and W3 (4), directly or transitively.
+    assert ddt.dependents_of(2) == {3, 4}

@@ -1,0 +1,80 @@
+"""Engine odds and ends: load barriers, module registry, thread plumbing."""
+
+import pytest
+
+from repro.isa.encoding import decode
+from repro.rse.check import (
+    MODULE_DDT,
+    MODULE_MLR,
+    OP_ICM_CHECK,
+    OP_MLR_COPY_GOT,
+    encode_check,
+    op_reads_payload,
+)
+from repro.system import build_machine
+
+
+def test_attach_rejects_duplicate_ids():
+    from repro.rse.modules.mlr import MLR
+
+    machine = build_machine(with_rse=True, modules=("mlr",))
+    with pytest.raises(ValueError):
+        machine.rse.attach(MLR())
+
+
+def test_module_accessor():
+    machine = build_machine(with_rse=True, modules=("mlr", "ddt"))
+    assert machine.module(MODULE_MLR).name == "MLR"
+    assert machine.rse.module(MODULE_DDT).name == "DDT"
+
+
+def test_enable_disable_hooks_fire():
+    machine = build_machine(with_rse=True, modules=("ddt",))
+    calls = []
+    ddt = machine.module(MODULE_DDT)
+    ddt.on_enable = lambda: calls.append("on")
+    ddt.on_disable = lambda: calls.append("off")
+    machine.rse.enable_module(MODULE_DDT)
+    machine.rse.disable_module(MODULE_DDT)
+    assert calls == ["on", "off"]
+
+
+def test_check_blocks_loads_only_for_memory_writers():
+    machine = build_machine(with_rse=True, modules=("mlr", "ddt", "icm"))
+    rse = machine.rse
+    for module_id in (1, 2, 3):
+        rse.enable_module(module_id)
+    mlr_blk = decode(encode_check(MODULE_MLR, OP_MLR_COPY_GOT, blocking=True))
+    assert rse.check_blocks_loads(mlr_blk)
+    mlr_nblk = decode(encode_check(MODULE_MLR, OP_MLR_COPY_GOT,
+                                   blocking=False))
+    assert not rse.check_blocks_loads(mlr_nblk)
+    icm_blk = decode(encode_check(1, OP_ICM_CHECK, blocking=True))
+    assert not rse.check_blocks_loads(icm_blk)          # ICM reads only
+    rse.disable_module(MODULE_MLR)
+    assert not rse.check_blocks_loads(mlr_blk)
+
+
+def test_op_payload_convention():
+    assert op_reads_payload(0x10)
+    assert op_reads_payload(0x15)
+    assert not op_reads_payload(0x02)
+    assert not op_reads_payload(0x00)
+
+
+def test_set_current_thread():
+    machine = build_machine(with_rse=True)
+    machine.rse.set_current_thread(7)
+    assert machine.rse.current_tid == 7
+
+
+def test_build_machine_rejects_modules_without_rse():
+    with pytest.raises(ValueError):
+        build_machine(with_rse=False, modules=("icm",))
+
+
+def test_bus_timing_selected_by_rse_presence():
+    plain = build_machine()
+    framed = build_machine(with_rse=True)
+    assert plain.hierarchy.bus.timing.first_chunk == 18
+    assert framed.hierarchy.bus.timing.first_chunk == 19

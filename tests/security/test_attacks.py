@@ -1,0 +1,60 @@
+"""Attack experiments: fixed layout falls, TRR/MLR defend."""
+
+import pytest
+
+from repro.security.attacks import (
+    AttackOutcome,
+    run_got_hijack,
+    run_stack_smash,
+)
+
+
+def test_stack_smash_succeeds_on_fixed_layout():
+    result = run_stack_smash(defense="none")
+    assert result.outcome is AttackOutcome.HIJACKED
+
+
+def test_stack_smash_crashes_under_trr():
+    result = run_stack_smash(defense="trr", seed=77)
+    assert result.outcome is AttackOutcome.CRASHED
+
+
+def test_stack_smash_defeated_under_mlr():
+    result = run_stack_smash(defense="mlr")
+    # The attack is converted into a crash (the paper's exact claim);
+    # shellcode never runs.
+    assert result.outcome is AttackOutcome.CRASHED
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_trr_defends_across_random_layouts(seed):
+    result = run_stack_smash(defense="trr", seed=seed)
+    assert result.outcome is not AttackOutcome.HIJACKED
+
+
+def test_got_hijack_succeeds_on_fixed_layout():
+    result = run_got_hijack(defense="none")
+    assert result.outcome is AttackOutcome.HIJACKED
+
+
+def test_got_hijack_foiled_under_mlr():
+    result = run_got_hijack(defense="mlr")
+    # The stale GOT write hits abandoned memory: service completes and
+    # the legitimate logger ran.
+    assert result.outcome is AttackOutcome.FOILED
+
+
+def test_benign_request_handled_everywhere():
+    """A short, honest request never trips anything."""
+    from repro.program.layout import MemoryLayout
+    from repro.security.attacks import vulnerable_service_program
+    from repro.system import build_machine
+
+    machine = build_machine()
+    image, asm = vulnerable_service_program(MemoryLayout())
+    machine.kernel.load_process(image)
+    machine.memory.store_bytes(asm.symbols["request"], b"hello")
+    machine.memory.store_word(asm.symbols["request_len"], 5)
+    result = machine.kernel.run(max_cycles=1_000_000)
+    assert result.reason == "halt"
+    assert machine.memory.load_word(asm.symbols["secret_flag"]) == 0

@@ -1,0 +1,51 @@
+"""Bit-flip campaigns: ICM coverage on checked instructions."""
+
+import pytest
+
+from repro.security.faults import BitFlipOutcome, run_bitflip_campaign
+
+WORKLOAD = """
+    main:
+        li $t0, 0
+        li $t1, 25
+        li $s0, 0
+    loop:
+        add $s0, $s0, $t0
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+
+def test_icm_detects_all_checked_bitflips():
+    campaign = run_bitflip_campaign(WORKLOAD, injections=25, with_icm=True,
+                                    seed=5)
+    assert campaign.detection_rate == 1.0
+
+
+def test_multibit_errors_also_detected():
+    campaign = run_bitflip_campaign(WORKLOAD, injections=15,
+                                    bits_per_injection=3, with_icm=True,
+                                    seed=6)
+    assert campaign.detection_rate == 1.0
+
+
+def test_unprotected_baseline_shows_damage():
+    campaign = run_bitflip_campaign(WORKLOAD, injections=30, with_icm=False,
+                                    seed=7, max_cycles=100_000)
+    assert campaign.detection_rate == 0.0
+    damage = (campaign.count(BitFlipOutcome.FAULTED)
+              + campaign.count(BitFlipOutcome.CORRUPTED)
+              + campaign.count(BitFlipOutcome.HUNG))
+    assert damage > 0          # some flips really do hurt
+
+
+def test_campaign_is_deterministic():
+    one = run_bitflip_campaign(WORKLOAD, injections=10, seed=42)
+    two = run_bitflip_campaign(WORKLOAD, injections=10, seed=42)
+    assert one.runs == two.runs
+
+
+def test_campaign_requires_checked_instructions():
+    with pytest.raises(ValueError):
+        run_bitflip_campaign("main: halt\n", injections=1)

@@ -1,0 +1,76 @@
+"""asmlib: NOP insertion (the cache-overhead methodology) and constants."""
+
+from repro.isa.assembler import assemble
+from repro.workloads.asmlib import (
+    build_workload_image,
+    insert_nops_before_control,
+    std_constants,
+)
+
+import sys
+sys.path.insert(0, "tests")
+from helpers import run_func, run_pipeline          # noqa: E402
+
+
+SOURCE = """
+    main:
+        li $t0, 0
+        li $t1, 10
+    loop:
+        add $t0, $t0, $t1
+        addi $t1, $t1, -1
+        bnez $t1, loop
+        beq $t0, $zero, never
+        j done
+    never:
+        li $t0, 999
+    done:
+        halt
+"""
+
+
+def test_nop_inserted_before_each_control_instruction():
+    rewritten = insert_nops_before_control(SOURCE)
+    # bnez, beq, j -> three NOPs.
+    assert rewritten.count("    nop") == 3
+    lines = [line.strip() for line in rewritten.splitlines() if line.strip()]
+    for index, line in enumerate(lines):
+        if line.split()[0] in ("bnez", "beq", "j"):
+            assert lines[index - 1] == "nop", line
+
+
+def test_nop_insertion_preserves_semantics():
+    original, __, __ = run_func(SOURCE)
+    rewritten, __, result = run_func(insert_nops_before_control(SOURCE))
+    assert result.value == "halted"
+    assert rewritten.regs[8] == original.regs[8] == 55
+
+
+def test_nop_insertion_with_label_prefix():
+    source = "main: li $t0, 1\nend: j end2\nend2: halt\n"
+    rewritten = insert_nops_before_control(source)
+    asm = assemble(rewritten)
+    # The label binds to the NOP; NOP + j = 8 bytes before end2.
+    assert asm.symbols["end"] + 8 == asm.symbols["end2"]
+    __, __, result = run_func(rewritten)
+    assert result.value == "halted"
+
+
+def test_nop_insertion_grows_instruction_count():
+    plain = assemble(SOURCE)
+    padded = assemble(insert_nops_before_control(SOURCE))
+    assert len(padded.text) == len(plain.text) + 3 * 4
+
+
+def test_std_constants_cover_syscalls_and_modules():
+    constants = std_constants()
+    assert constants["SYS_EXIT"] == 1
+    assert constants["ICM"] == 1
+    assert constants["OP_MLR_PI_RAND"] == 2
+    assert constants["HDR_BASE"] == 0x0FFF0000
+
+
+def test_build_workload_image_runs():
+    image, asm = build_workload_image("main: li $v0, SYS_GETTID\n halt\n")
+    assert image.entry == asm.entry
+    assert image.segment(".text").perms == "rx"

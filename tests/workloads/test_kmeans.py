@@ -1,0 +1,67 @@
+"""kMeans workload: assembly output must match the Python oracle."""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.memory.mainmem import MainMemory
+from repro.program.layout import MemoryLayout
+from repro.system import build_machine
+from repro.workloads import kmeans
+
+
+def run_funcsim(image, asm):
+    mem = MainMemory()
+    for segment in image.segments:
+        mem.store_bytes(segment.base, segment.data)
+    sim = FuncSim(mem, entry=image.entry, sp=image.layout.stack_top - 64)
+    result = sim.run(max_steps=20_000_000)
+    return sim, result
+
+
+def read_words(memory, addr, count):
+    return [memory.load_word(addr + 4 * i) for i in range(count)]
+
+
+def test_small_kmeans_matches_reference_funcsim():
+    patterns = kmeans.generate_patterns(count=40, clusters=4, seed=3)
+    image, asm = kmeans.program(patterns=patterns, clusters=4, iterations=2)
+    sim, result = run_funcsim(image, asm)
+    assert result is StepResult.HALTED
+    expected_assign, expected_centroids = kmeans.reference_kmeans(
+        patterns, clusters=4, iterations=2)
+    assign = read_words(sim.memory, asm.symbols["assign"], len(patterns))
+    assert assign == expected_assign
+    centroids = read_words(sim.memory, asm.symbols["centroids"], 8)
+    flat_expected = [v for c in expected_centroids for v in c]
+    assert centroids == flat_expected
+
+
+def test_paper_configuration_runs():
+    """The paper's setup: 3 iterations, 200 patterns, 16 clusters."""
+    image, asm = kmeans.program()
+    sim, result = run_funcsim(image, asm)
+    assert result is StepResult.HALTED
+    expected_assign, __ = kmeans.reference_kmeans(
+        kmeans.generate_patterns())
+    assign = read_words(sim.memory, asm.symbols["assign"], 200)
+    assert assign == expected_assign
+
+
+def test_kmeans_pipeline_matches_funcsim():
+    patterns = kmeans.generate_patterns(count=24, clusters=4, seed=9)
+    image, asm = kmeans.program(patterns=patterns, clusters=4, iterations=1)
+    sim, __ = run_funcsim(image, asm)
+    machine = build_machine()
+    result = machine.run_program(image, max_cycles=5_000_000)
+    assert result.reason == "halt"
+    for label in ("assign", "centroids"):
+        count = 24 if label == "assign" else 8
+        assert (read_words(machine.memory, asm.symbols[label], count) ==
+                read_words(sim.memory, asm.symbols[label], count))
+    assert machine.pipeline.stats.instret == sim.instret
+
+
+def test_clusters_are_meaningful():
+    # Patterns drawn around k centres should mostly co-cluster.
+    patterns = kmeans.generate_patterns(count=80, clusters=4, seed=5)
+    assignments, __ = kmeans.reference_kmeans(patterns, clusters=4,
+                                              iterations=3)
+    assert len(set(assignments)) > 1          # not degenerate

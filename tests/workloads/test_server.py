@@ -1,0 +1,68 @@
+"""Multithreaded server: request completion, sharing, DDT interaction."""
+
+import pytest
+
+from repro.kernel.kernel import KernelConfig
+from repro.rse.check import MODULE_DDT
+from repro.system import build_machine
+from repro.workloads import server
+
+
+def run_server(workers, requests=12, with_ddt=False, work_iters=40,
+               max_cycles=30_000_000):
+    modules = ("ddt",) if with_ddt else ()
+    machine = build_machine(with_rse=with_ddt, modules=modules,
+                            kernel_config=KernelConfig(quantum_cycles=3000))
+    if with_ddt:
+        machine.rse.enable_module(MODULE_DDT)
+    image, asm = server.program(workers, work_iters=work_iters)
+    machine.kernel.set_request_source(requests)
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=max_cycles)
+    return machine, asm, result
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_all_requests_served(workers):
+    machine, asm, result = run_server(workers, requests=10)
+    assert result.reason == "halt"
+    assert len(machine.kernel.responses) == 10
+    stats_addr = asm.symbols["stats"]
+    assert machine.memory.load_word(stats_addr) == 10          # total served
+
+
+def test_responses_deterministic_across_worker_counts():
+    # The request->response mapping is a pure function of the request id,
+    # so any pool size must produce identical responses.
+    __, __, r1 = run_server(1, requests=8)
+    machine1, __, __ = run_server(1, requests=8)
+    machine3, __, __ = run_server(3, requests=8)
+    assert machine1.kernel.responses == machine3.kernel.responses
+
+
+def test_more_threads_exploit_io_parallelism():
+    __, __, one = run_server(1, requests=16)
+    __, __, four = run_server(4, requests=16)
+    assert four.cycles < one.cycles
+
+
+def test_ddt_tracks_server_sharing():
+    machine, __, result = run_server(3, requests=12, with_ddt=True)
+    assert result.reason == "halt"
+    ddt = machine.module(MODULE_DDT)
+    assert ddt.save_pages_raised > 0
+    assert machine.kernel.checkpoints.saves_total > 0
+    assert ddt.dependencies_logged > 0          # stats page bounces around
+
+
+def test_ddt_makes_runs_slower_not_wrong():
+    machine_plain, __, plain = run_server(3, requests=12)
+    machine_ddt, __, ddt_run = run_server(3, requests=12, with_ddt=True)
+    assert plain.reason == ddt_run.reason == "halt"
+    assert machine_plain.kernel.responses == machine_ddt.kernel.responses
+    assert ddt_run.cycles > plain.cycles          # SavePage costs cycles
+
+
+def test_savepage_freezes_pipeline():
+    machine, __, result = run_server(2, requests=8, with_ddt=True)
+    assert machine.pipeline.stats.savepage_stalls > 0

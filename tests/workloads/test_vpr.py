@@ -1,0 +1,83 @@
+"""vpr-place / vpr-route surrogates: functional validation."""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.memory.mainmem import MainMemory
+from repro.system import build_machine
+from repro.workloads import vpr_place, vpr_route
+
+
+def run_funcsim(image):
+    mem = MainMemory()
+    for segment in image.segments:
+        mem.store_bytes(segment.base, segment.data)
+    sim = FuncSim(mem, entry=image.entry, sp=image.layout.stack_top - 64)
+    result = sim.run(max_steps=50_000_000)
+    return sim, result
+
+
+def test_place_reduces_wirelength():
+    image, asm = vpr_place.program(cells=32, nets=48, moves=800, seed=4)
+    posx, posy, nets = vpr_place.make_netlist(32, 48, seed=4)
+    initial_cost = vpr_place.wirelength(posx, posy, nets)
+    sim, result = run_funcsim(image)
+    assert result is StepResult.HALTED
+    final_cost = sim.memory.load_word(asm.symbols["final_cost"])
+    accepts = sim.memory.load_word(asm.symbols["accepts"])
+    assert accepts > 0
+    assert final_cost < initial_cost          # annealing improved placement
+
+
+def test_place_final_cost_consistent_with_positions():
+    image, asm = vpr_place.program(cells=24, nets=36, moves=400, seed=8)
+    sim, __ = run_funcsim(image)
+    cells = 24
+    posx = [sim.memory.load_word(asm.symbols["posx"] + 4 * i)
+            for i in range(cells)]
+    posy = [sim.memory.load_word(asm.symbols["posy"] + 4 * i)
+            for i in range(cells)]
+    __, __, nets = vpr_place.make_netlist(24, 36, seed=8)
+    expected = vpr_place.wirelength(posx, posy, nets)
+    assert sim.memory.load_word(asm.symbols["final_cost"]) == expected
+
+
+def test_place_pipeline_matches_funcsim():
+    image, asm = vpr_place.program(cells=16, nets=24, moves=150, seed=2)
+    sim, __ = run_funcsim(image)
+    machine = build_machine()
+    result = machine.run_program(image, max_cycles=5_000_000)
+    assert result.reason == "halt"
+    for label in ("final_cost", "accepts"):
+        assert (machine.memory.load_word(asm.symbols[label]) ==
+                sim.memory.load_word(asm.symbols[label]))
+    assert machine.pipeline.stats.instret == sim.instret
+
+
+def test_route_matches_reference():
+    occ, srcs, sinks, stride = vpr_route.make_maze(16, 16, routes=8, seed=6)
+    expected_routed, expected_len = vpr_route.reference_route(
+        occ, srcs, sinks, stride)
+    image, asm = vpr_route.program(16, 16, routes=8, seed=6)
+    sim, result = run_funcsim(image)
+    assert result is StepResult.HALTED
+    assert sim.memory.load_word(asm.symbols["routed"]) == expected_routed
+    assert sim.memory.load_word(asm.symbols["total_len"]) == expected_len
+    assert expected_routed > 0          # the maze is actually routable
+
+
+def test_route_pipeline_matches_funcsim():
+    image, asm = vpr_route.program(12, 12, routes=4, seed=13)
+    sim, __ = run_funcsim(image)
+    machine = build_machine()
+    result = machine.run_program(image, max_cycles=5_000_000)
+    assert result.reason == "halt"
+    for label in ("routed", "total_len"):
+        assert (machine.memory.load_word(asm.symbols[label]) ==
+                sim.memory.load_word(asm.symbols[label]))
+
+
+def test_paths_block_later_routes():
+    # With many routes over a small grid, path marking must eventually
+    # affect later nets (occupancy grows).
+    occ, srcs, sinks, stride = vpr_route.make_maze(10, 10, routes=20, seed=3)
+    routed, __ = vpr_route.reference_route(occ, srcs, sinks, stride)
+    assert routed < 20          # some routes blocked by earlier paths
