@@ -1,0 +1,21 @@
+"""Make ``import repro`` work when examples run from a source checkout.
+
+Every example starts with ``import _bootstrap  # noqa: F401`` instead of
+carrying its own ``sys.path`` surgery.  Installing the package (``pip
+install -e .``) makes the import a no-op.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def add_repo_path(*parts):
+    """Put a repo-relative directory on ``sys.path`` (idempotent)."""
+    path = os.path.join(_ROOT, *parts)
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+add_repo_path("src")

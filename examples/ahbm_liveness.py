@@ -12,11 +12,7 @@ the rest of the system finishes cleanly.
 Run:  python examples/ahbm_liveness.py
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
+import _bootstrap  # noqa: F401  (sys.path for repo checkouts)
 
 from repro.kernel.kernel import KernelConfig
 from repro.program.layout import MemoryLayout

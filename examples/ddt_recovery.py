@@ -18,11 +18,7 @@ thread finish their work.
 Run:  python examples/ddt_recovery.py
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
+import _bootstrap  # noqa: F401  (sys.path for repo checkouts)
 
 from repro.kernel.kernel import KernelConfig
 from repro.rse.check import MODULE_DDT

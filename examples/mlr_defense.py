@@ -18,11 +18,7 @@ off entirely (GOT hijack against a relocated GOT).
 Run:  python examples/mlr_defense.py
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
+import _bootstrap  # noqa: F401  (sys.path for repo checkouts)
 
 from repro.security.attacks import (
     AttackOutcome,

@@ -16,11 +16,7 @@ This walks the library's core loop end to end:
 Run:  python examples/quickstart.py
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
+import _bootstrap  # noqa: F401  (sys.path for repo checkouts)
 
 from repro.isa.assembler import assemble
 from repro.isa.encoding import flip_bit

@@ -19,13 +19,9 @@ completes:
 Run:  python examples/selfcheck_demo.py
 """
 
-import os
-import sys
+import _bootstrap  # noqa: F401  (sys.path for repo checkouts)
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "tests"))
+_bootstrap.add_repo_path("tests")   # for the shared ProbeModule helper
 
 from probe_module import TEST_MODULE_ID, ProbeModule
 from repro.isa.assembler import assemble

@@ -1,5 +1,7 @@
 """Run records and derived metrics for the benchmark harnesses."""
 
+import math
+
 
 class RunRecord:
     """Everything a benchmark wants to keep from one simulation run."""
@@ -47,3 +49,33 @@ def improvement_pct(baseline, improved):
     if baseline == 0:
         return 0.0
     return 100.0 * (baseline - improved) / baseline
+
+
+def rate(successes, total):
+    """Plain success proportion; 0.0 on an empty sample."""
+    return successes / total if total else 0.0
+
+
+def wilson_interval(successes, total, z=1.96):
+    """Wilson score confidence interval for a binomial proportion.
+
+    Unlike the normal approximation, the Wilson interval stays inside
+    [0, 1] and behaves sensibly at 0% and 100% observed rates — exactly
+    the regime fault-detection campaigns live in (a 40/40 detection
+    campaign should report an interval like [0.91, 1.0], not a point).
+    Returns ``(low, high)``; ``(0.0, 1.0)`` for an empty sample, which
+    is the honest statement of total ignorance.
+    """
+    if total == 0:
+        return (0.0, 1.0)
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    phat = successes / total
+    z2 = z * z
+    denom = 1.0 + z2 / total
+    centre = phat + z2 / (2.0 * total)
+    margin = z * math.sqrt(phat * (1.0 - phat) / total
+                           + z2 / (4.0 * total * total))
+    low = (centre - margin) / denom
+    high = (centre + margin) / denom
+    return (max(0.0, low), min(1.0, high))

@@ -1,0 +1,34 @@
+"""repro.campaign — parallel, resumable fault-injection campaigns.
+
+The paper evaluates every RSE module by injecting faults and tabulating
+outcomes; this package makes that a first-class subsystem:
+
+* :mod:`repro.campaign.models` — the fault-model registry (instruction
+  bit flips, register-file flips, data-memory flips, control-flow
+  corruption), each producing deterministic injections;
+* :mod:`repro.campaign.space` — seeded, order-independent sampling of
+  the injection space;
+* :mod:`repro.campaign.runner` — serial or multiprocessing execution
+  with crash-isolated workers and per-run cycle budgets;
+* :mod:`repro.campaign.store` — the append-only JSONL store campaigns
+  resume from and single runs replay out of;
+* :mod:`repro.campaign.report` — outcome tables, Wilson-interval
+  detection rates, protected-vs-unprotected comparisons.
+"""
+
+from repro.campaign.models import (FaultModel, Injection, MODELS, Outcome,
+                                   get_model, register)
+from repro.campaign.report import (detection_stats, format_campaign_report,
+                                   format_comparison, outcome_counts)
+from repro.campaign.runner import (CampaignRun, CampaignSpec, DEMO_WORKLOAD,
+                                   replay, resume_spec, run_campaign)
+from repro.campaign.space import derive_seed, sample_injections
+from repro.campaign.store import ResultStore, StoreMismatch
+
+__all__ = [
+    "CampaignRun", "CampaignSpec", "DEMO_WORKLOAD", "FaultModel",
+    "Injection", "MODELS", "Outcome", "ResultStore", "StoreMismatch",
+    "derive_seed", "detection_stats", "format_campaign_report",
+    "format_comparison", "get_model", "outcome_counts", "register",
+    "replay", "resume_spec", "run_campaign", "sample_injections",
+]

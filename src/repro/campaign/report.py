@@ -1,0 +1,78 @@
+"""Analysis and reporting over campaign result records.
+
+Everything here operates on plain record dicts — the JSONL rows the
+store holds — so reports can be regenerated from a store file long after
+the campaign ran, without touching the simulator.
+"""
+
+from repro.analysis.stats import rate, wilson_interval
+from repro.analysis.tables import format_table
+from repro.campaign.models import Outcome
+
+#: Outcomes that mean the fault actually hurt an unprotected machine.
+DAMAGE_OUTCOMES = (Outcome.FAULTED, Outcome.CORRUPTED, Outcome.HUNG,
+                   Outcome.CRASHED)
+
+
+def outcome_counts(records):
+    """Ordered ``{outcome value: count}`` over *records*."""
+    counts = {outcome.value: 0 for outcome in Outcome}
+    for record in records:
+        counts[record["outcome"]] = counts.get(record["outcome"], 0) + 1
+    return counts
+
+
+def detection_stats(records, z=1.96):
+    """``(detected, total, rate, (ci_low, ci_high))`` for *records*."""
+    total = len(records)
+    detected = sum(1 for record in records
+                   if record["outcome"] == Outcome.DETECTED.value)
+    return detected, total, rate(detected, total), \
+        wilson_interval(detected, total, z=z)
+
+
+def damage_count(records):
+    """Runs where the fault faulted, corrupted, hung or crashed the run."""
+    bad = {outcome.value for outcome in DAMAGE_OUTCOMES}
+    return sum(1 for record in records if record["outcome"] in bad)
+
+
+def format_campaign_report(records, title="Fault-injection campaign"):
+    """One campaign's outcome table plus its detection-rate interval."""
+    counts = outcome_counts(records)
+    total = len(records) or 1
+    rows = [[outcome, str(count), "%.1f%%" % (100.0 * count / total)]
+            for outcome, count in counts.items()]
+    detected, n, det_rate, (low, high) = detection_stats(records)
+    lines = [format_table(["Outcome", "Runs", "Share"], rows, title=title)]
+    lines.append("")
+    lines.append("detection rate: %d/%d = %.1f%%  "
+                 "(95%% Wilson CI: %.1f%% - %.1f%%)"
+                 % (detected, n, 100 * det_rate, 100 * low, 100 * high))
+    lines.append("damaging runs:  %d/%d" % (damage_count(records), n))
+    return "\n".join(lines)
+
+
+def format_comparison(protected_records, baseline_records,
+                      title="Protected vs unprotected"):
+    """Side-by-side outcome table: same fault space, with and without
+    the RSE protection — the paper's coverage-evaluation shape."""
+    protected = outcome_counts(protected_records)
+    baseline = outcome_counts(baseline_records)
+    rows = [[outcome, str(protected[outcome]), str(baseline[outcome])]
+            for outcome in protected]
+    lines = [format_table(["Outcome", "Protected", "Unprotected"], rows,
+                          title=title)]
+    detected, n, det_rate, (low, high) = detection_stats(protected_records)
+    lines.append("")
+    lines.append("protected detection rate:   %d/%d = %.1f%%  "
+                 "(95%% CI %.1f%% - %.1f%%)"
+                 % (detected, n, 100 * det_rate, 100 * low, 100 * high))
+    damaged = damage_count(baseline_records)
+    total = len(baseline_records)
+    dlow, dhigh = wilson_interval(damaged, total)
+    lines.append("unprotected runs damaged:   %d/%d = %.1f%%  "
+                 "(95%% CI %.1f%% - %.1f%%)"
+                 % (damaged, total, 100 * rate(damaged, total),
+                    100 * dlow, 100 * dhigh))
+    return "\n".join(lines)

@@ -1,0 +1,379 @@
+"""Parallel, resumable campaign execution.
+
+The engine fixes the two structural costs of the original serial loop in
+``repro.security.faults``:
+
+* the workload is **assembled once per campaign** (once per worker
+  process in parallel mode), not once per injection — only the cheap
+  machine build and memory image copy happen per run;
+* injections fan out over a ``multiprocessing`` worker pool in chunks,
+  with per-injection derived seeds so results are identical regardless
+  of worker count or completion order.
+
+Workers are crash-isolated: a Python-level failure inside one injection
+is caught in the worker and classified :data:`Outcome.CRASHED`; a hard
+worker death (the pool breaks) fails only the chunk that was in flight —
+its runs are classified CRASHED after one retry and the pool is rebuilt
+for the remaining work.
+"""
+
+import hashlib
+import json
+
+from repro.campaign.models import Injection, Outcome, get_model
+from repro.campaign.space import sample_injections
+from repro.campaign.store import ResultStore
+from repro.isa.assembler import assemble
+from repro.isa.encoding import DecodeError, decode
+from repro.pipeline.core import EventKind
+from repro.rse.check import MODULE_ICM
+from repro.rse.modules.icm import build_checker_memory, make_icm_injector
+from repro.system import build_machine
+
+STACK_TOP = 0x7FFF0000
+
+#: Built-in demo workload: 16 passes of a running-checksum loop over a
+#: live data array, giving every fault model a non-trivial space
+#: (checked branches, registers carrying state across thousands of
+#: cycles, data words read and written every iteration) and enough
+#: cycles per run that parallel campaigns beat serial ones.
+DEMO_WORKLOAD = """
+    .data
+arr:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+    .text
+main:
+    li $s1, 0
+    li $t5, 16
+    li $s0, 0
+pass:
+    li $t0, 0
+    li $t1, 16
+    la $t3, arr
+loop:
+    lw $t2, 0($t3)
+    add $s0, $s0, $t2
+    sw $s0, 0($t3)
+    addi $t3, $t3, 4
+    andi $t4, $t0, 3
+    beqz $t4, skip
+    addi $s0, $s0, 7
+skip:
+    addi $t0, $t0, 1
+    blt $t0, $t1, loop
+    addi $s1, $s1, 1
+    blt $s1, $t5, pass
+    halt
+"""
+
+
+class CampaignSpec:
+    """Everything that defines a campaign's *results* (picklable).
+
+    Execution details — worker count, chunk size, store path — live
+    outside the spec so they never affect the fingerprint: the same spec
+    run serially, in parallel, or resumed must produce the same records.
+    """
+
+    def __init__(self, source, model="instr-flip", model_options=None,
+                 protected=True, injections=50, seed=99,
+                 max_cycles=500_000, result_regs=(16,)):
+        self.source = source
+        self.model = model
+        self.model_options = dict(model_options or {})
+        self.protected = protected
+        self.injections = injections
+        self.seed = seed
+        self.max_cycles = max_cycles
+        self.result_regs = tuple(result_regs)
+
+    def to_dict(self):
+        return {"source": self.source, "model": self.model,
+                "model_options": self.model_options,
+                "protected": self.protected, "injections": self.injections,
+                "seed": self.seed, "max_cycles": self.max_cycles,
+                "result_regs": list(self.result_regs)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(source=payload["source"], model=payload["model"],
+                   model_options=payload.get("model_options") or {},
+                   protected=payload["protected"],
+                   injections=payload["injections"], seed=payload["seed"],
+                   max_cycles=payload["max_cycles"],
+                   result_regs=tuple(payload.get("result_regs") or (16,)))
+
+    def fingerprint(self):
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+class CampaignContext:
+    """Per-campaign facts shared by every injection, built once.
+
+    Assembly, the golden (fault-free) run, and the target enumerations
+    all happen here — exactly once per process — instead of inside the
+    per-injection loop.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.model = get_model(spec.model, **spec.model_options)
+        self.asm = assemble(spec.source)
+        self.stack_top = STACK_TOP
+        # Checked pcs: what the ICM would provision (used as the target
+        # set whether or not the campaign machine carries the ICM, so
+        # protected and baseline campaigns hit the same instructions).
+        self.checked_pcs = self._enumerate_checked()
+        self.control_pcs = self._enumerate_control()
+        self.data_words = [self.asm.data_base + offset
+                           for offset in range(0, len(self.asm.data) & ~3, 4)]
+        self.golden_regs, self.golden_cycles = self._golden_run()
+
+    def _enumerate_checked(self):
+        from repro.memory.mainmem import MainMemory
+
+        memory = MainMemory()
+        memory.store_bytes(self.asm.text_base, self.asm.text)
+        checker_map = build_checker_memory(memory, self.asm.text_base,
+                                           len(self.asm.text))
+        return sorted(checker_map)
+
+    def _enumerate_control(self):
+        pcs = []
+        text = self.asm.text
+        for offset in range(0, len(text) & ~3, 4):
+            word = int.from_bytes(text[offset:offset + 4], "little")
+            try:
+                instr = decode(word)
+            except DecodeError:
+                continue
+            if instr.is_control:
+                pcs.append(self.asm.text_base + offset)
+        return pcs
+
+    def _golden_run(self):
+        machine, __ = build_campaign_machine(self.asm, protected=False)
+        event = machine.pipeline.run(max_cycles=self.spec.max_cycles)
+        if event.kind is not EventKind.HALT:
+            raise RuntimeError("golden run did not halt: %r" % event)
+        golden = {reg: machine.pipeline.regs[reg]
+                  for reg in self.spec.result_regs}
+        return golden, machine.pipeline.cycle
+
+
+def build_campaign_machine(asm, protected):
+    """Fresh machine loaded with the (pre-assembled) workload image."""
+    machine = build_machine(with_rse=protected,
+                            modules=("icm",) if protected else ())
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.memory.store_bytes(asm.data_base, asm.data)
+    checker_map = {}
+    if protected:
+        icm = machine.module(MODULE_ICM)
+        checker_map = build_checker_memory(machine.memory, asm.text_base,
+                                           len(asm.text))
+        icm.configure(checker_map)
+        machine.rse.enable_module(MODULE_ICM)
+        machine.pipeline.check_injector = make_icm_injector(checker_map)
+    machine.pipeline.reset_at(asm.entry)
+    machine.pipeline.regs[29] = STACK_TOP
+    return machine, checker_map
+
+
+def classify(machine, ctx, event):
+    """Map how the run ended to an :class:`Outcome`."""
+    if event.kind is EventKind.CHECK_ERROR:
+        return Outcome.DETECTED
+    if event.kind is EventKind.FAULT:
+        return Outcome.FAULTED
+    if event.kind is EventKind.MAX_CYCLES:
+        return Outcome.HUNG
+    if event.kind is EventKind.HALT:
+        intact = all(machine.pipeline.regs[reg] == value
+                     for reg, value in ctx.golden_regs.items())
+        return Outcome.BENIGN if intact else Outcome.CORRUPTED
+    return Outcome.CRASHED      # SYSCALL/TIMER: escaped the fault model
+
+
+def execute_injection(ctx, injection):
+    """Run one injection on a fresh machine; returns its record dict."""
+    try:
+        machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        budget = ctx.spec.max_cycles
+        trigger = ctx.model.arm(machine, ctx, injection.params)
+        if trigger:
+            trigger = max(1, min(trigger, budget - 1))
+            event = machine.pipeline.run(max_cycles=trigger)
+            if event.kind is EventKind.MAX_CYCLES:
+                # Reached the trigger point: strike, then run out the rest
+                # of the budget.
+                ctx.model.fire(machine, ctx, injection.params)
+                event = machine.pipeline.run(max_cycles=budget - trigger)
+        else:
+            event = machine.pipeline.run(max_cycles=budget)
+        outcome = classify(machine, ctx, event)
+        return {"id": injection.id, "model": injection.model,
+                "seed": injection.seed, "params": injection.params,
+                "outcome": outcome.value, "event": event.kind.value,
+                "pc": event.pc, "cycles": machine.pipeline.cycle}
+    except Exception as exc:                         # crash-isolate the run
+        return crashed_record(injection, repr(exc))
+
+
+def crashed_record(injection, error="worker died"):
+    return {"id": injection.id, "model": injection.model,
+            "seed": injection.seed, "params": injection.params,
+            "outcome": Outcome.CRASHED.value, "event": "crash",
+            "pc": 0, "cycles": 0, "error": error}
+
+
+class CampaignRun:
+    """The outcome of :func:`run_campaign`: ordered records + metrics."""
+
+    def __init__(self, spec, records):
+        self.spec = spec
+        self.records = sorted(records, key=lambda record: record["id"])
+
+    def count(self, outcome):
+        value = outcome.value if isinstance(outcome, Outcome) else outcome
+        return sum(1 for record in self.records
+                   if record["outcome"] == value)
+
+    def summary(self):
+        return {outcome.value: self.count(outcome) for outcome in Outcome}
+
+    @property
+    def detection_rate(self):
+        if not self.records:
+            return 0.0
+        return self.count(Outcome.DETECTED) / len(self.records)
+
+    def __repr__(self):
+        return "CampaignRun(%s)" % self.summary()
+
+
+# ----------------------------------------------------------------- worker IPC
+
+_WORKER_CTX = None
+
+
+def _worker_init(spec_dict):
+    """Pool initializer: build the campaign context once per process."""
+    global _WORKER_CTX
+    _WORKER_CTX = CampaignContext(CampaignSpec.from_dict(spec_dict))
+
+
+def _worker_run_chunk(injection_dicts):
+    return [execute_injection(_WORKER_CTX, Injection.from_dict(payload))
+            for payload in injection_dicts]
+
+
+def _parallel_dispatch(spec, todo, chunk_size, workers, emit):
+    """Fan chunks out over a process pool, surviving worker death.
+
+    A chunk whose future fails (worker killed, pool broken) is retried
+    once on a fresh pool; failing a second time classifies its
+    injections as CRASHED.  The campaign itself always completes.
+    """
+    import concurrent.futures as futures_mod
+
+    chunks = [todo[index:index + chunk_size]
+              for index in range(0, len(todo), chunk_size)]
+    attempts = {}
+    pending = list(enumerate(chunks))
+    spec_dict = spec.to_dict()
+    while pending:
+        pool = futures_mod.ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init,
+            initargs=(spec_dict,))
+        submitted = {
+            pool.submit(_worker_run_chunk,
+                        [injection.to_dict() for injection in chunk]):
+            (chunk_id, chunk)
+            for chunk_id, chunk in pending}
+        pending = []
+        try:
+            for future in futures_mod.as_completed(submitted):
+                chunk_id, chunk = submitted[future]
+                try:
+                    emit(future.result())
+                except Exception:
+                    attempts[chunk_id] = attempts.get(chunk_id, 0) + 1
+                    if attempts[chunk_id] > 1:
+                        emit([crashed_record(injection)
+                              for injection in chunk])
+                    else:
+                        pending.append((chunk_id, chunk))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ------------------------------------------------------------------- campaign
+
+def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
+                 progress=None):
+    """Execute (or resume) a campaign; returns a :class:`CampaignRun`.
+
+    Args:
+        spec: the :class:`CampaignSpec` defining the campaign.
+        workers: >1 fans injections out over a process pool.
+        chunk_size: injections handed to a worker per dispatch.
+        store_path: JSONL store; if it already holds records for this
+            spec's fingerprint, only the missing injections run.
+        progress: optional ``callback(done, total)`` fired as records
+            land (including records recovered from the store).
+    """
+    ctx = CampaignContext(spec)
+    injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
+
+    store = ResultStore(store_path) if store_path else None
+    prior = []
+    if store is not None and store.exists():
+        __, prior = store.verify(spec.fingerprint())
+        done = {record["id"] for record in prior}
+        todo = [injection for injection in injections
+                if injection.id not in done]
+    else:
+        todo = injections
+        if store is not None:
+            store.write_header(spec.fingerprint(), spec.to_dict())
+
+    records = list(prior)
+    total = len(injections)
+    if progress is not None and records:
+        progress(len(records), total)
+
+    def emit(batch):
+        for record in batch:
+            records.append(record)
+            if store is not None:
+                store.append(record)
+        if progress is not None:
+            progress(len(records), total)
+
+    try:
+        if workers <= 1:
+            for injection in todo:
+                emit([execute_injection(ctx, injection)])
+        elif todo:
+            _parallel_dispatch(spec, todo, chunk_size, workers, emit)
+    finally:
+        if store is not None:
+            store.close()
+    return CampaignRun(spec, records)
+
+
+def resume_spec(store_path):
+    """Reconstruct the :class:`CampaignSpec` a store was written by."""
+    header, __ = ResultStore(store_path).load()
+    return CampaignSpec.from_dict(header["spec"])
+
+
+def replay(spec, run_id):
+    """Re-execute one injection by id; returns its fresh record."""
+    if not 0 <= run_id < spec.injections:
+        raise ValueError("run id %d outside campaign of %d injections"
+                         % (run_id, spec.injections))
+    ctx = CampaignContext(spec)
+    injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
+    return execute_injection(ctx, injections[run_id])

@@ -1,0 +1,109 @@
+"""Resumable JSONL result store.
+
+One campaign maps to one append-only JSONL file:
+
+* line 1 is a **header** record (``kind: "campaign"``) carrying the full
+  campaign spec and its fingerprint;
+* every following line is one **run** record (``kind: "run"``) appended
+  the moment the injection finishes, so a killed campaign loses at most
+  the in-flight chunk.
+
+Resuming re-opens the file, verifies the fingerprint against the spec
+being resumed (refusing to mix configurations), and skips every id that
+already has a record.  Because injections are derived from the campaign
+seed by id (see :mod:`repro.campaign.space`), the union of old and new
+records is identical to an uninterrupted run.
+"""
+
+import json
+import os
+
+
+class StoreMismatch(RuntimeError):
+    """The store on disk belongs to a different campaign configuration."""
+
+
+class ResultStore:
+    """Append-one-record-per-injection JSONL store."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+
+    # ----------------------------------------------------------------- write
+
+    def write_header(self, fingerprint, spec_dict):
+        """Start a fresh store (truncates any existing file)."""
+        self.close()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._write({"kind": "campaign", "fingerprint": fingerprint,
+                     "spec": spec_dict})
+
+    def append(self, record):
+        """Append one run record; flushed immediately for crash safety."""
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._write(dict(record, kind="run"))
+
+    def _write(self, payload):
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------ read
+
+    def exists(self):
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    def load(self):
+        """Parse the store; returns ``(header, run_records)``.
+
+        Tolerates a torn final line (the campaign was killed mid-write).
+        """
+        header = None
+        records = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    break               # torn tail from a killed campaign
+                if payload.get("kind") == "campaign":
+                    header = payload
+                elif payload.get("kind") == "run":
+                    del payload["kind"]     # return records exactly as run
+                    records.append(payload)
+        if header is None:
+            raise StoreMismatch("%s has no campaign header" % self.path)
+        return header, records
+
+    def verify(self, fingerprint):
+        """Load and check the store belongs to *fingerprint*'s campaign."""
+        header, records = self.load()
+        if header["fingerprint"] != fingerprint:
+            raise StoreMismatch(
+                "%s was written by a different campaign configuration "
+                "(fingerprint %s, expected %s)"
+                % (self.path, header["fingerprint"], fingerprint))
+        return header, records
+
+    def done_ids(self):
+        __, records = self.load()
+        return {record["id"] for record in records}
+
+    def record_for(self, run_id):
+        """The stored record for one injection id, or None."""
+        __, records = self.load()
+        for record in records:
+            if record["id"] == run_id:
+                return record
+        return None

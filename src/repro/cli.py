@@ -137,6 +137,82 @@ def _cmd_attack(args):
     return 0
 
 
+def _cmd_campaign(args):
+    from repro.campaign import (DEMO_WORKLOAD, CampaignSpec, MODELS,
+                                ResultStore, format_campaign_report,
+                                format_comparison, replay, resume_spec,
+                                run_campaign)
+
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        source = DEMO_WORKLOAD
+
+    model_options = {}
+    if args.bits is not None:
+        if args.model not in ("instr-flip", "cf-corrupt"):
+            print("--bits only applies to instr-flip / cf-corrupt")
+            return 2
+        model_options["bits"] = args.bits
+
+    spec = CampaignSpec(source=source, model=args.model,
+                        model_options=model_options,
+                        protected=not args.unprotected,
+                        injections=args.injections, seed=args.seed,
+                        max_cycles=args.max_cycles)
+
+    if args.replay is not None:
+        if args.store and os.path.exists(args.store):
+            spec = resume_spec(args.store)
+            stored = ResultStore(args.store).record_for(args.replay)
+            if stored is not None:
+                print("stored record: %s" % stored)
+        record = replay(spec, args.replay)
+        print("replayed:      %s" % record)
+        return 0
+
+    def progress(done, total):
+        stream = sys.stdout
+        stream.write("\r  %d/%d injections" % (done, total))
+        if done >= total:
+            stream.write("\n")
+        stream.flush()
+
+    if args.compare:
+        runs = {}
+        for protected in (True, False):
+            side = CampaignSpec(source=source, model=args.model,
+                                model_options=model_options,
+                                protected=protected,
+                                injections=args.injections, seed=args.seed,
+                                max_cycles=args.max_cycles)
+            print("%s campaign (%s, %d injections):"
+                  % ("protected" if protected else "unprotected",
+                     args.model, args.injections))
+            runs[protected] = run_campaign(side, workers=args.workers,
+                                           chunk_size=args.chunk,
+                                           progress=progress)
+        print()
+        print(format_comparison(runs[True].records, runs[False].records,
+                                title="%s campaign" % args.model))
+        return 0
+
+    print("campaign: model=%s injections=%d workers=%d %s"
+          % (args.model, args.injections, args.workers,
+             "protected" if spec.protected else "unprotected"))
+    run = run_campaign(spec, workers=args.workers, chunk_size=args.chunk,
+                       store_path=args.store, progress=progress)
+    print()
+    print(format_campaign_report(
+        run.records, title="%s campaign (seed %d)" % (args.model, args.seed)))
+    if args.store:
+        print()
+        print("results stored in %s (resume by re-running the same "
+              "command)" % args.store)
+    return 0
+
+
 def _cmd_report(args):
     """Concatenate the benchmark result tables into one report."""
     import glob
@@ -244,6 +320,40 @@ def main(argv=None):
                                              "ablations"])
     exp_parser.add_argument("--quick", action="store_true")
     exp_parser.set_defaults(func_impl=_cmd_experiment)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run a fault-injection campaign")
+    campaign_parser.add_argument(
+        "file", nargs="?", default=None,
+        help="assembly workload (default: built-in demo loop)")
+    campaign_parser.add_argument(
+        "--model", default="instr-flip",
+        choices=["instr-flip", "reg-flip", "mem-flip", "cf-corrupt"],
+        help="fault model to inject")
+    campaign_parser.add_argument("--injections", type=int, default=200,
+                                 help="number of injections in the space")
+    campaign_parser.add_argument("--workers", type=int, default=1,
+                                 help="worker processes (>1 = parallel)")
+    campaign_parser.add_argument("--chunk", type=int, default=16,
+                                 help="injections per worker dispatch")
+    campaign_parser.add_argument("--seed", type=int, default=99)
+    campaign_parser.add_argument("--max-cycles", type=int, default=200_000,
+                                 help="per-run cycle budget (hang timeout)")
+    campaign_parser.add_argument("--bits", type=int, default=None,
+                                 help="bits flipped per injection "
+                                      "(instr-flip / cf-corrupt)")
+    campaign_parser.add_argument("--store", default=None,
+                                 help="JSONL result store; an existing "
+                                      "store resumes the campaign")
+    campaign_parser.add_argument("--unprotected", action="store_true",
+                                 help="run without the RSE/ICM (baseline)")
+    campaign_parser.add_argument("--compare", action="store_true",
+                                 help="run protected AND unprotected, "
+                                      "print the comparison")
+    campaign_parser.add_argument("--replay", type=int, default=None,
+                                 metavar="ID",
+                                 help="re-execute one injection by id")
+    campaign_parser.set_defaults(func_impl=_cmd_campaign)
 
     attack_parser = sub.add_parser("attack", help="run an exploit demo")
     attack_parser.add_argument("kind", choices=["stack", "got"])

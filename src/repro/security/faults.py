@@ -1,22 +1,18 @@
 """Fault injection: instruction bit flips (ICM coverage campaigns).
 
-The ICM "provides coverage for the multiple bit errors in instruction
-while it is being transferred from memory to the dispatch stage"
-(Section 4.3).  A campaign flips 1..k bits of a checked instruction in
-instruction memory *after* the CheckerMemory was provisioned — modelling
-corruption anywhere on the memory -> cache -> fetch path — and
-classifies what the machine does.
+Compatibility shim: the original serial loop here re-assembled the
+workload and rebuilt the machine for every injection.  The campaign
+engine (:mod:`repro.campaign`) now does the heavy lifting — one assembly
+per campaign, optional worker pools, resumable stores — and this module
+keeps the historical API (:func:`run_bitflip_campaign`,
+:class:`CampaignResult`, :class:`BitFlipOutcome`) on top of it.
 """
 
 import enum
-import random
 
-from repro.isa.assembler import assemble
-from repro.isa.encoding import flip_bit
-from repro.pipeline.core import EventKind
-from repro.rse.check import MODULE_ICM
-from repro.rse.modules.icm import build_checker_memory, make_icm_injector
-from repro.system import build_machine
+from repro.campaign.models import Outcome
+from repro.campaign.runner import (CampaignContext, CampaignSpec,
+                                   run_campaign)
 
 
 class BitFlipOutcome(enum.Enum):
@@ -25,6 +21,16 @@ class BitFlipOutcome(enum.Enum):
     CORRUPTED = "corrupted"          # ran to completion with wrong results
     BENIGN = "benign"                # ran to completion, results intact
     HUNG = "hung"                    # exceeded the cycle budget
+
+
+_FROM_ENGINE = {
+    Outcome.DETECTED: BitFlipOutcome.DETECTED,
+    Outcome.FAULTED: BitFlipOutcome.FAULTED,
+    Outcome.CORRUPTED: BitFlipOutcome.CORRUPTED,
+    Outcome.BENIGN: BitFlipOutcome.BENIGN,
+    Outcome.HUNG: BitFlipOutcome.HUNG,
+    Outcome.CRASHED: BitFlipOutcome.FAULTED,
+}
 
 
 class CampaignResult:
@@ -49,71 +55,33 @@ class CampaignResult:
         return "CampaignResult(%s)" % self.summary()
 
 
-def _fresh_machine(source, with_icm):
-    modules = ("icm",) if with_icm else ()
-    machine = build_machine(with_rse=with_icm, modules=modules)
-    asm = assemble(source)
-    machine.memory.store_bytes(asm.text_base, asm.text)
-    machine.memory.store_bytes(asm.data_base, asm.data)
-    checker_map = {}
-    if with_icm:
-        icm = machine.module(MODULE_ICM)
-        checker_map = build_checker_memory(machine.memory, asm.text_base,
-                                           len(asm.text))
-        icm.configure(checker_map)
-        machine.rse.enable_module(MODULE_ICM)
-        machine.pipeline.check_injector = make_icm_injector(checker_map)
-    machine.pipeline.reset_at(asm.entry)
-    machine.pipeline.regs[29] = 0x7FFF0000
-    return machine, asm, checker_map
-
-
 def golden_state(source, result_regs, max_cycles):
     """Fault-free reference run; returns the golden register values."""
-    machine, __, __ = _fresh_machine(source, with_icm=False)
-    event = machine.pipeline.run(max_cycles=max_cycles)
-    if event.kind is not EventKind.HALT:
-        raise RuntimeError("golden run did not halt: %r" % event)
-    return {reg: machine.pipeline.regs[reg] for reg in result_regs}
+    spec = CampaignSpec(source=source, result_regs=tuple(result_regs),
+                        max_cycles=max_cycles, injections=0)
+    return CampaignContext(spec).golden_regs
 
 
 def run_bitflip_campaign(source, injections=50, bits_per_injection=1,
                          with_icm=True, result_regs=(16,), seed=99,
-                         max_cycles=500_000):
+                         max_cycles=500_000, workers=1):
     """Inject *injections* random bit-flips into checked instructions.
 
-    Each injection runs on a fresh machine.  With *with_icm* False the
-    campaign measures the unprotected baseline (faults / silent
-    corruptions).  Returns a :class:`CampaignResult`.
+    Each injection runs on a fresh machine (the workload is assembled
+    only once).  With *with_icm* False the campaign measures the
+    unprotected baseline (faults / silent corruptions); *workers* > 1
+    fans the runs out over a process pool.  Returns a
+    :class:`CampaignResult`.
     """
-    rng = random.Random(seed)
-    golden = golden_state(source, result_regs, max_cycles)
-    # Enumerate targets once (checked pcs from a scratch machine).
-    __, __, checker_map = _fresh_machine(source, with_icm=True)
-    targets = sorted(checker_map)
-    if not targets:
-        raise ValueError("workload has no checked instructions")
-
-    campaign = CampaignResult()
-    for __ in range(injections):
-        pc = rng.choice(targets)
-        bits = rng.sample(range(32), bits_per_injection)
-        machine, asm, __ = _fresh_machine(source, with_icm=with_icm)
-        word = machine.memory.load_word(pc)
-        for bit in bits:
-            word = flip_bit(word, bit)
-        machine.memory.store_word(pc, word)
-        event = machine.pipeline.run(max_cycles=max_cycles)
-        if event.kind is EventKind.CHECK_ERROR:
-            outcome = BitFlipOutcome.DETECTED
-        elif event.kind is EventKind.FAULT:
-            outcome = BitFlipOutcome.FAULTED
-        elif event.kind is EventKind.MAX_CYCLES:
-            outcome = BitFlipOutcome.HUNG
-        elif all(machine.pipeline.regs[reg] == value
-                 for reg, value in golden.items()):
-            outcome = BitFlipOutcome.BENIGN
-        else:
-            outcome = BitFlipOutcome.CORRUPTED
-        campaign.runs.append((pc, tuple(bits), outcome))
-    return campaign
+    spec = CampaignSpec(source=source, model="instr-flip",
+                        model_options={"bits": bits_per_injection},
+                        protected=with_icm, injections=injections,
+                        seed=seed, max_cycles=max_cycles,
+                        result_regs=tuple(result_regs))
+    run = run_campaign(spec, workers=workers)
+    result = CampaignResult()
+    for record in run.records:
+        result.runs.append((record["params"]["pc"],
+                            tuple(record["params"]["bits"]),
+                            _FROM_ENGINE[Outcome(record["outcome"])]))
+    return result

@@ -1,0 +1,57 @@
+"""Uncertainty helpers: rates and Wilson confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import rate, wilson_interval
+
+
+def test_rate_basic_and_empty():
+    assert rate(3, 4) == 0.75
+    assert rate(0, 0) == 0.0
+
+
+def test_wilson_known_value():
+    # Canonical worked example: 8/20 at 95% -> approximately (0.22, 0.61).
+    low, high = wilson_interval(8, 20)
+    assert math.isclose(low, 0.2189, abs_tol=5e-3)
+    assert math.isclose(high, 0.6134, abs_tol=5e-3)
+
+
+def test_wilson_stays_inside_unit_interval_at_extremes():
+    low, high = wilson_interval(0, 30)
+    assert low == 0.0
+    assert 0.0 < high < 0.2
+    low, high = wilson_interval(30, 30)
+    assert 0.8 < low < 1.0
+    assert high == 1.0
+
+
+def test_wilson_narrows_with_sample_size():
+    small = wilson_interval(5, 10)
+    large = wilson_interval(500, 1000)
+    assert (large[1] - large[0]) < (small[1] - small[0])
+
+
+def test_wilson_contains_point_estimate():
+    for successes, total in ((1, 7), (13, 40), (99, 100)):
+        low, high = wilson_interval(successes, total)
+        assert low <= successes / total <= high
+
+
+def test_wilson_empty_sample_is_vacuous():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+def test_wilson_rejects_impossible_counts():
+    with pytest.raises(ValueError):
+        wilson_interval(5, 4)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 4)
+
+
+def test_wilson_z_controls_width():
+    narrow = wilson_interval(10, 20, z=1.0)
+    wide = wilson_interval(10, 20, z=2.58)
+    assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])

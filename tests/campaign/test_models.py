@@ -1,0 +1,140 @@
+"""Fault-model registry: spaces, sampling, and per-model behavior."""
+
+import random
+
+import pytest
+
+from repro.campaign.models import MODELS, Outcome, get_model
+from repro.campaign.runner import CampaignContext, CampaignSpec
+from repro.campaign.space import derive_seed, sample_injections
+
+LOOP = """
+    main:
+        li $t0, 0
+        li $t1, 25
+        li $s0, 0
+    loop:
+        add $s0, $s0, $t0
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+DATA_LOOP = """
+    .data
+vals:   .word 10, 20, 30, 40
+    .text
+    main:
+        li $t0, 0
+        li $t1, 4
+        li $s0, 0
+        la $t3, vals
+    loop:
+        lw $t2, 0($t3)
+        add $s0, $s0, $t2
+        addi $t3, $t3, 4
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+
+def make_ctx(source=LOOP, model="instr-flip", **kwargs):
+    spec = CampaignSpec(source=source, model=model, max_cycles=100_000,
+                        **kwargs)
+    return CampaignContext(spec)
+
+
+def test_registry_has_all_four_models():
+    assert {"instr-flip", "reg-flip", "mem-flip", "cf-corrupt"} <= set(MODELS)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        get_model("alpha-ray")
+
+
+def test_context_enumerates_targets():
+    ctx = make_ctx(DATA_LOOP)
+    assert ctx.checked_pcs                      # control-flow pcs get checked
+    assert set(ctx.control_pcs) == set(ctx.checked_pcs)
+    assert len(ctx.data_words) == 4
+    assert ctx.golden_cycles > 0
+    assert 16 in ctx.golden_regs
+
+
+def test_instr_flip_samples_within_checked_space():
+    ctx = make_ctx()
+    model = get_model("instr-flip", bits=2)
+    space = model.build_space(ctx)
+    rng = random.Random(0)
+    for __ in range(20):
+        params = model.sample(rng, space)
+        assert params["pc"] in ctx.checked_pcs
+        assert len(params["bits"]) == 2
+        assert all(0 <= bit < 32 for bit in params["bits"])
+
+
+def test_instr_flip_requires_checked_instructions():
+    ctx = make_ctx("main: halt\n")
+    with pytest.raises(ValueError):
+        get_model("instr-flip").build_space(ctx)
+
+
+def test_reg_flip_samples_within_run_window():
+    ctx = make_ctx()
+    model = get_model("reg-flip")
+    space = model.build_space(ctx)
+    rng = random.Random(1)
+    for __ in range(20):
+        params = model.sample(rng, space)
+        assert 1 <= params["reg"] < 32
+        assert 1 <= params["cycle"] < ctx.golden_cycles
+
+
+def test_mem_flip_targets_data_segment():
+    ctx = make_ctx(DATA_LOOP)
+    space = get_model("mem-flip").build_space(ctx)
+    assert space["addrs"] == ctx.data_words
+
+
+def test_mem_flip_falls_back_to_stack_without_data():
+    ctx = make_ctx(LOOP)
+    space = get_model("mem-flip").build_space(ctx)
+    assert space["addrs"]
+    assert all(addr < ctx.stack_top for addr in space["addrs"])
+
+
+def test_derived_seeds_are_stable_and_distinct():
+    seeds = [derive_seed(42, index) for index in range(100)]
+    assert seeds == [derive_seed(42, index) for index in range(100)]
+    assert len(set(seeds)) == 100
+    assert seeds != [derive_seed(43, index) for index in range(100)]
+
+
+def test_sampling_is_order_independent():
+    ctx = make_ctx()
+    model = ctx.model
+    full = sample_injections(model, ctx, 20, 9)
+    again = sample_injections(model, ctx, 20, 9)
+    assert [injection.params for injection in full] == \
+        [injection.params for injection in again]
+    # Injection #15 is the same whether or not the others were generated.
+    prefix = sample_injections(model, ctx, 16, 9)
+    assert prefix[15].params == full[15].params
+    assert prefix[15].seed == full[15].seed
+
+
+def test_injection_round_trips_through_dict():
+    ctx = make_ctx()
+    injection = sample_injections(ctx.model, ctx, 1, 3)[0]
+    from repro.campaign.models import Injection
+
+    clone = Injection.from_dict(injection.to_dict())
+    assert clone.id == injection.id
+    assert clone.params == injection.params
+
+
+def test_outcome_values_cover_crash():
+    assert Outcome.CRASHED.value == "crashed"
+    assert len(Outcome) == 6

@@ -1,0 +1,180 @@
+"""Campaign execution: determinism, parallelism, resume, replay."""
+
+import os
+
+import pytest
+
+from repro.campaign import (CampaignSpec, DEMO_WORKLOAD, Outcome, replay,
+                            resume_spec, run_campaign)
+from repro.campaign.store import ResultStore, StoreMismatch
+
+LOOP = """
+    main:
+        li $t0, 0
+        li $t1, 25
+        li $s0, 0
+    loop:
+        add $s0, $s0, $t0
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+
+def spec_for(model="instr-flip", source=LOOP, **kwargs):
+    kwargs.setdefault("injections", 12)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("max_cycles", 100_000)
+    return CampaignSpec(source=source, model=model, **kwargs)
+
+
+# ----------------------------------------------------------- determinism
+
+def test_same_seed_same_records():
+    """Regression: identical seed + config => identical per-run records."""
+    one = run_campaign(spec_for())
+    two = run_campaign(spec_for())
+    assert one.records == two.records
+
+
+def test_different_seed_different_records():
+    one = run_campaign(spec_for(seed=1))
+    two = run_campaign(spec_for(seed=2))
+    assert [record["params"] for record in one.records] != \
+        [record["params"] for record in two.records]
+
+
+def test_mid_run_models_are_deterministic_too():
+    spec = spec_for(model="reg-flip", protected=False)
+    assert run_campaign(spec).records == run_campaign(spec).records
+
+
+# ------------------------------------------------------------ protection
+
+def test_icm_detects_all_instruction_flips():
+    run = run_campaign(spec_for(injections=20))
+    assert run.detection_rate == 1.0
+
+
+def test_cf_corruption_detected_by_icm():
+    run = run_campaign(spec_for(model="cf-corrupt", injections=10))
+    assert run.detection_rate == 1.0
+
+
+def test_unprotected_instruction_flips_do_damage():
+    run = run_campaign(spec_for(protected=False, injections=20, seed=7))
+    assert run.detection_rate == 0.0
+    damage = (run.count(Outcome.FAULTED) + run.count(Outcome.CORRUPTED)
+              + run.count(Outcome.HUNG))
+    assert damage > 0
+
+
+def test_non_icm_models_classify_outcomes():
+    """Register-file and data-memory strikes yield classified outcomes."""
+    for model in ("reg-flip", "mem-flip"):
+        run = run_campaign(spec_for(model=model, source=DEMO_WORKLOAD,
+                                    protected=False, injections=15, seed=11))
+        assert len(run.records) == 15
+        values = {outcome.value for outcome in Outcome}
+        assert all(record["outcome"] in values for record in run.records)
+        assert run.count(Outcome.DETECTED) == 0     # ICM doesn't cover these
+    # Data strikes on the live array must corrupt at least one run.
+    run = run_campaign(spec_for(model="mem-flip", source=DEMO_WORKLOAD,
+                                protected=False, injections=15, seed=11))
+    assert run.count(Outcome.CORRUPTED) > 0
+
+
+# ------------------------------------------------------------- parallel
+
+def test_parallel_records_match_serial():
+    spec = spec_for(injections=12)
+    serial = run_campaign(spec, workers=1)
+    parallel = run_campaign(spec, workers=2, chunk_size=3)
+    assert serial.records == parallel.records
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="wall-clock speedup needs >= 4 cores")
+def test_parallel_is_faster_on_multicore():
+    import time
+
+    spec = spec_for(source=DEMO_WORKLOAD, injections=200, seed=5,
+                    max_cycles=200_000)
+    start = time.time()
+    run_campaign(spec, workers=1)
+    serial = time.time() - start
+    start = time.time()
+    run_campaign(spec, workers=4)
+    parallel = time.time() - start
+    assert parallel < serial
+
+
+# --------------------------------------------------------------- resume
+
+def test_resume_completes_interrupted_campaign(tmp_path):
+    spec = spec_for(injections=12)
+    full_path = str(tmp_path / "full.jsonl")
+    full = run_campaign(spec, store_path=full_path)
+
+    # Simulate a kill after 5 records, mid-write of the 6th.
+    with open(full_path) as handle:
+        lines = handle.readlines()
+    part_path = str(tmp_path / "part.jsonl")
+    with open(part_path, "w") as handle:
+        handle.writelines(lines[:6])
+        handle.write('{"kind": "run", "id": 99, "torn')
+
+    resumed = run_campaign(spec, store_path=part_path)
+    assert resumed.records == full.records
+    assert resumed.summary() == full.summary()
+    # The store now holds every record and resuming again runs nothing.
+    again = run_campaign(spec, store_path=part_path)
+    assert again.records == full.records
+
+
+def test_resume_rejects_different_config(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    run_campaign(spec_for(seed=1, injections=4), store_path=path)
+    with pytest.raises(StoreMismatch):
+        run_campaign(spec_for(seed=2, injections=4), store_path=path)
+
+
+def test_store_spec_round_trip(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    spec = spec_for(injections=4)
+    run_campaign(spec, store_path=path)
+    recovered = resume_spec(path)
+    assert recovered.fingerprint() == spec.fingerprint()
+
+
+# --------------------------------------------------------------- replay
+
+def test_replay_reproduces_stored_record(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    spec = spec_for(injections=8)
+    run_campaign(spec, store_path=path)
+    stored = ResultStore(path).record_for(5)
+    assert stored is not None
+    assert replay(spec, 5) == stored
+
+
+def test_replay_validates_id():
+    with pytest.raises(ValueError):
+        replay(spec_for(injections=4), 4)
+
+
+# ---------------------------------------------------------------- shim
+
+def test_faults_shim_on_new_engine():
+    from repro.security.faults import BitFlipOutcome, golden_state, \
+        run_bitflip_campaign
+
+    result = run_bitflip_campaign(LOOP, injections=10, seed=5,
+                                  max_cycles=100_000)
+    assert result.detection_rate == 1.0
+    assert len(result.runs) == 10
+    pc, bits, outcome = result.runs[0]
+    assert isinstance(bits, tuple)
+    assert outcome is BitFlipOutcome.DETECTED
+    golden = golden_state(LOOP, (16,), 100_000)
+    assert golden[16] == sum(range(25))
