@@ -1,0 +1,110 @@
+"""Interpreter throughput: instructions/sec for both execution engines.
+
+Measures the functional simulator (predecode on and off) in retired
+instructions per wall-clock second and the pipeline (predecode on) in
+cycles per second, on the kMeans and VPR workloads, and writes the
+records to ``benchmarks/results/BENCH_interp.json``.
+
+``PERF_INTERP_QUICK=1`` shrinks the workloads to a CI-sized budget.
+The numbers are reported, not asserted against a threshold — a shared
+1-CPU CI container is far too noisy for that; the differential tests
+under ``tests/`` carry the correctness burden, this file carries the
+evidence for the speedup claims in README.md.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.experiments import table4
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.memory.bus import BASELINE_TIMING
+from repro.memory.hierarchy import MemoryHierarchy
+
+QUICK = os.environ.get("PERF_INTERP_QUICK") == "1"
+SOURCES = table4.workload_sources(quick=QUICK)
+WORKLOADS = ["kmeans", "vpr-place", "vpr-route"]
+RECORDS = []
+
+
+def commit_hash():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True).strip()
+    except Exception:
+        return "unknown"
+
+
+COMMIT = commit_hash()
+
+
+def loaded_memory(source):
+    asm = assemble(source)
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    return asm, mem
+
+
+def record(engine, workload, **fields):
+    entry = {"engine": engine, "workload": workload, "commit": COMMIT,
+             "quick": QUICK}
+    entry.update(fields)
+    RECORDS.append(entry)
+    return entry
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("predecode", [True, False])
+def test_funcsim_throughput(benchmark, workload, predecode):
+    asm, mem = loaded_memory(SOURCES[workload])
+    sim = FuncSim(mem, entry=asm.entry, sp=0x7FFF0000,
+                  predecode_enabled=predecode)
+    start = time.perf_counter()
+    result = benchmark.pedantic(sim.run, args=(50_000_000,),
+                                rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    assert result is StepResult.HALTED
+    record("funcsim" if predecode else "funcsim-nocache", workload,
+           instrs=sim.instret,
+           instrs_per_sec=round(sim.instret / elapsed))
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_pipeline_throughput(benchmark, workload):
+    asm, mem = loaded_memory(SOURCES[workload])
+    pipeline = Pipeline(mem, MemoryHierarchy(BASELINE_TIMING),
+                        config=PipelineConfig())
+    pipeline.reset_at(asm.entry)
+    pipeline.regs[29] = 0x7FFF0000
+    start = time.perf_counter()
+    event = benchmark.pedantic(pipeline.run,
+                               kwargs={"max_cycles": 50_000_000},
+                               rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    assert event.kind.value == "halt"
+    record("pipeline", workload,
+           cycles=pipeline.cycle,
+           cycles_per_sec=round(pipeline.cycle / elapsed),
+           instrs_per_sec=round(pipeline.stats.instret / elapsed))
+
+
+def test_z_write_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert RECORDS, "no throughput records collected"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_interp.json")
+    with open(path, "w") as handle:
+        json.dump(RECORDS, handle, indent=2)
+    print("\nwrote %s" % path)
+    for entry in RECORDS:
+        print(entry)

@@ -2,11 +2,11 @@
 
 import enum
 
-from repro.isa import semantics
+from repro.isa import predecode, semantics
 from repro.isa.encoding import DecodeError, decode
 from repro.isa.instructions import InstrClass
 from repro.isa.registers import NUM_REGS
-from repro.memory.mainmem import MemoryFault
+from repro.memory.mainmem import PAGE_SHIFT, MemoryFault
 
 
 class StepResult(enum.Enum):
@@ -31,6 +31,14 @@ class SimFault(Exception):
 class FuncSim:
     """In-order functional simulator over a shared :class:`MainMemory`.
 
+    Execution runs through the predecode cache
+    (:mod:`repro.isa.predecode`): each pc decodes and compiles once into
+    a bound closure, revalidated against the memory's per-page write
+    versions so stores into cached text (self-modifying code, injected
+    faults) are always honoured.  ``predecode_enabled=False`` selects the
+    original fetch/decode/dispatch interpreter — the reference the
+    differential tests compare the cache against.
+
     Hooks:
 
     * ``syscall_handler(sim) -> bool`` — invoked on ``syscall``; return
@@ -44,7 +52,7 @@ class FuncSim:
     """
 
     def __init__(self, memory, entry=0, sp=0, gp=0, syscall_handler=None,
-                 chk_handler=None, trace_mem=None):
+                 chk_handler=None, trace_mem=None, predecode_enabled=True):
         self.memory = memory
         self.regs = [0] * NUM_REGS
         self.regs[29] = sp
@@ -56,6 +64,9 @@ class FuncSim:
         self.chk_handler = chk_handler
         self.trace_mem = trace_mem
         self.fault = None         # (pc, cause) of the last fault, if any
+        self.predecode_enabled = predecode_enabled
+        self._cache = predecode.cache_for(memory) if predecode_enabled \
+            else None
 
     # ------------------------------------------------------------------ run
 
@@ -64,24 +75,145 @@ class FuncSim:
         if self.halted:
             return StepResult.HALTED
         pc = self.pc
+        cache = self._cache
+        if cache is None:
+            try:
+                word = self.memory.load_word(pc)
+                instr = decode(word)
+            except (MemoryFault, DecodeError) as exc:
+                return self._fault(pc, str(exc))
+            return self._execute(instr, pc)
         try:
-            word = self.memory.load_word(pc)
-            instr = decode(word)
+            entry = cache.entries.get(pc)
+            if (entry is None or
+                    self.memory.write_versions.get(pc >> PAGE_SHIFT, 0)
+                    != entry[0]):
+                entry = cache.refill(pc)
         except (MemoryFault, DecodeError) as exc:
             return self._fault(pc, str(exc))
-        return self._execute(instr, pc)
+        try:
+            nxt = entry[1](self)
+        except (MemoryFault, semantics.ArithmeticFault) as exc:
+            return self._fault(pc, str(exc))
+        if nxt >= 0:
+            self.pc = nxt
+            self.instret += 1
+            return StepResult.OK
+        if nxt == predecode.HALT:
+            self.instret += 1
+            return StepResult.HALTED
+        if nxt == predecode.SYSCALL:
+            self.pc = (pc + 4) & 0xFFFFFFFF
+            self.instret += 1
+            if self.syscall_handler is None:
+                raise SimFault(pc, "syscall with no handler")
+            try:
+                keep_running = self.syscall_handler(self)
+            except (MemoryFault, semantics.ArithmeticFault) as exc:
+                return self._fault(pc, str(exc))
+            return StepResult.OK if keep_running else StepResult.SYSCALL
+        # CHECK: hook runs with self.pc still at the chk instruction.
+        if self.chk_handler is not None:
+            try:
+                self.chk_handler(self, entry[3])
+            except (MemoryFault, semantics.ArithmeticFault) as exc:
+                return self._fault(pc, str(exc))
+        self.pc = (pc + 4) & 0xFFFFFFFF
+        self.instret += 1
+        return StepResult.OK
 
     def run(self, max_steps=10_000_000):
         """Run until halt, fault, or *max_steps*; returns the stop reason."""
+        if self._cache is None:
+            for __ in range(max_steps):
+                result = self.step()
+                if result is not StepResult.OK:
+                    return result
+            return StepResult.OK
+        if self.halted:
+            return StepResult.HALTED
+        # Hot path.  The per-step work is one dict probe, one page-version
+        # compare, one closure call and an int compare; ``pc`` and the
+        # retired-count delta ``n`` live in locals and are written back to
+        # the simulator only at stop points (halt/syscall/chk/fault/exit),
+        # none of which can observe them stale.
+        entries_get = self._cache.entries.get
+        refill = self._cache.refill
+        versions_get = self.memory.write_versions.get
+        arith_fault = semantics.ArithmeticFault
+        halt_marker = predecode.HALT
+        syscall_marker = predecode.SYSCALL
+        pc = self.pc
+        n = 0
         for __ in range(max_steps):
-            result = self.step()
-            if result is not StepResult.OK:
-                return result
+            entry = entries_get(pc)
+            if entry is None or versions_get(pc >> PAGE_SHIFT, 0) != entry[0]:
+                try:
+                    entry = refill(pc)
+                except (MemoryFault, DecodeError) as exc:
+                    self.pc = pc
+                    self.instret += n
+                    return self._fault(pc, str(exc))
+            try:
+                nxt = entry[1](self)
+            except (MemoryFault, arith_fault) as exc:
+                self.pc = pc
+                self.instret += n
+                return self._fault(pc, str(exc))
+            if nxt >= 0:
+                pc = nxt
+                n += 1
+                continue
+            if nxt == halt_marker:
+                self.pc = pc
+                self.instret += n + 1
+                return StepResult.HALTED
+            if nxt == syscall_marker:
+                syscall_pc = pc
+                self.pc = pc = (pc + 4) & 0xFFFFFFFF
+                self.instret += n + 1
+                n = 0
+                handler = self.syscall_handler
+                if handler is None:
+                    raise SimFault(syscall_pc, "syscall with no handler")
+                try:
+                    keep_running = handler(self)
+                except (MemoryFault, arith_fault) as exc:
+                    return self._fault(syscall_pc, str(exc))
+                if not keep_running:
+                    return StepResult.SYSCALL
+                pc = self.pc          # the handler may redirect control
+                if self.halted:
+                    return StepResult.HALTED
+                continue
+            # CHECK: hook sees self.pc at the chk instruction itself.
+            self.pc = pc
+            self.instret += n
+            n = 0
+            if self.chk_handler is not None:
+                try:
+                    self.chk_handler(self, entry[3])
+                except (MemoryFault, arith_fault) as exc:
+                    return self._fault(pc, str(exc))
+                if self.halted:
+                    self.pc = (pc + 4) & 0xFFFFFFFF
+                    self.instret += 1
+                    return StepResult.HALTED
+            pc = (pc + 4) & 0xFFFFFFFF
+            self.pc = pc
+            self.instret += 1
+        self.pc = pc
+        self.instret += n
         return StepResult.OK
 
     # -------------------------------------------------------------- execute
 
     def _execute(self, instr, pc):
+        """Reference (non-predecoded) execution of one instruction.
+
+        This is the semantics oracle the compiled closures are tested
+        against; it must stay behaviourally identical to them.
+        """
         regs = self.regs
         iclass = instr.iclass
         next_pc = (pc + 4) & 0xFFFFFFFF

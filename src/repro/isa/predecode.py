@@ -1,0 +1,443 @@
+"""PC-indexed predecode cache with closure-compiled instruction semantics.
+
+Both execution engines used to pay for every simulated instruction
+twice: ``decode(memory.load_word(pc))`` on every fetch, then a
+name-string dispatch for the operation itself.  This module removes
+both costs while keeping memory the single source of architectural
+truth:
+
+* :class:`PredecodeCache` maps ``pc -> (page_version, exec_closure,
+  raw_word, Instr)``.  The functional simulator's step loop executes the
+  closure; the pipeline's fetch stage reads the ``Instr``.  Entries
+  revalidate against :attr:`MainMemory.write_versions` — the per-page
+  store counters — so a store that hits cached text (self-modifying
+  code, a campaign ``instr-flip``/``mem-flip`` landing in the text
+  segment, a page restore) invalidates exactly the affected page and the
+  engines decode what is actually in memory.
+
+* :func:`compile_instr` lowers one decoded instruction at one pc into a
+  bound closure, threaded-code style: operand register indices,
+  immediates, branch targets, bound memory accessors and the operation
+  are baked in at compile time, so executing the instruction is a single
+  call with no dispatch.  Rare opcodes fall back to the per-opcode
+  tables in :mod:`repro.isa.semantics` (``ALU_OPS`` etc.); for the hot
+  opcodes the expression is inlined and pinned to those tables by
+  ``tests/isa/test_semantics.py``.
+
+Closure protocol (the contract with :class:`repro.funcsim.FuncSim`):
+
+* ``fn(sim)`` executes the instruction against ``sim.regs`` and the
+  bound memory and returns the **next pc** (a non-negative int).  It
+  does not touch ``sim.pc`` or ``sim.instret`` — the caller owns those,
+  keeping them in locals on the hot loop and syncing at stop points.
+* Serializing cases return a negative sentinel instead: :data:`HALT`
+  (closure has set ``sim.halted``), :data:`SYSCALL` or :data:`CHECK`
+  (closure has done nothing; the caller runs the hook with fully synced
+  architectural state, exactly like the reference interpreter).
+* It may raise :class:`~repro.memory.mainmem.MemoryFault` or
+  :class:`~repro.isa.semantics.ArithmeticFault`; the caller converts
+  those into an architectural fault at the instruction's pc.  No
+  architectural state (registers, memory) has been modified when that
+  happens.
+* The ``trace_mem`` hook fires from load/store closures (same event
+  order as the reference interpreter); during a hot ``run()`` loop it
+  may observe a stale ``sim.pc``/``sim.instret``, which no consumer
+  reads.
+"""
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import InstrClass
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    branch_target,
+    jump_target,
+)
+from repro.memory.mainmem import PAGE_SHIFT
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+#: Sentinel next-pc values (negative, so ``nxt >= 0`` is the fast test).
+HALT = -1          # closure set sim.halted; instruction retired
+SYSCALL = -2       # caller must sync state and run the syscall handler
+CHECK = -3         # caller must run the chk hook, then advance pc by 4
+
+
+# --------------------------------------------------------------- compilers
+#
+# Hot opcodes get hand-inlined closures (signed compares use the
+# xor-bias trick: a <s b  <=>  (a ^ 0x80000000) < (b ^ 0x80000000));
+# everything else closes over the semantics tables.  The factories below
+# return fn(sim) -> next_pc per the module protocol.
+
+def _compile_alu(pc, instr, next_pc):
+    name = instr.name
+    dest = instr.dest
+    rs = instr.rs
+    rt = instr.rt
+    if not dest:
+        # No architectural destination: only side effects (a divide
+        # fault) can matter, so always go through the semantics table.
+        op = ALU_OPS[name]
+        def fn(sim):
+            regs = sim.regs
+            op(instr, regs[rs], regs[rt])
+            return next_pc
+        return fn
+
+    if name == "add":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = (regs[rs] + regs[rt]) & MASK32
+            return next_pc
+    elif name == "addi":
+        imm = instr.imm & MASK32
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = (regs[rs] + imm) & MASK32
+            return next_pc
+    elif name == "sub":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = (regs[rs] - regs[rt]) & MASK32
+            return next_pc
+    elif name == "and":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] & regs[rt]
+            return next_pc
+    elif name == "andi":
+        uimm = instr.uimm
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] & uimm
+            return next_pc
+    elif name == "or":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] | regs[rt]
+            return next_pc
+    elif name == "ori":
+        uimm = instr.uimm
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] | uimm
+            return next_pc
+    elif name == "xor":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] ^ regs[rt]
+            return next_pc
+    elif name == "xori":
+        uimm = instr.uimm
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rs] ^ uimm
+            return next_pc
+    elif name == "nor":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = ~(regs[rs] | regs[rt]) & MASK32
+            return next_pc
+    elif name == "slt":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = (1 if (regs[rs] ^ SIGN_BIT) < (regs[rt] ^ SIGN_BIT)
+                          else 0)
+            return next_pc
+    elif name == "slti":
+        biased = (instr.imm & MASK32) ^ SIGN_BIT
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = 1 if (regs[rs] ^ SIGN_BIT) < biased else 0
+            return next_pc
+    elif name == "sltu":
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = 1 if regs[rs] < regs[rt] else 0
+            return next_pc
+    elif name == "sltiu":
+        imm = instr.imm & MASK32
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = 1 if regs[rs] < imm else 0
+            return next_pc
+    elif name == "sll":
+        shamt = instr.shamt
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = (regs[rt] << shamt) & MASK32
+            return next_pc
+    elif name == "srl":
+        shamt = instr.shamt
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = regs[rt] >> shamt
+            return next_pc
+    elif name == "sra":
+        shamt = instr.shamt
+        def fn(sim):
+            regs = sim.regs
+            value = regs[rt]
+            regs[dest] = ((value - ((value & SIGN_BIT) << 1)) >> shamt) \
+                & MASK32
+            return next_pc
+    elif name == "lui":
+        value = (instr.uimm << 16) & MASK32
+        def fn(sim):
+            sim.regs[dest] = value
+            return next_pc
+    elif name == "mul":
+        def fn(sim):
+            regs = sim.regs
+            a = regs[rs]
+            b = regs[rt]
+            regs[dest] = ((a - ((a & SIGN_BIT) << 1)) *
+                          (b - ((b & SIGN_BIT) << 1))) & MASK32
+            return next_pc
+    else:
+        # Variable shifts, divides, remainders and anything added later.
+        op = ALU_OPS[name]
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = op(instr, regs[rs], regs[rt])
+            return next_pc
+    return fn
+
+
+def _compile_load(pc, instr, next_pc, memory):
+    dest = instr.dest
+    rs = instr.rs
+    imm = instr.imm
+    if instr.name == "lw" and dest:
+        load_word = memory.load_word
+        def fn(sim):
+            regs = sim.regs
+            addr = (regs[rs] + imm) & MASK32
+            trace = sim.trace_mem
+            if trace is not None:
+                trace(sim, instr, addr, False)
+            regs[dest] = load_word(addr)
+            return next_pc
+        return fn
+    op = LOAD_OPS[instr.name]
+    if dest:
+        def fn(sim):
+            regs = sim.regs
+            addr = (regs[rs] + imm) & MASK32
+            trace = sim.trace_mem
+            if trace is not None:
+                trace(sim, instr, addr, False)
+            regs[dest] = op(memory, addr)
+            return next_pc
+    else:
+        def fn(sim):
+            addr = (sim.regs[rs] + imm) & MASK32
+            trace = sim.trace_mem
+            if trace is not None:
+                trace(sim, instr, addr, False)
+            op(memory, addr)          # alignment fault still applies
+            return next_pc
+    return fn
+
+
+def _compile_store(pc, instr, next_pc, memory):
+    rs = instr.rs
+    rt = instr.rt
+    imm = instr.imm
+    if instr.name == "sw":
+        store_word = memory.store_word
+        def fn(sim):
+            regs = sim.regs
+            addr = (regs[rs] + imm) & MASK32
+            trace = sim.trace_mem
+            if trace is not None:
+                trace(sim, instr, addr, True)
+            store_word(addr, regs[rt])
+            return next_pc
+        return fn
+    op = STORE_OPS[instr.name]
+    def fn(sim):
+        regs = sim.regs
+        addr = (regs[rs] + imm) & MASK32
+        trace = sim.trace_mem
+        if trace is not None:
+            trace(sim, instr, addr, True)
+        op(memory, addr, regs[rt])
+        return next_pc
+    return fn
+
+
+def _compile_branch(pc, instr, next_pc):
+    name = instr.name
+    rs = instr.rs
+    rt = instr.rt
+    taken = branch_target(instr, pc)
+    if name == "beq":
+        def fn(sim):
+            regs = sim.regs
+            return taken if regs[rs] == regs[rt] else next_pc
+    elif name == "bne":
+        def fn(sim):
+            regs = sim.regs
+            return taken if regs[rs] != regs[rt] else next_pc
+    elif name == "blez":
+        def fn(sim):
+            value = sim.regs[rs]
+            return taken if value == 0 or value & SIGN_BIT else next_pc
+    elif name == "bgtz":
+        def fn(sim):
+            value = sim.regs[rs]
+            return next_pc if value == 0 or value & SIGN_BIT else taken
+    elif name == "bltz":
+        def fn(sim):
+            return taken if sim.regs[rs] & SIGN_BIT else next_pc
+    elif name == "bgez":
+        def fn(sim):
+            return next_pc if sim.regs[rs] & SIGN_BIT else taken
+    else:
+        cond = BRANCH_OPS[name]
+        def fn(sim):
+            regs = sim.regs
+            return taken if cond(regs[rs], regs[rt]) else next_pc
+    return fn
+
+
+def _compile_jump(pc, instr, next_pc):
+    name = instr.name
+    dest = instr.dest
+    rs = instr.rs
+    if name in ("j", "jal"):
+        target = jump_target(instr, pc)
+        if dest:          # jal link
+            def fn(sim):
+                sim.regs[dest] = next_pc
+                return target
+        else:
+            def fn(sim):
+                return target
+        return fn
+    # jr / jalr: the link is written before the target register is read,
+    # matching the reference interpreter (visible when rd == rs).
+    if dest:
+        def fn(sim):
+            regs = sim.regs
+            regs[dest] = next_pc
+            return regs[rs] & MASK32
+    else:
+        def fn(sim):
+            return sim.regs[rs] & MASK32
+    return fn
+
+
+def _compile_halt():
+    def fn(sim):
+        sim.halted = True
+        return HALT
+    return fn
+
+
+def _compile_serial(sentinel):
+    def fn(sim):
+        return sentinel
+    return fn
+
+
+def _compile_nop(next_pc):
+    def fn(sim):
+        return next_pc
+    return fn
+
+
+def compile_instr(pc, instr, memory):
+    """Compile *instr* at *pc* into an execution closure bound to *memory*."""
+    iclass = instr.iclass
+    next_pc = (pc + 4) & MASK32
+    if iclass is InstrClass.ALU or iclass is InstrClass.MDU:
+        return _compile_alu(pc, instr, next_pc)
+    if iclass is InstrClass.LOAD:
+        return _compile_load(pc, instr, next_pc, memory)
+    if iclass is InstrClass.STORE:
+        return _compile_store(pc, instr, next_pc, memory)
+    if iclass is InstrClass.BRANCH:
+        return _compile_branch(pc, instr, next_pc)
+    if iclass is InstrClass.JUMP:
+        return _compile_jump(pc, instr, next_pc)
+    if iclass is InstrClass.SYSCALL:
+        return _compile_serial(SYSCALL)
+    if iclass is InstrClass.HALT:
+        return _compile_halt()
+    if iclass is InstrClass.CHECK:
+        return _compile_serial(CHECK)
+    if iclass is InstrClass.NOP:
+        return _compile_nop(next_pc)
+    raise ValueError("cannot compile %r" % (instr,))          # pragma: no cover
+
+
+# ------------------------------------------------------------------- cache
+
+class PredecodeCache:
+    """PC-indexed cache of decoded + compiled instructions over one memory.
+
+    Entries are ``(page_version, exec_closure, raw_word, instr)`` tuples.
+    An entry is valid while its page's counter in
+    ``memory.write_versions`` still equals ``page_version``; consumers
+    on a hot path inline that check and call :meth:`refill` on a miss.
+    """
+
+    #: Entry bound; reached only by pathological self-modifying code, in
+    #: which case the whole cache is dropped and rebuilt on demand.
+    MAX_ENTRIES = 1 << 16
+
+    __slots__ = ("memory", "entries")
+
+    def __init__(self, memory):
+        self.memory = memory
+        self.entries = {}
+
+    def refill(self, pc):
+        """(Re)build the entry for *pc* from what memory currently holds.
+
+        Raises :class:`~repro.memory.mainmem.MemoryFault` on a bad fetch
+        address and :class:`~repro.isa.encoding.DecodeError` when the
+        word is not a valid instruction; neither is cached.
+        """
+        memory = self.memory
+        version = memory.write_versions.get(pc >> PAGE_SHIFT, 0)
+        word = memory.load_word(pc)
+        instr = decode(word)
+        entry = (version, compile_instr(pc, instr, memory), word, instr)
+        entries = self.entries
+        if len(entries) >= self.MAX_ENTRIES:
+            entries.clear()
+        entries[pc] = entry
+        return entry
+
+    def fetch(self, pc):
+        """Return the validated entry for *pc* (decode/fetch may raise)."""
+        entry = self.entries.get(pc)
+        if (entry is None or
+                self.memory.write_versions.get(pc >> PAGE_SHIFT, 0)
+                != entry[0]):
+            entry = self.refill(pc)
+        return entry
+
+    def invalidate_all(self):
+        self.entries.clear()
+
+
+def cache_for(memory):
+    """The shared :class:`PredecodeCache` for *memory* (created on demand).
+
+    Attached to the memory object itself so every engine executing from
+    the same memory — the functional simulator and the pipeline of one
+    machine, say — shares one cache and one invalidation protocol.
+    """
+    cache = getattr(memory, "predecode_cache", None)
+    if cache is None:
+        cache = PredecodeCache(memory)
+        memory.predecode_cache = cache
+    return cache

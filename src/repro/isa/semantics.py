@@ -5,6 +5,15 @@ out-of-order pipeline (:mod:`repro.pipeline`) call into this module, so
 "what an instruction computes" has a single source of truth; the two
 engines differ only in *when* things happen.  Register values are
 represented as unsigned 32-bit Python ints everywhere.
+
+Dispatch is table-driven: each mnemonic maps to one small function in
+:data:`ALU_OPS`, :data:`BRANCH_OPS`, :data:`LOAD_OPS` or
+:data:`STORE_OPS`, and the public name-based entry points
+(:func:`alu_result`, :func:`branch_taken`, :func:`load_from`,
+:func:`store_to`) are thin wrappers over those tables.  The predecode
+layer (:mod:`repro.isa.predecode`) compiles per-instruction closures
+from the same tables, so an op's semantics live in exactly one place no
+matter which engine — or which speed tier of an engine — executes it.
 """
 
 from repro.isa.instructions import InstrClass
@@ -31,99 +40,106 @@ def to_unsigned(value):
     return value & MASK32
 
 
+# ALU / MDU -----------------------------------------------------------------
+#
+# Every entry has the uniform signature ``op(instr, a, b) -> value`` with
+# *a* the rs-operand and *b* the rt-operand (unsigned 32-bit); immediates
+# and shift amounts come from *instr*.  The uniform shape is what lets
+# the predecode compiler bake any of these into a closure.
+
+def _op_div(instr, a, b):
+    if b == 0:
+        raise ArithmeticFault()
+    quotient = abs(to_signed(a)) // abs(to_signed(b))
+    if (to_signed(a) < 0) != (to_signed(b) < 0):
+        quotient = -quotient
+    return quotient & MASK32
+
+
+def _op_rem(instr, a, b):
+    if b == 0:
+        raise ArithmeticFault()
+    sa, sb = to_signed(a), to_signed(b)
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & MASK32
+
+
+def _op_divu(instr, a, b):
+    if b == 0:
+        raise ArithmeticFault()
+    return a // b
+
+
+def _op_remu(instr, a, b):
+    if b == 0:
+        raise ArithmeticFault()
+    return a % b
+
+
+#: name -> op(instr, a, b) for every ALU and MDU mnemonic.
+ALU_OPS = {
+    "add": lambda instr, a, b: (a + b) & MASK32,
+    "addi": lambda instr, a, b: (a + instr.imm) & MASK32,
+    "sub": lambda instr, a, b: (a - b) & MASK32,
+    "and": lambda instr, a, b: a & b,
+    "andi": lambda instr, a, b: a & instr.uimm,
+    "or": lambda instr, a, b: a | b,
+    "ori": lambda instr, a, b: a | instr.uimm,
+    "xor": lambda instr, a, b: a ^ b,
+    "xori": lambda instr, a, b: a ^ instr.uimm,
+    "nor": lambda instr, a, b: ~(a | b) & MASK32,
+    "slt": lambda instr, a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    "slti": lambda instr, a, b: 1 if to_signed(a) < instr.imm else 0,
+    "sltu": lambda instr, a, b: 1 if a < b else 0,
+    "sltiu": lambda instr, a, b: 1 if a < (instr.imm & MASK32) else 0,
+    "sll": lambda instr, a, b: (b << instr.shamt) & MASK32,
+    "srl": lambda instr, a, b: b >> instr.shamt,
+    "sra": lambda instr, a, b: (to_signed(b) >> instr.shamt) & MASK32,
+    "sllv": lambda instr, a, b: (b << (a & 31)) & MASK32,
+    "srlv": lambda instr, a, b: b >> (a & 31),
+    "srav": lambda instr, a, b: (to_signed(b) >> (a & 31)) & MASK32,
+    "lui": lambda instr, a, b: (instr.uimm << 16) & MASK32,
+    "mul": lambda instr, a, b: (to_signed(a) * to_signed(b)) & MASK32,
+    "div": _op_div,
+    "rem": _op_rem,
+    "divu": _op_divu,
+    "remu": _op_remu,
+}
+
+
 def alu_result(instr, a, b):
     """Result of an ALU or MDU instruction.
 
     *a* is the rs-operand value, *b* the rt-operand value (both unsigned
     32-bit).  Immediates are taken from the instruction itself.
     """
-    name = instr.name
-    if name == "add":
-        return (a + b) & MASK32
-    if name == "addi":
-        return (a + instr.imm) & MASK32
-    if name == "sub":
-        return (a - b) & MASK32
-    if name == "and":
-        return a & b
-    if name == "andi":
-        return a & instr.uimm
-    if name == "or":
-        return a | b
-    if name == "ori":
-        return a | instr.uimm
-    if name == "xor":
-        return a ^ b
-    if name == "xori":
-        return a ^ instr.uimm
-    if name == "nor":
-        return ~(a | b) & MASK32
-    if name == "slt":
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if name == "slti":
-        return 1 if to_signed(a) < instr.imm else 0
-    if name == "sltu":
-        return 1 if a < b else 0
-    if name == "sltiu":
-        return 1 if a < (instr.imm & MASK32) else 0
-    if name == "sll":
-        return (b << instr.shamt) & MASK32
-    if name == "srl":
-        return b >> instr.shamt
-    if name == "sra":
-        return (to_signed(b) >> instr.shamt) & MASK32
-    if name == "sllv":
-        return (b << (a & 31)) & MASK32
-    if name == "srlv":
-        return b >> (a & 31)
-    if name == "srav":
-        return (to_signed(b) >> (a & 31)) & MASK32
-    if name == "lui":
-        return (instr.uimm << 16) & MASK32
-    if name == "mul":
-        return (to_signed(a) * to_signed(b)) & MASK32
-    if name == "div":
-        if b == 0:
-            raise ArithmeticFault()
-        quotient = abs(to_signed(a)) // abs(to_signed(b))
-        if (to_signed(a) < 0) != (to_signed(b) < 0):
-            quotient = -quotient
-        return quotient & MASK32
-    if name == "rem":
-        if b == 0:
-            raise ArithmeticFault()
-        sa, sb = to_signed(a), to_signed(b)
-        remainder = abs(sa) % abs(sb)
-        if sa < 0:
-            remainder = -remainder
-        return remainder & MASK32
-    if name == "divu":
-        if b == 0:
-            raise ArithmeticFault()
-        return a // b
-    if name == "remu":
-        if b == 0:
-            raise ArithmeticFault()
-        return a % b
-    raise ValueError("not an ALU/MDU instruction: %r" % (instr,))
+    op = ALU_OPS.get(instr.name)
+    if op is None:
+        raise ValueError("not an ALU/MDU instruction: %r" % (instr,))
+    return op(instr, a, b)
+
+
+# Control flow --------------------------------------------------------------
+
+#: name -> taken(a, b) for every conditional branch (*a* = rs, *b* = rt).
+BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blez": lambda a, b: to_signed(a) <= 0,
+    "bgtz": lambda a, b: to_signed(a) > 0,
+    "bltz": lambda a, b: to_signed(a) < 0,
+    "bgez": lambda a, b: to_signed(a) >= 0,
+}
 
 
 def branch_taken(instr, a, b):
     """Whether a conditional branch is taken (*a* = rs value, *b* = rt value)."""
-    name = instr.name
-    if name == "beq":
-        return a == b
-    if name == "bne":
-        return a != b
-    if name == "blez":
-        return to_signed(a) <= 0
-    if name == "bgtz":
-        return to_signed(a) > 0
-    if name == "bltz":
-        return to_signed(a) < 0
-    if name == "bgez":
-        return to_signed(a) >= 0
-    raise ValueError("not a branch: %r" % (instr,))
+    op = BRANCH_OPS.get(instr.name)
+    if op is None:
+        raise ValueError("not a branch: %r" % (instr,))
+    return op(a, b)
 
 
 def branch_target(instr, pc):
@@ -154,35 +170,49 @@ def effective_address(instr, rs_value):
     return (rs_value + instr.imm) & MASK32
 
 
+# Memory --------------------------------------------------------------------
+
+def _load_lh(memory, addr):
+    value = memory.load_half(addr)
+    return (value - 0x10000 if value & 0x8000 else value) & MASK32
+
+
+def _load_lb(memory, addr):
+    value = memory.load_byte(addr)
+    return (value - 0x100 if value & 0x80 else value) & MASK32
+
+
+#: name -> load(memory, addr) for every load mnemonic.
+LOAD_OPS = {
+    "lw": lambda memory, addr: memory.load_word(addr),
+    "lh": _load_lh,
+    "lhu": lambda memory, addr: memory.load_half(addr),
+    "lb": _load_lb,
+    "lbu": lambda memory, addr: memory.load_byte(addr),
+}
+
+#: name -> store(memory, addr, value) for every store mnemonic.
+STORE_OPS = {
+    "sw": lambda memory, addr, value: memory.store_word(addr, value),
+    "sh": lambda memory, addr, value: memory.store_half(addr, value),
+    "sb": lambda memory, addr, value: memory.store_byte(addr, value),
+}
+
+
 def load_from(memory, instr, addr):
     """Perform the load described by *instr* at *addr* against *memory*."""
-    name = instr.name
-    if name == "lw":
-        return memory.load_word(addr)
-    if name == "lh":
-        value = memory.load_half(addr)
-        return (value - 0x10000 if value & 0x8000 else value) & MASK32
-    if name == "lhu":
-        return memory.load_half(addr)
-    if name == "lb":
-        value = memory.load_byte(addr)
-        return (value - 0x100 if value & 0x80 else value) & MASK32
-    if name == "lbu":
-        return memory.load_byte(addr)
-    raise ValueError("not a load: %r" % (instr,))
+    op = LOAD_OPS.get(instr.name)
+    if op is None:
+        raise ValueError("not a load: %r" % (instr,))
+    return op(memory, addr)
 
 
 def store_to(memory, instr, addr, value):
     """Perform the store described by *instr*."""
-    name = instr.name
-    if name == "sw":
-        memory.store_word(addr, value)
-    elif name == "sh":
-        memory.store_half(addr, value)
-    elif name == "sb":
-        memory.store_byte(addr, value)
-    else:
+    op = STORE_OPS.get(instr.name)
+    if op is None:
         raise ValueError("not a store: %r" % (instr,))
+    op(memory, addr, value)
 
 
 def access_size(instr):

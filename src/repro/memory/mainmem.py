@@ -32,10 +32,20 @@ class MainMemory:
 
     Pages are materialised on first touch and zero-filled, so "fresh"
     memory reads as zero — convenient for ``.space`` data and stacks.
+
+    Every store bumps a per-page counter in :attr:`write_versions`
+    (pages never written do not appear; their version is 0).  Consumers
+    that cache derived views of memory — the predecode cache in
+    :mod:`repro.isa.predecode` is the canonical one — record the
+    version at build time and revalidate against it, so self-modifying
+    code, fault-injection corruption of the text segment, and page
+    restores all invalidate correctly without the memory knowing who is
+    caching.
     """
 
     def __init__(self):
         self._pages = {}
+        self.write_versions = {}
 
     # ------------------------------------------------------------- pages
 
@@ -60,6 +70,8 @@ class MainMemory:
         if len(payload) != PAGE_SIZE:
             raise ValueError("page payload must be %d bytes" % PAGE_SIZE)
         self._pages[page_index] = bytearray(payload)
+        versions = self.write_versions
+        versions[page_index] = versions.get(page_index, 0) + 1
 
     # ------------------------------------------------------------- bytes
 
@@ -77,12 +89,15 @@ class MainMemory:
 
     def store_bytes(self, addr, payload):
         addr &= ADDR_MASK
+        versions = self.write_versions
         view = memoryview(payload)
         while view:
             offset = addr & PAGE_MASK
             chunk = min(len(view), PAGE_SIZE - offset)
             page = self._page(addr)
             page[offset:offset + chunk] = view[:chunk]
+            index = addr >> PAGE_SHIFT
+            versions[index] = versions.get(index, 0) + 1
             addr = (addr + chunk) & ADDR_MASK
             view = view[chunk:]
 
@@ -102,6 +117,9 @@ class MainMemory:
         page = self._page(addr)
         offset = addr & PAGE_MASK
         page[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        index = addr >> PAGE_SHIFT
+        versions = self.write_versions
+        versions[index] = versions.get(index, 0) + 1
 
     def load_half(self, addr):
         if addr & 1:
@@ -116,21 +134,38 @@ class MainMemory:
         page = self._page(addr)
         offset = addr & PAGE_MASK
         page[offset:offset + 2] = (value & 0xFFFF).to_bytes(2, "little")
+        index = addr >> PAGE_SHIFT
+        versions = self.write_versions
+        versions[index] = versions.get(index, 0) + 1
 
     def load_byte(self, addr):
         return self._page(addr)[addr & PAGE_MASK]
 
     def store_byte(self, addr, value):
         self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+        index = addr >> PAGE_SHIFT
+        versions = self.write_versions
+        versions[index] = versions.get(index, 0) + 1
 
     # ------------------------------------------------------------ strings
 
     def load_cstring(self, addr, limit=4096):
-        """Read a NUL-terminated latin-1 string (debug / syscall helper)."""
+        """Read a NUL-terminated latin-1 string (debug / syscall helper).
+
+        Scans whole page slices (one ``find`` per page) rather than one
+        :meth:`load_byte` round trip per character.
+        """
         out = bytearray()
-        for index in range(limit):
-            byte = self.load_byte(addr + index)
-            if byte == 0:
+        remaining = limit
+        while remaining > 0:
+            offset = addr & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            segment = self._page(addr)[offset:offset + chunk]
+            nul = segment.find(0)
+            if nul >= 0:
+                out += segment[:nul]
                 break
-            out.append(byte)
+            out += segment
+            addr = (addr + chunk) & ADDR_MASK
+            remaining -= chunk
         return out.decode("latin-1")

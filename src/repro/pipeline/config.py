@@ -26,7 +26,8 @@ class PipelineConfig:
                  div_latency=20,
                  bimodal_entries=2048,
                  btb_entries=512,
-                 predictor="bimodal"):
+                 predictor="bimodal",
+                 predecode=True):
         self.fetch_width = fetch_width
         self.dispatch_width = dispatch_width
         self.issue_width = issue_width
@@ -43,6 +44,10 @@ class PipelineConfig:
         self.bimodal_entries = bimodal_entries
         self.btb_entries = btb_entries
         self.predictor = predictor          # "bimodal" (paper) or "gshare"
+        #: Fetch through the shared predecode cache (perf only — the
+        #: decoded stream is bit-identical either way; False keeps the
+        #: direct decode path for differential testing).
+        self.predecode = predecode
 
     def copy(self, **overrides):
         """Return a new config with *overrides* applied."""

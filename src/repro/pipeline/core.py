@@ -31,10 +31,10 @@ the cache-side cost is measured by the separate NOP-rewriting experiment
 
 import enum
 
-from repro.isa import semantics
+from repro.isa import predecode, semantics
 from repro.isa.encoding import DecodeError, decode
 from repro.isa.instructions import InstrClass
-from repro.memory.mainmem import MemoryFault
+from repro.memory.mainmem import PAGE_SHIFT, MemoryFault
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.predictor import BranchPredictor, GsharePredictor
 
@@ -186,6 +186,10 @@ class Pipeline:
 
         self.check_injector = None
         self.mem_check = None
+        #: Shared predecode cache (same object the functional simulator
+        #: uses when it executes from this memory); None decodes direct.
+        self._predecode = (predecode.cache_for(memory)
+                           if self.config.predecode else None)
 
     # ------------------------------------------------------------------ API
 
@@ -692,8 +696,16 @@ class Pipeline:
         return self._decode_at(pc)
 
     def _decode_at(self, pc):
+        cache = self._predecode
         try:
-            return pc, decode(self.memory.load_word(pc)), None
+            if cache is None:
+                return pc, decode(self.memory.load_word(pc)), None
+            entry = cache.entries.get(pc)
+            if (entry is None or
+                    self.memory.write_versions.get(pc >> PAGE_SHIFT, 0)
+                    != entry[0]):
+                entry = cache.refill(pc)
+            return pc, entry[3], None
         except DecodeError as exc:
             # Keep the raw word on the marker so the ICM's binary
             # comparison sees what was actually fetched.

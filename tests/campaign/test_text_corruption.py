@@ -1,0 +1,82 @@
+"""Text-segment corruption vs the predecode cache.
+
+The campaign fault models mutate instruction memory with plain
+``store_word`` calls — before the run (``instr-flip``'s arm) or in the
+middle of it (``mem-flip``-style fires).  The shared predecode cache
+must never serve a stale decode of a corrupted word: subsequent
+execution has to change, and the ICM's binary comparison has to see the
+raw corrupted word in memory.
+"""
+
+from repro.campaign.models import Outcome
+from repro.campaign.runner import (CampaignContext, CampaignSpec,
+                                   build_campaign_machine, classify)
+from repro.isa.encoding import flip_bit
+from repro.pipeline.core import EventKind
+
+LOOP = """
+    main:
+        li $t0, 0
+        li $t1, 2000
+        li $s0, 0
+    loop:
+        add $s0, $s0, $t0
+        addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+"""
+
+
+def spec_for(**kwargs):
+    kwargs.setdefault("injections", 1)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("max_cycles", 100_000)
+    kwargs.setdefault("protected", False)
+    return CampaignSpec(source=LOOP, **kwargs)
+
+
+def corrupt_text_mid_run(protected, addr_of, trigger=400, bit=1):
+    """Run to *trigger* cycles, flip a bit of an already-hot text word
+    chosen by ``addr_of(ctx)``, then run out the budget."""
+    ctx = CampaignContext(spec_for(protected=protected))
+    machine, __ = build_campaign_machine(ctx.asm, protected=protected)
+    event = machine.pipeline.run(max_cycles=trigger)
+    assert event.kind is EventKind.MAX_CYCLES
+    addr = addr_of(ctx)
+    corrupted = flip_bit(machine.memory.load_word(addr), bit)
+    machine.memory.store_word(addr, corrupted)
+    event = machine.pipeline.run(max_cycles=ctx.spec.max_cycles)
+    return ctx, machine, event, addr, corrupted
+
+
+def test_mid_run_text_flip_changes_execution_after_warmup():
+    # Strike the loop-body `add` (4th text word), executed dozens of
+    # times before the flip lands.
+    ctx, machine, event, addr, corrupted = corrupt_text_mid_run(
+        False, lambda ctx: ctx.asm.text_base + 12)
+    # Memory (what ICM-style binary comparison reads) holds the raw
+    # corrupted word, not the word the cache first decoded.
+    assert machine.memory.load_word(addr) == corrupted
+    outcome = classify(machine, ctx, event)
+    assert outcome is not Outcome.BENIGN, (
+        "stale predecode entry: corrupted text had no effect")
+
+
+def test_mid_run_text_flip_is_detected_by_icm():
+    # On a protected machine a strike on an ICM-checked (control)
+    # instruction must trip the binary comparison — which only happens
+    # if fetch sees the post-corruption word, not a stale decode.
+    ctx, machine, event, __, __ = corrupt_text_mid_run(
+        True, lambda ctx: min(ctx.checked_pcs))
+    assert classify(machine, ctx, event) is Outcome.DETECTED
+
+
+def test_armed_instr_flip_still_does_damage_unprotected():
+    # The pre-run arm path (instr-flip) stores before first fetch; with
+    # a cold cache this must keep behaving exactly as before predecode.
+    from repro.campaign import run_campaign
+    run = run_campaign(spec_for(model="instr-flip", injections=16,
+                                protected=False, seed=7))
+    damage = (run.count(Outcome.FAULTED) + run.count(Outcome.CORRUPTED)
+              + run.count(Outcome.HUNG))
+    assert damage > 0

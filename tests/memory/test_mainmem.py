@@ -68,3 +68,49 @@ def test_word_store_masks_to_32_bits():
     mem = MainMemory()
     mem.store_word(0x400, 0x1_FFFF_FFFF)
     assert mem.load_word(0x400) == 0xFFFFFFFF
+
+
+def test_write_versions_bump_on_every_store_kind():
+    mem = MainMemory()
+    page = 0x2000 >> 12
+    assert mem.write_versions.get(page, 0) == 0
+    mem.store_word(0x2000, 1)
+    assert mem.write_versions[page] == 1
+    mem.store_half(0x2004, 2)
+    mem.store_byte(0x2006, 3)
+    assert mem.write_versions[page] == 3
+    snap = mem.snapshot_page(page)
+    mem.restore_page(page, snap)
+    assert mem.write_versions[page] == 4
+
+
+def test_write_versions_are_per_page_and_loads_do_not_bump():
+    mem = MainMemory()
+    mem.store_word(0x2000, 1)
+    before = dict(mem.write_versions)
+    mem.load_word(0x2000)
+    mem.load_byte(0x9000)          # different (never-written) page
+    mem.load_cstring(0x2000)
+    assert mem.write_versions == before
+    assert (0x9000 >> 12) not in mem.write_versions
+
+
+def test_store_bytes_bumps_every_touched_page():
+    mem = MainMemory()
+    base = PAGE_SIZE - 2
+    mem.store_bytes(base, bytes(6))          # straddles two pages
+    assert mem.write_versions[base >> 12] >= 1
+    assert mem.write_versions[(base + 5) >> 12] >= 1
+
+
+def test_cstring_crosses_page_boundary():
+    mem = MainMemory()
+    base = PAGE_SIZE - 3
+    mem.store_bytes(base, b"crossing\x00")
+    assert mem.load_cstring(base) == "crossing"
+
+
+def test_cstring_respects_limit_without_nul():
+    mem = MainMemory()
+    mem.store_bytes(0x700, b"A" * 64)
+    assert mem.load_cstring(0x700, limit=16) == "A" * 16
