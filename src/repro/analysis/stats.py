@@ -7,23 +7,26 @@ class RunRecord:
     """Everything a benchmark wants to keep from one simulation run."""
 
     def __init__(self, name, cycles, instret, pipeline_stats=None,
-                 cache_stats=None, extra=None):
+                 cache_stats=None, extra=None, snapshot=None):
         self.name = name
         self.cycles = cycles
         self.instret = instret
         self.pipeline_stats = dict(pipeline_stats or {})
         self.cache_stats = dict(cache_stats or {})
         self.extra = dict(extra or {})
+        self.snapshot = snapshot          # full Machine.snapshot() document
 
     @classmethod
     def from_machine(cls, name, machine, extra=None):
-        stats = machine.pipeline.stats
+        snapshot = machine.snapshot()
+        pipeline = snapshot["pipeline"]
         return cls(name,
-                   cycles=stats.cycles,
-                   instret=stats.instret,
-                   pipeline_stats=stats.as_dict(),
-                   cache_stats=machine.hierarchy.stats(),
-                   extra=extra)
+                   cycles=pipeline["cycles"],
+                   instret=pipeline["instret"],
+                   pipeline_stats=pipeline,
+                   cache_stats=snapshot["memory"],
+                   extra=extra,
+                   snapshot=snapshot)
 
     @property
     def ipc(self):

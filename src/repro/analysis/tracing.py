@@ -1,99 +1,17 @@
-"""Execution tracing for guest-program debugging.
+"""Execution tracing — moved to :mod:`repro.obs.tracer`.
 
-Two tracers:
-
-* :func:`trace_functional` — instruction-by-instruction architectural
-  trace on the functional simulator: disassembly, register writes,
-  memory effects.  The tool to reach for when a workload misbehaves.
-* :class:`CommitTracer` — an RSE observer module recording the committed
-  instruction stream of the out-of-order pipeline with cycle stamps
-  (a retirement trace, Commit_Out fidelity included for free).
+This module remains as a re-export shim: the guest-program tracers
+(:func:`trace_functional`, :class:`CommitTracer`) now live in the
+unified telemetry layer, and ``attach_commit_tracer(machine)`` is the
+historical spelling of ``machine.obs.attach("commit")``.
 """
 
-from repro.funcsim.interp import FuncSim
-from repro.isa.registers import reg_name
-from repro.rse.module import ModuleMode, RSEModule
+from repro.obs.tracer import (          # noqa: F401
+    CommitTracer,
+    TraceEntry,
+    attach_commit_tracer,
+    trace_functional,
+)
 
-
-class TraceEntry:
-    """One retired/executed instruction in a trace."""
-
-    __slots__ = ("index", "pc", "text", "reg_writes", "cycle")
-
-    def __init__(self, index, pc, text, reg_writes=(), cycle=None):
-        self.index = index
-        self.pc = pc
-        self.text = text
-        self.reg_writes = reg_writes
-        self.cycle = cycle
-
-    def render(self):
-        effects = "  ".join("$%s=0x%08x" % (reg_name(reg), value)
-                            for reg, value in self.reg_writes)
-        stamp = "" if self.cycle is None else "[%8d] " % self.cycle
-        line = "%s%6d  %08x  %-36s %s" % (stamp, self.index, self.pc,
-                                          self.text, effects)
-        return line.rstrip()
-
-
-def trace_functional(memory, entry, sp=0x7FFF0000, max_steps=10_000,
-                     syscall_handler=None):
-    """Run a program on the functional simulator, recording every step.
-
-    Returns ``(entries, sim)``; each entry carries the disassembly and
-    the architectural register writes it performed.
-    """
-    from repro.isa.encoding import DecodeError, decode
-    from repro.memory.mainmem import MemoryFault
-
-    sim = FuncSim(memory, entry=entry, sp=sp,
-                  syscall_handler=syscall_handler)
-    entries = []
-    for index in range(max_steps):
-        pc = sim.pc
-        try:
-            instr = decode(memory.load_word(pc))
-            text = instr.disassemble()
-        except (DecodeError, MemoryFault) as exc:
-            text = "<fetch fault: %s>" % exc
-            instr = None
-        before = list(sim.regs)
-        result = sim.step()
-        writes = tuple((reg, sim.regs[reg]) for reg in range(32)
-                       if sim.regs[reg] != before[reg])
-        entries.append(TraceEntry(index, pc, text, writes))
-        if result.value != "ok":
-            break
-    return entries, sim
-
-
-class CommitTracer(RSEModule):
-    """RSE module recording the pipeline's retirement stream."""
-
-    MODULE_ID = 10
-    MODE = ModuleMode.ASYNC
-
-    def __init__(self, limit=100_000):
-        super().__init__("CommitTracer")
-        self.limit = limit
-        self.entries = []
-
-    def on_commit(self, uop, cycle):
-        if len(self.entries) >= self.limit:
-            return
-        self.entries.append(TraceEntry(len(self.entries), uop.pc,
-                                       uop.instr.disassemble(),
-                                       cycle=cycle))
-
-    def render(self, last=None):
-        entries = self.entries if last is None else self.entries[-last:]
-        return "\n".join(entry.render() for entry in entries)
-
-
-def attach_commit_tracer(machine, limit=100_000):
-    """Attach (and enable) a :class:`CommitTracer` to a machine's RSE."""
-    if machine.rse is None:
-        raise ValueError("commit tracing needs a machine with the RSE")
-    tracer = machine.rse.attach(CommitTracer(limit))
-    machine.rse.enable_module(CommitTracer.MODULE_ID)
-    return tracer
+__all__ = ["CommitTracer", "TraceEntry", "attach_commit_tracer",
+           "trace_functional"]

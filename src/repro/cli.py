@@ -17,18 +17,72 @@ Commands
     Run a layout-dependent exploit against the vulnerable service under
     a chosen ``--defense``.
 
+``stats FILE``
+    Pretty-print (or ``--diff`` two) telemetry files: either a
+    ``Machine.snapshot()`` JSON document (``repro run --stats-json``)
+    or a campaign JSONL store.
+
 ``info``
     Print the simulated machine configuration and the Section 3.1
     hardware-cost estimates.
+
+Every data-producing subcommand takes ``--json``; all machine-readable
+output is routed through one serializer (:func:`emit_json`).
 """
 
 import argparse
+import json
 import os
 import sys
 
 from repro.analysis.hardware_cost import framework_input_cost, \
     mlr_hardware_cost
 from repro.analysis.tables import format_table
+
+
+# ------------------------------------------------------------- serializer
+
+def jsonable(value):
+    """Coerce *value* into plain JSON-compatible data.
+
+    Dicts/lists/tuples recurse; objects expose themselves via
+    ``snapshot()`` or their ``__dict__``; anything else falls back to
+    ``str``.  This is the single normalization point every ``--json``
+    flag routes through.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    snapshot = getattr(value, "snapshot", None)
+    if callable(snapshot):
+        return jsonable(snapshot())
+    if hasattr(value, "__dict__"):
+        return {key: jsonable(item)
+                for key, item in vars(value).items()
+                if not key.startswith("_")}
+    return str(value)
+
+
+def emit_json(payload, stream=None):
+    """The one JSON serializer behind every ``--json`` flag."""
+    stream = stream or sys.stdout
+    json.dump(jsonable(payload), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def flatten_doc(doc, prefix=""):
+    """Flatten a nested snapshot document to ordered dotted-key pairs."""
+    pairs = []
+    for key, value in doc.items():
+        path = "%s.%s" % (prefix, key) if prefix else str(key)
+        if isinstance(value, dict):
+            pairs.extend(flatten_doc(value, path))
+        else:
+            pairs.append((path, value))
+    return pairs
 
 
 def _cmd_run(args):
@@ -46,12 +100,21 @@ def _cmd_run(args):
     if args.func:
         from repro.isa.assembler import assemble
 
+        if args.stats_json:
+            print("--stats-json needs the full machine (drop --func)")
+            return 2
         asm = assemble(source, constants=std_constants())
         memory = MainMemory()
         memory.store_bytes(asm.text_base, asm.text)
         memory.store_bytes(asm.data_base, asm.data)
         sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000)
         result = sim.run(max_steps=args.max_cycles)
+        if args.json:
+            emit_json({"mode": "functional", "result": result.value,
+                       "instret": sim.instret,
+                       "fault": ("pc=0x%08x %s" % sim.fault
+                                 if sim.fault else None)})
+            return 0
         print("functional run: %s after %d instructions"
               % (result.value, sim.instret))
         if sim.fault:
@@ -71,15 +134,26 @@ def _cmd_run(args):
         machine.rse.enable_module(MODULE_ICM)
         machine.pipeline.check_injector = make_icm_injector(checker_map)
     result = machine.kernel.run(max_cycles=args.max_cycles)
-    stats = machine.pipeline.stats
+    snapshot = result.snapshot
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            emit_json(snapshot, stream=handle)
+    if args.json:
+        emit_json({"mode": "machine", "reason": result.reason,
+                   "cycles": result.cycles,
+                   "output": [value for __, value in machine.kernel.output],
+                   "snapshot": snapshot})
+        return 0 if result.reason in ("halt", "all_exited") else 1
+    pipeline = snapshot["pipeline"]
     print("run ended: %s" % result.reason)
     print("cycles: %d   instructions: %d   IPC: %.2f"
-          % (stats.cycles, stats.instret, stats.ipc))
+          % (pipeline["cycles"], pipeline["instret"], pipeline["ipc"]))
     print("branches: %d   mispredicts: %d   loads: %d   stores: %d"
-          % (stats.branches, stats.mispredicts, stats.loads, stats.stores))
-    hier = machine.hierarchy.stats()
+          % (pipeline["branches"], pipeline["mispredicts"],
+             pipeline["loads"], pipeline["stores"]))
+    mem = snapshot["memory"]
     print("il1 miss: %.2f%%   dl1 miss: %.2f%%"
-          % (100 * hier["il1"]["miss_rate"], 100 * hier["dl1"]["miss_rate"]))
+          % (100 * mem["il1"]["miss_rate"], 100 * mem["dl1"]["miss_rate"]))
     for kind, value in machine.kernel.output:
         print("guest output: %s" % value)
     if args.icm:
@@ -87,6 +161,8 @@ def _cmd_run(args):
         print("ICM: %d checks, %d mismatches, %.1f%% cache hit rate"
               % (icm.checks_completed, icm.mismatches,
                  100 * icm.cache_hit_rate))
+    if args.stats_json:
+        print("snapshot written to %s" % args.stats_json)
     return 0 if result.reason in ("halt", "all_exited") else 1
 
 
@@ -95,29 +171,48 @@ def _cmd_experiment(args):
 
     if args.name == "table4":
         results = table4.run_table4(quick=args.quick)
-        print(table4.format_table4(results))
         fw, icm = table4.average_overheads(results)
+        if args.json:
+            emit_json({"experiment": "table4", "results": results,
+                       "average_overheads": {"framework": fw,
+                                             "framework_icm": icm}})
+            return 0
+        print(table4.format_table4(results))
         print("\naverage overheads: framework %.2f%%  framework+ICM %.2f%%"
               % (fw, icm))
     elif args.name == "table5":
         results = table5.run_table5(quick=args.quick)
+        penalty = table5.measure_pi_rand_penalty()
+        if args.json:
+            emit_json({"experiment": "table5", "results": results,
+                       "pi_rand_penalty_cycles": penalty})
+            return 0
         print(table5.format_table5(results))
         print("\nposition-independent penalty: %d cycles (paper: 56)"
-              % table5.measure_pi_rand_penalty())
+              % penalty)
     elif args.name == "fig9":
         results = fig9.run_fig9(quick=args.quick)
+        if args.json:
+            emit_json({"experiment": "fig9", "results": results})
+            return 0
         print(fig9.format_fig9(results))
         print()
         print(fig9.chart_fig9(results))
     else:
-        print(ablations.format_arbiter_placement(
-            ablations.run_arbiter_placement(quick=args.quick)))
-        print()
         sizes = (32, 256) if args.quick else (32, 64, 128, 256, 512)
-        print(ablations.format_icm_cache_sweep(
-            ablations.run_icm_cache_sweep(sizes=sizes, quick=args.quick)))
+        arbiter = ablations.run_arbiter_placement(quick=args.quick)
+        sweep = ablations.run_icm_cache_sweep(sizes=sizes, quick=args.quick)
+        lag = ablations.run_ddt_lag()
+        if args.json:
+            emit_json({"experiment": "ablations",
+                       "arbiter_placement": arbiter,
+                       "icm_cache_sweep": sweep, "ddt_lag": lag})
+            return 0
+        print(ablations.format_arbiter_placement(arbiter))
         print()
-        print(ablations.format_ddt_lag(ablations.run_ddt_lag()))
+        print(ablations.format_icm_cache_sweep(sweep))
+        print()
+        print(ablations.format_ddt_lag(lag))
     return 0
 
 
@@ -163,12 +258,16 @@ def _cmd_campaign(args):
                         max_cycles=args.max_cycles)
 
     if args.replay is not None:
+        stored = None
         if args.store and os.path.exists(args.store):
             spec = resume_spec(args.store)
             stored = ResultStore(args.store).record_for(args.replay)
-            if stored is not None:
+            if stored is not None and not args.json:
                 print("stored record: %s" % stored)
         record = replay(spec, args.replay)
+        if args.json:
+            emit_json({"replayed": record, "stored": stored})
+            return 0
         print("replayed:      %s" % record)
         return 0
 
@@ -179,6 +278,9 @@ def _cmd_campaign(args):
             stream.write("\n")
         stream.flush()
 
+    if args.json:
+        progress = None          # keep stdout pure JSON
+
     if args.compare:
         runs = {}
         for protected in (True, False):
@@ -187,22 +289,37 @@ def _cmd_campaign(args):
                                 protected=protected,
                                 injections=args.injections, seed=args.seed,
                                 max_cycles=args.max_cycles)
-            print("%s campaign (%s, %d injections):"
-                  % ("protected" if protected else "unprotected",
-                     args.model, args.injections))
+            if not args.json:
+                print("%s campaign (%s, %d injections):"
+                      % ("protected" if protected else "unprotected",
+                         args.model, args.injections))
             runs[protected] = run_campaign(side, workers=args.workers,
                                            chunk_size=args.chunk,
                                            progress=progress)
+        if args.json:
+            emit_json({"model": args.model, "seed": args.seed,
+                       "compare": {
+                           "protected": _campaign_summary(runs[True].records),
+                           "unprotected": _campaign_summary(
+                               runs[False].records)}})
+            return 0
         print()
         print(format_comparison(runs[True].records, runs[False].records,
                                 title="%s campaign" % args.model))
         return 0
 
-    print("campaign: model=%s injections=%d workers=%d %s"
-          % (args.model, args.injections, args.workers,
-             "protected" if spec.protected else "unprotected"))
+    if not args.json:
+        print("campaign: model=%s injections=%d workers=%d %s"
+              % (args.model, args.injections, args.workers,
+                 "protected" if spec.protected else "unprotected"))
     run = run_campaign(spec, workers=args.workers, chunk_size=args.chunk,
                        store_path=args.store, progress=progress)
+    if args.json:
+        summary = _campaign_summary(run.records)
+        summary.update({"model": args.model, "seed": args.seed,
+                        "protected": spec.protected, "store": args.store})
+        emit_json(summary)
+        return 0
     print()
     print(format_campaign_report(
         run.records, title="%s campaign (seed %d)" % (args.model, args.seed)))
@@ -211,6 +328,18 @@ def _cmd_campaign(args):
         print("results stored in %s (resume by re-running the same "
               "command)" % args.store)
     return 0
+
+
+def _campaign_summary(records):
+    """Machine-readable digest of one campaign's records."""
+    from repro.campaign.report import (damage_count, detection_stats,
+                                       outcome_counts)
+
+    detected, total, det_rate, (low, high) = detection_stats(records)
+    return {"runs": total, "outcomes": outcome_counts(records),
+            "detection": {"detected": detected, "rate": det_rate,
+                          "ci95": [low, high]},
+            "damaging_runs": damage_count(records)}
 
 
 def _cmd_report(args):
@@ -227,6 +356,11 @@ def _cmd_report(args):
     for path in paths:
         with open(path) as handle:
             sections.append(handle.read().rstrip())
+    if args.json:
+        emit_json({"results_dir": results_dir,
+                   "sections": [{"path": path, "text": text}
+                                for path, text in zip(paths, sections)]})
+        return 0
     report = ("# Reproduction results\n\n"
               + "\n\n".join("```\n%s\n```" % text for text in sections)
               + "\n")
@@ -272,10 +406,106 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_stats(args):
+    """Pretty-print or diff telemetry files (snapshots, campaign stores)."""
+    doc = _load_stats_file(args.file)
+    if args.diff is not None:
+        other = _load_stats_file(args.diff)
+        if not (isinstance(doc, dict) and "schema" in doc
+                and isinstance(other, dict) and "schema" in other):
+            print("--diff requires two snapshot documents")
+            return 2
+        left = dict(flatten_doc(doc))
+        right = dict(flatten_doc(other))
+        diffs = []
+        for key in sorted(set(left) | set(right)):
+            a, b = left.get(key), right.get(key)
+            if a != b:
+                diffs.append({"key": key, "a": a, "b": b})
+        if args.json:
+            emit_json({"a": args.file, "b": args.diff, "diff": diffs})
+            return 0
+        if not diffs:
+            print("snapshots are identical")
+            return 0
+        print("%-44s %16s %16s" % ("key", "a", "b"))
+        for entry in diffs:
+            print("%-44s %16s %16s"
+                  % (entry["key"], _stats_cell(entry["a"]),
+                     _stats_cell(entry["b"])))
+        return 0
+
+    if isinstance(doc, dict) and "schema" in doc:
+        if args.json:
+            emit_json(doc)
+            return 0
+        print("snapshot %s (cycle %s)" % (doc.get("schema"),
+                                          doc.get("cycle")))
+        for key, value in flatten_doc(doc):
+            if key in ("schema", "cycle"):
+                continue
+            print("  %-42s %s" % (key, _stats_cell(value)))
+        return 0
+
+    # Campaign JSONL store: regenerate the campaign report from records.
+    header, records = doc
+    if args.json:
+        summary = _campaign_summary(records)
+        summary["spec"] = header.get("spec")
+        emit_json(summary)
+        return 0
+    from repro.campaign.report import format_campaign_report
+
+    spec = header.get("spec", {})
+    title = "campaign store %s (%s, seed %s)" % (
+        os.path.basename(args.file), spec.get("model", "?"),
+        spec.get("seed", "?"))
+    print(format_campaign_report(records, title=title))
+    return 0
+
+
+def _load_stats_file(path):
+    """Detect and load a telemetry file.
+
+    Returns the parsed snapshot dict for ``Machine.snapshot()`` JSON, or
+    ``(header, records)`` for a campaign JSONL store.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        doc = json.loads(text)          # one pretty-printed document
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict):
+        return doc
+    first_line = text.split("\n", 1)[0] if text else ""
+    try:
+        record = json.loads(first_line)
+    except ValueError:
+        record = None
+    if isinstance(record, dict) and record.get("kind") == "campaign":
+        from repro.campaign.store import ResultStore
+
+        header, records = ResultStore(path).load()
+        return header, records
+    raise SystemExit("unrecognized stats file: %s" % path)
+
+
+def _stats_cell(value):
+    if isinstance(value, float):
+        return "%.4f" % value
+    return str(value)
+
+
 def _cmd_info(args):
     from repro.pipeline.config import PipelineConfig
 
     config = PipelineConfig()
+    if args.json:
+        emit_json({"pipeline_config": config,
+                   "framework_input_cost": framework_input_cost(),
+                   "mlr_hardware_cost": mlr_hardware_cost()})
+        return 0
     rows = [
         ["fetch/dispatch/issue width", "%d / %d / %d" % (
             config.fetch_width, config.dispatch_width, config.issue_width)],
@@ -306,6 +536,10 @@ def main(argv=None):
                     "Security Engine")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(subparser):
+        subparser.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON on stdout")
+
     run_parser = sub.add_parser("run", help="assemble and run a program")
     run_parser.add_argument("file")
     run_parser.add_argument("--func", action="store_true",
@@ -313,12 +547,17 @@ def main(argv=None):
     run_parser.add_argument("--icm", action="store_true",
                             help="attach the RSE with the ICM enabled")
     run_parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    run_parser.add_argument("--stats-json", default=None, metavar="PATH",
+                            help="write the Machine.snapshot() document "
+                                 "to PATH")
+    add_json_flag(run_parser)
     run_parser.set_defaults(func_impl=_cmd_run)
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name", choices=["table4", "table5", "fig9",
                                              "ablations"])
     exp_parser.add_argument("--quick", action="store_true")
+    add_json_flag(exp_parser)
     exp_parser.set_defaults(func_impl=_cmd_experiment)
 
     campaign_parser = sub.add_parser(
@@ -353,6 +592,7 @@ def main(argv=None):
     campaign_parser.add_argument("--replay", type=int, default=None,
                                  metavar="ID",
                                  help="re-execute one injection by id")
+    add_json_flag(campaign_parser)
     campaign_parser.set_defaults(func_impl=_cmd_campaign)
 
     attack_parser = sub.add_parser("attack", help="run an exploit demo")
@@ -378,9 +618,21 @@ def main(argv=None):
     report_parser.add_argument("--results-dir",
                                default=os.path.join("benchmarks", "results"))
     report_parser.add_argument("--output", default=None)
+    add_json_flag(report_parser)
     report_parser.set_defaults(func_impl=_cmd_report)
 
+    stats_parser = sub.add_parser(
+        "stats", help="pretty-print or diff telemetry files")
+    stats_parser.add_argument(
+        "file", help="a 'repro run --stats-json' snapshot or a campaign "
+                     "JSONL store")
+    stats_parser.add_argument("--diff", default=None, metavar="OTHER",
+                              help="second snapshot to compare against")
+    add_json_flag(stats_parser)
+    stats_parser.set_defaults(func_impl=_cmd_stats)
+
     info_parser = sub.add_parser("info", help="machine configuration")
+    add_json_flag(info_parser)
     info_parser.set_defaults(func_impl=_cmd_info)
 
     args = parser.parse_args(argv)

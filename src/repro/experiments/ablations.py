@@ -27,12 +27,18 @@ from repro.workloads.asmlib import build_workload_image
 def run_arbiter_placement(quick=False):
     """Cycles for: no arbiter, arbiter on the memory path, arbiter on L1.
 
+    Each design point runs a short warm-up, then
+    :meth:`~repro.system.Machine.reset_stats` zeroes every counter so
+    the reported cycles measure the steady state all three share, not
+    the identical cold-cache transient.
+
     Returns ``{"baseline": c0, "memory_path": c1, "l1_path": c2}``.
     """
     from repro.experiments.table4 import scaled_cache_configs, \
         workload_sources
 
     source = workload_sources(quick)["vpr-place"]
+    warmup = 4_000 if quick else 100_000
 
     def run(timing, l1_extra):
         machine = build_machine(bus_timing=timing,
@@ -40,9 +46,12 @@ def run_arbiter_placement(quick=False):
         machine.hierarchy.l1_latency += l1_extra
         image, __ = build_workload_image(source, MemoryLayout())
         machine.kernel.load_process(image)
+        warm = machine.kernel.run(max_cycles=warmup)
+        assert warm.reason == "max_cycles", warm
+        machine.reset_stats()
         result = machine.kernel.run(max_cycles=40_000_000)
         assert result.reason == "halt", result
-        return machine.pipeline.stats.cycles
+        return result.snapshot["pipeline"]["cycles"]
 
     return {
         "baseline": run(BASELINE_TIMING, 0),
@@ -103,10 +112,11 @@ def run_icm_cache_sweep(sizes=(32, 64, 128, 256, 512), quick=False,
         machine.pipeline.check_injector = make_icm_injector(checker_map)
         result = machine.kernel.run(max_cycles=60_000_000)
         assert result.reason == "halt", result
+        doc = result.snapshot
         rows[size] = {
-            "cycles": machine.pipeline.stats.cycles,
-            "hit_rate": icm.cache_hit_rate,
-            "check_wait_cycles": machine.pipeline.stats.check_wait_cycles,
+            "cycles": doc["pipeline"]["cycles"],
+            "hit_rate": doc["rse"]["modules"]["ICM"]["cache_hit_rate"],
+            "check_wait_cycles": doc["pipeline"]["check_wait_cycles"],
         }
     return rows
 
@@ -187,9 +197,10 @@ def run_ddt_lag():
         machine.kernel.load_process(image)
         result = machine.kernel.run(max_cycles=20_000_000)
         assert result.reason == "halt", result
+        doc = result.snapshot["rse"]["modules"]["DDT"]
         out["lagged" if model_lag else "ideal"] = {
-            "logged": ddt.dependencies_logged,
-            "missed": ddt.dependencies_missed,
+            "logged": doc["dependencies_logged"],
+            "missed": doc["dependencies_missed"],
         }
     return out
 
@@ -246,9 +257,10 @@ def run_icm_coverage(quick=False):
             machine.pipeline.check_injector = make_icm_injector(checker_map)
         result = machine.kernel.run(max_cycles=100_000_000)
         assert result.reason == "halt", result
+        doc = result.snapshot
         if predicate is not None:
-            checks = machine.rse.modules[MODULE_ICM].checks_completed
-        results[scope] = {"cycles": machine.pipeline.stats.cycles,
+            checks = doc["rse"]["modules"]["ICM"]["checks_completed"]
+        results[scope] = {"cycles": doc["pipeline"]["cycles"],
                           "checks": checks}
     return results
 
@@ -295,9 +307,10 @@ def run_icm_footprint(site_counts=(96, 192, 320, 512, 768), sweeps=12):
         machine.pipeline.check_injector = make_icm_injector(checker_map)
         result = machine.kernel.run(max_cycles=100_000_000)
         assert result.reason == "halt", result
+        doc = result.snapshot
         results[sites] = {
-            "cycles": machine.pipeline.stats.cycles,
-            "hit_rate": icm.cache_hit_rate,
+            "cycles": doc["pipeline"]["cycles"],
+            "hit_rate": doc["rse"]["modules"]["ICM"]["cache_hit_rate"],
         }
     return results
 
@@ -334,11 +347,11 @@ def run_predictor_comparison(quick=False):
         machine.kernel.load_process(image)
         result = machine.kernel.run(max_cycles=100_000_000)
         assert result.reason == "halt", result
-        stats = machine.pipeline.stats
+        doc = result.snapshot["pipeline"]
         results[kind] = {
-            "cycles": stats.cycles,
-            "mispredicts": stats.mispredicts,
-            "accuracy": machine.pipeline.predictor.accuracy,
+            "cycles": doc["cycles"],
+            "mispredicts": doc["mispredicts"],
+            "accuracy": doc["predictor"]["accuracy"],
         }
     return results
 

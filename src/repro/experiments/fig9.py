@@ -67,12 +67,13 @@ def run_server(threads, with_ddt, requests=DEFAULT_REQUESTS,
     result = machine.kernel.run(max_cycles=max_cycles)
     assert result.reason == "halt", result
     assert len(machine.kernel.responses) == requests
-    ddt = machine.module(MODULE_DDT) if with_ddt else None
+    snapshot = result.snapshot
+    ddt_doc = snapshot["rse"]["modules"]["DDT"] if with_ddt else None
     return ServerRun(
         threads, with_ddt,
         cycles=result.cycles,
-        saved_pages=machine.kernel.checkpoints.saves_total,
-        dependencies=ddt.dependencies_logged if ddt else 0,
+        saved_pages=snapshot["kernel"]["checkpoints"]["saves_total"],
+        dependencies=ddt_doc["dependencies_logged"] if ddt_doc else 0,
         responses=dict(machine.kernel.responses),
     )
 

@@ -113,12 +113,14 @@ def run_framework_icm(source, max_cycles=40_000_000):
     machine.pipeline.check_injector = make_icm_injector(checker_map)
     result = machine.kernel.run(max_cycles=max_cycles)
     assert result.reason == "halt", result
-    extra = {
-        "icm_hit_rate": icm.cache_hit_rate,
-        "icm_checks": icm.checks_completed,
-        "check_wait_cycles": machine.pipeline.stats.check_wait_cycles,
-    }
-    return RunRecord.from_machine("framework+icm", machine, extra=extra)
+    record = RunRecord.from_machine("framework+icm", machine)
+    icm_doc = record.snapshot["rse"]["modules"]["ICM"]
+    record.extra.update(
+        icm_hit_rate=icm_doc["cache_hit_rate"],
+        icm_checks=icm_doc["checks_completed"],
+        check_wait_cycles=record.pipeline_stats["check_wait_cycles"],
+    )
+    return record
 
 
 def run_with_check_nops(source, max_cycles=20_000_000):

@@ -13,7 +13,6 @@ result store at the 19/3 bus timing).
 
 from repro.analysis.stats import RunRecord, improvement_pct
 from repro.analysis.tables import format_table
-from repro.rse.check import MODULE_MLR
 from repro.system import build_machine
 from repro.workloads import gotplt
 
@@ -70,5 +69,4 @@ def measure_pi_rand_penalty():
     image, __ = gotplt.pi_rand_program()
     result = machine.run_program(image, max_cycles=2_000_000)
     assert result.reason == "halt", result
-    mlr = machine.module(MODULE_MLR)
-    return mlr.pi_rand_finished - mlr.pi_rand_started
+    return result.snapshot["rse"]["modules"]["MLR"]["pi_rand_cycles"]

@@ -75,14 +75,20 @@ class KernelConfig:
 
 
 class RunResult:
-    """Outcome of :meth:`Kernel.run`."""
+    """Outcome of :meth:`Kernel.run`.
 
-    def __init__(self, reason, cycles, event=None):
+    ``snapshot`` carries the machine's full telemetry document
+    (``Machine.snapshot()``) taken when the run stopped — None for
+    kernels driven outside a :class:`~repro.system.Machine`.
+    """
+
+    def __init__(self, reason, cycles, event=None, snapshot=None):
         self.reason = reason          # "halt" | "all_exited" | "fault" |
                                       # "check_error" | "max_cycles" |
                                       # "recovery_impossible"
         self.cycles = cycles
         self.event = event
+        self.snapshot = snapshot
 
     def __repr__(self):
         return "RunResult(%s, cycles=%d)" % (self.reason, self.cycles)
@@ -117,6 +123,12 @@ class Kernel:
         self.check_error_policy = "terminate"          # or "retry"
         self.faults = []
         self.os_heartbeat_id = None
+        self.context_switches = 0
+        self.syscalls_handled = 0
+        self.timer_preemptions = 0
+        #: Set by Machine: zero-arg callable returning the machine-wide
+        #: snapshot document, attached to every RunResult.
+        self.snapshot_provider = None
         pipeline.mem_check = self._mem_check
         if rse is not None:
             rse.kernel = self
@@ -173,7 +185,18 @@ class Kernel:
     # ------------------------------------------------------------------ run
 
     def run(self, max_cycles=50_000_000):
-        """Run the machine until the process ends or *max_cycles* elapse."""
+        """Run the machine until the process ends or *max_cycles* elapse.
+
+        The returned :class:`RunResult` carries the machine snapshot
+        document when the kernel is part of a wired
+        :class:`~repro.system.Machine`.
+        """
+        result = self._run(max_cycles)
+        if self.snapshot_provider is not None:
+            result.snapshot = self.snapshot_provider()
+        return result
+
+    def _run(self, max_cycles):
         pipeline = self.pipeline
         deadline = pipeline.cycle + max_cycles
         try:
@@ -225,6 +248,7 @@ class Kernel:
             if wake > pipeline.cycle:
                 pipeline.advance_cycles(wake - pipeline.cycle)
         pipeline.advance_cycles(self.config.context_switch_cost)
+        self.context_switches += 1
         self.current = thread
         pipeline.regs[:] = thread.regs
         pipeline.resume(thread.pc)
@@ -246,6 +270,7 @@ class Kernel:
         self.current = None
 
     def _handle_timer(self, event):
+        self.timer_preemptions += 1
         thread = self.current
         self._save_current(event.pc)
         self.scheduler.make_ready(thread)
@@ -253,6 +278,7 @@ class Kernel:
     # -------------------------------------------------------------- syscalls
 
     def _handle_syscall(self, event):
+        self.syscalls_handled += 1
         pipeline = self.pipeline
         pipeline.advance_cycles(self.config.syscall_cost)
         regs = pipeline.regs
@@ -419,6 +445,38 @@ class Kernel:
             timing = self.pipeline.hierarchy.bus.timing
             cost = 2 * timing.transfer_latency(PAGE_SIZE)
         return cost
+
+    # ----------------------------------------------------------------- stats
+
+    def snapshot(self):
+        """The kernel's section of the machine snapshot document."""
+        return {
+            "threads": {
+                "created": len(self.threads),
+                "alive": len(self.alive_threads()),
+            },
+            "context_switches": self.context_switches,
+            "syscalls": self.syscalls_handled,
+            "timer_preemptions": self.timer_preemptions,
+            "faults": len(self.faults),
+            "detections": len(self.detections),
+            "checkpoints": {
+                "saves_total": self.checkpoints.saves_total,
+                "gc_removed": self.checkpoints.gc_removed,
+            },
+            "requests": {
+                "provisioned": self.requests_total,
+                "received": self._next_request,
+                "responded": len(self.responses),
+            },
+            "output_events": len(self.output),
+        }
+
+    def reset_stats(self):
+        """Zero scheduling/syscall counters (machine-wide warm-up reset)."""
+        self.context_switches = 0
+        self.syscalls_handled = 0
+        self.timer_preemptions = 0
 
     # --------------------------------------------------------------- helpers
 

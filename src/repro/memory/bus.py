@@ -82,6 +82,14 @@ class MemoryBus:
         self.mau_transfers += 1
         return done
 
+    def snapshot(self):
+        """The bus's section of the machine snapshot document."""
+        return {
+            "cpu_transfers": self.cpu_transfers,
+            "mau_transfers": self.mau_transfers,
+            "mau_wait_cycles": self.mau_wait_cycles,
+        }
+
     def reset_stats(self):
         self.cpu_transfers = 0
         self.mau_transfers = 0

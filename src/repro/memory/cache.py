@@ -34,7 +34,7 @@ class CacheStats:
         self.misses = 0
         self.writebacks = 0
 
-    def as_dict(self):
+    def snapshot(self):
         return {
             "accesses": self.accesses,
             "hits": self.hits,
@@ -42,6 +42,9 @@ class CacheStats:
             "writebacks": self.writebacks,
             "miss_rate": self.miss_rate,
         }
+
+    # Same shape; kept so pre-snapshot callers don't need a shim layer.
+    as_dict = snapshot
 
 
 class Cache:
@@ -95,6 +98,10 @@ class Cache:
                 writeback = victim << self._block_shift
         cache_set[block] = is_write
         return False, writeback
+
+    def snapshot(self):
+        """This level's section of the machine snapshot document."""
+        return self.stats.snapshot()
 
     def probe(self, addr):
         """Return True when the block containing *addr* is resident.

@@ -1,0 +1,191 @@
+"""Machine-wide metric primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the named-metric store behind
+:class:`~repro.obs.hub.Observability`.  Probes feed it (IOQ occupancy,
+bus MAU-wait distribution, CHECK-to-commit latency); its
+:meth:`~MetricsRegistry.snapshot` folds into ``Machine.snapshot()``
+under the ``obs.metrics`` section.
+
+Design constraints, in order:
+
+* **hot-path cheapness** — ``Counter.inc`` and ``Histogram.observe`` are
+  a couple of attribute operations; no locks, no dict lookups per event
+  (probes bind the metric object once, at attach time);
+* **schema stability** — every metric kind snapshots to a fixed key set,
+  so exported documents diff cleanly across runs.
+"""
+
+import bisect
+
+#: Default histogram bucket upper bounds (cycles/entries).  Geometric,
+#: because the interesting telemetry (bus waits, check latencies) spans
+#: three orders of magnitude.
+DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def snapshot(self):
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins); tracks its extremes."""
+
+    __slots__ = ("name", "value", "min", "max")
+
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.min = None
+        self.max = None
+
+    def set(self, value):
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self):
+        self.value = 0
+        self.min = None
+        self.max = None
+
+    def snapshot(self):
+        return {"kind": "gauge", "value": self.value,
+                "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """Fixed-bucket distribution (count, sum, min, max, bucket counts).
+
+    Buckets are cumulative-style upper bounds plus an implicit overflow
+    bucket, the conventional exposition format; :meth:`observe` is a
+    bisect plus two adds, cheap enough for per-event probes.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name, bounds=DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """Approximate *q*-th percentile from the bucket boundaries."""
+        if not self.count:
+            return 0
+        target = q / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def reset(self):
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def snapshot(self):
+        return {"kind": "histogram", "count": self.count,
+                "sum": self.total, "min": self.min, "max": self.max,
+                "mean": self.mean,
+                "buckets": {("le_%d" % bound): self.buckets[index]
+                            for index, bound in enumerate(self.bounds)},
+                "overflow": self.buckets[-1]}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and snapshot in name order."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError("metric %r already registered as %s"
+                            % (name, metric.kind))
+        return metric
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name, bounds=None):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, bounds or DEFAULT_BOUNDS)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError("metric %r already registered as %s"
+                            % (name, metric.kind))
+        return metric
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def reset(self):
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self):
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics

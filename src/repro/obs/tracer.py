@@ -1,0 +1,175 @@
+"""Cycle-event tracing: bounded ring buffer, JSONL export, guest traces.
+
+Two levels of tracing live here:
+
+* :class:`CycleTracer` — the machine-wide event ring that probes
+  (:mod:`repro.obs.probes`) feed: fetch stalls, mispredicts, bus
+  arbitration, RSE check/error events, kernel scheduling.  Bounded by a
+  ``deque(maxlen=...)`` so a long run costs O(capacity) memory; the
+  drop count is derivable (``emitted - buffered``) and exported.
+* guest-program tracers — :func:`trace_functional` (architectural
+  instruction trace on the functional simulator) and
+  :class:`CommitTracer` (an RSE observer module recording the pipeline's
+  retirement stream), both migrated from ``repro.analysis.tracing``,
+  which remains as a re-export shim.
+"""
+
+import json
+from collections import deque
+
+from repro.funcsim.interp import FuncSim
+from repro.isa.registers import reg_name
+from repro.rse.module import ModuleMode, RSEModule
+
+DEFAULT_CAPACITY = 65536
+
+
+class CycleTracer:
+    """Bounded ring buffer of ``(cycle, kind, data)`` machine events.
+
+    ``emit`` is the per-event hot call — one tuple build and one deque
+    append; the deque's maxlen does the eviction, so there is no
+    explicit overflow branch.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self.buffer = deque(maxlen=capacity)
+        self.emitted_total = 0
+
+    def emit(self, cycle, kind, data=None):
+        self.buffer.append((cycle, kind, data))
+        self.emitted_total += 1
+
+    @property
+    def dropped(self):
+        return self.emitted_total - len(self.buffer)
+
+    def events(self, kind=None):
+        """Buffered events, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self.buffer)
+        return [event for event in self.buffer if event[1] == kind]
+
+    def clear(self):
+        self.buffer.clear()
+        self.emitted_total = 0
+
+    def export_jsonl(self, path):
+        """Write the buffered events to *path*, one JSON object per line.
+
+        Returns the number of events written.  The first line is a
+        header record (``kind="trace"``) carrying capacity/drop info so
+        a reader knows whether the window is complete.
+        """
+        with open(path, "w") as handle:
+            header = {"kind": "trace", "capacity": self.capacity,
+                      "emitted": self.emitted_total,
+                      "buffered": len(self.buffer),
+                      "dropped": self.dropped}
+            handle.write(json.dumps(header) + "\n")
+            for cycle, kind, data in self.buffer:
+                record = {"kind": "event", "cycle": cycle, "event": kind}
+                if data is not None:
+                    record["data"] = data
+                handle.write(json.dumps(record) + "\n")
+        return len(self.buffer)
+
+    def snapshot(self):
+        return {"capacity": self.capacity, "emitted": self.emitted_total,
+                "buffered": len(self.buffer), "dropped": self.dropped}
+
+    def __len__(self):
+        return len(self.buffer)
+
+
+# --------------------------------------------------------- guest tracing
+
+
+class TraceEntry:
+    """One retired/executed instruction in a trace."""
+
+    __slots__ = ("index", "pc", "text", "reg_writes", "cycle")
+
+    def __init__(self, index, pc, text, reg_writes=(), cycle=None):
+        self.index = index
+        self.pc = pc
+        self.text = text
+        self.reg_writes = reg_writes
+        self.cycle = cycle
+
+    def render(self):
+        effects = "  ".join("$%s=0x%08x" % (reg_name(reg), value)
+                            for reg, value in self.reg_writes)
+        stamp = "" if self.cycle is None else "[%8d] " % self.cycle
+        line = "%s%6d  %08x  %-36s %s" % (stamp, self.index, self.pc,
+                                          self.text, effects)
+        return line.rstrip()
+
+
+def trace_functional(memory, entry, sp=0x7FFF0000, max_steps=10_000,
+                     syscall_handler=None):
+    """Run a program on the functional simulator, recording every step.
+
+    Returns ``(entries, sim)``; each entry carries the disassembly and
+    the architectural register writes it performed.
+    """
+    from repro.isa.encoding import DecodeError, decode
+    from repro.memory.mainmem import MemoryFault
+
+    sim = FuncSim(memory, entry=entry, sp=sp,
+                  syscall_handler=syscall_handler)
+    entries = []
+    for index in range(max_steps):
+        pc = sim.pc
+        try:
+            instr = decode(memory.load_word(pc))
+            text = instr.disassemble()
+        except (DecodeError, MemoryFault) as exc:
+            text = "<fetch fault: %s>" % exc
+            instr = None
+        before = list(sim.regs)
+        result = sim.step()
+        writes = tuple((reg, sim.regs[reg]) for reg in range(32)
+                       if sim.regs[reg] != before[reg])
+        entries.append(TraceEntry(index, pc, text, writes))
+        if result.value != "ok":
+            break
+    return entries, sim
+
+
+class CommitTracer(RSEModule):
+    """RSE module recording the pipeline's retirement stream."""
+
+    MODULE_ID = 10
+    MODE = ModuleMode.ASYNC
+
+    def __init__(self, limit=100_000):
+        super().__init__("CommitTracer")
+        self.limit = limit
+        self.entries = []
+
+    def on_commit(self, uop, cycle):
+        if len(self.entries) >= self.limit:
+            return
+        self.entries.append(TraceEntry(len(self.entries), uop.pc,
+                                       uop.instr.disassemble(),
+                                       cycle=cycle))
+
+    def render(self, last=None):
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(entry.render() for entry in entries)
+
+
+def attach_commit_tracer(machine, limit=100_000):
+    """Attach (and enable) a :class:`CommitTracer` to a machine's RSE.
+
+    Prefer ``machine.obs.attach("commit", limit=...)``, which routes
+    through the probe registry; this helper remains the underlying
+    mechanism (and the historical API).
+    """
+    if machine.rse is None:
+        raise ValueError("commit tracing needs a machine with the RSE")
+    tracer = machine.rse.attach(CommitTracer(limit))
+    machine.rse.enable_module(CommitTracer.MODULE_ID)
+    return tracer

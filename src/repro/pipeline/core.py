@@ -129,7 +129,22 @@ class PipelineStats:
         for name in self.FIELDS:
             setattr(self, name, 0)
 
+    def snapshot(self):
+        doc = {name: getattr(self, name) for name in self.FIELDS}
+        doc["ipc"] = self.ipc
+        return doc
+
+    def reset(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
     def as_dict(self):
+        """Deprecated: use :meth:`snapshot` (same counters, plus ``ipc``)."""
+        import warnings
+
+        warnings.warn("PipelineStats.as_dict() is deprecated; use "
+                      "snapshot() (or Machine.snapshot()['pipeline'])",
+                      DeprecationWarning, stacklevel=2)
         return {name: getattr(self, name) for name in self.FIELDS}
 
     @property
@@ -192,6 +207,22 @@ class Pipeline:
                            if self.config.predecode else None)
 
     # ------------------------------------------------------------------ API
+
+    def snapshot(self):
+        """The pipeline's section of the machine snapshot document."""
+        doc = self.stats.snapshot()
+        doc["predictor"] = {
+            "lookups": self.predictor.lookups,
+            "hits": self.predictor.hits,
+            "accuracy": self.predictor.accuracy,
+        }
+        return doc
+
+    def reset_stats(self):
+        """Zero every counter without disturbing architectural state."""
+        self.stats.reset()
+        self.predictor.lookups = 0
+        self.predictor.hits = 0
 
     def reset_at(self, pc, regs=None):
         """Hard-reset the core to start executing at *pc*."""

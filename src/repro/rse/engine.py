@@ -303,7 +303,54 @@ class RSE:
         """Kernel notifies the framework of the running thread (context switch)."""
         self.current_tid = tid
 
+    def snapshot(self):
+        """The RSE's section of the machine snapshot document."""
+        return {
+            "checks_seen": self.checks_seen,
+            "safe_mode": self.safe_mode,
+            "ioq": {
+                "allocated": self.ioq.allocated_total,
+                "occupancy": len(self.ioq),
+            },
+            "mau": {
+                "requests": self.mau.requests_total,
+                "bytes_loaded": self.mau.bytes_loaded,
+                "bytes_stored": self.mau.bytes_stored,
+            },
+            "queues": {queue.name: {"pushed": queue.pushed_total,
+                                    "dropped": queue.dropped_overflow}
+                       for queue in self.queues.all_queues()},
+            "selfcheck_trips": len(self.selfcheck.trips),
+            "modules": {m.name: m.snapshot()
+                        for m in self.modules.values()},
+        }
+
+    def reset_stats(self):
+        """Zero framework counters (machine-wide warm-up reset).
+
+        Architectural state (enabled bits, safe mode, IOQ contents,
+        module tables) is untouched; only the reporting counters go
+        back to zero.
+        """
+        self.checks_seen = 0
+        self.ioq.allocated_total = 0
+        self.mau.requests_total = 0
+        self.mau.bytes_loaded = 0
+        self.mau.bytes_stored = 0
+        for queue in self.queues.all_queues():
+            queue.pushed_total = 0
+            queue.dropped_overflow = 0
+        self.selfcheck.trips.clear()
+        for module in self.modules.values():
+            module.reset_stats()
+
     def stats(self):
+        """Deprecated: use :meth:`snapshot` (nested ioq/mau/module docs)."""
+        import warnings
+
+        warnings.warn("RSE.stats() is deprecated; use snapshot() "
+                      "(or Machine.snapshot()['rse'])",
+                      DeprecationWarning, stacklevel=2)
         return {
             "checks_seen": self.checks_seen,
             "ioq_allocated": self.ioq.allocated_total,

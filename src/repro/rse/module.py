@@ -90,6 +90,31 @@ class RSEModule:
     def step(self, cycle):
         """Advance module-internal state one machine cycle."""
 
+    # ---------------------------------------------------------------- stats
+
+    def snapshot(self):
+        """This module's entry in the machine snapshot document.
+
+        Subclasses add counters via :meth:`_snapshot_extra` rather than
+        overriding, so the common key set stays uniform across modules.
+        """
+        doc = {
+            "enabled": self.enabled,
+            "checks": self.checks_received,
+            "errors": self.errors_raised,
+        }
+        doc.update(self._snapshot_extra())
+        return doc
+
+    def _snapshot_extra(self):
+        """Module-specific counters merged into :meth:`snapshot`."""
+        return {}
+
+    def reset_stats(self):
+        """Zero the module's counters (machine-wide warm-up reset)."""
+        self.checks_received = 0
+        self.errors_raised = 0
+
     # -------------------------------------------------------------- results
 
     def finish_check(self, entry, error, cycle):

@@ -80,6 +80,17 @@ class AHBM(RSEModule):
         self.on_failure = None      # callback(entity_id, cycle)
         self.beats_total = 0
 
+    def _snapshot_extra(self):
+        return {
+            "beats_total": self.beats_total,
+            "entities_monitored": len(self.entities),
+            "failures": len(self.failures),
+        }
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.beats_total = 0
+
     # ------------------------------------------------------------- direct API
 
     def register(self, entity_id, cycle=None):

@@ -107,6 +107,16 @@ class CFC(RSEModule):
         # branch against another thread's next instruction.
         self._pending_control = {}
 
+    def _snapshot_extra(self):
+        return {
+            "transfers_checked": self.transfers_checked,
+            "violations": len(self.violations),
+        }
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.transfers_checked = 0
+
     def configure(self, successors, indirect_targets):
         """Install the statically derived control-flow graph."""
         self.successors = dict(successors)

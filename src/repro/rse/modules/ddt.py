@@ -61,6 +61,21 @@ class DDT(RSEModule):
         self.pst_evictions = 0
         self._last_log_cycle = None
 
+    def _snapshot_extra(self):
+        return {
+            "dependencies_logged": self.dependencies_logged,
+            "dependencies_missed": self.dependencies_missed,
+            "save_pages_raised": self.save_pages_raised,
+            "pst_evictions": self.pst_evictions,
+        }
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.dependencies_logged = 0
+        self.dependencies_missed = 0
+        self.save_pages_raised = 0
+        self.pst_evictions = 0
+
     # ------------------------------------------------------------- kernel API
 
     def register_thread(self, tid):

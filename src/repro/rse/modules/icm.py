@@ -255,3 +255,21 @@ class ICM(RSEModule):
     def cache_hit_rate(self):
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def _snapshot_extra(self):
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "checks_completed": self.checks_completed,
+            "mismatches": self.mismatches,
+            "unmapped_checks": self.unmapped_checks,
+        }
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.checks_completed = 0
+        self.mismatches = 0
+        self.unmapped_checks = 0

@@ -105,6 +105,21 @@ class MLR(RSEModule):
         self.pi_rand_started = None
         self.pi_rand_finished = None
 
+    def _snapshot_extra(self):
+        started, finished = self.pi_rand_started, self.pi_rand_finished
+        return {
+            "operations_done": self.operations_done,
+            "pi_rand_started": started,
+            "pi_rand_finished": finished,
+            "pi_rand_cycles": (finished - started
+                               if started is not None
+                               and finished is not None else None),
+        }
+
+    def reset_stats(self):
+        super().reset_stats()
+        self.operations_done = 0
+
     # --------------------------------------------------------------- checks
 
     def on_check(self, uop, entry, cycle):

@@ -8,6 +8,7 @@ benchmarks build machines through :func:`build_machine`.
 
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.memory.bus import BASELINE_TIMING, FRAMEWORK_TIMING
+from repro.obs import Observability
 from repro.memory.hierarchy import MemoryHierarchy, default_cache_configs
 from repro.memory.mainmem import MainMemory
 from repro.pipeline.config import PipelineConfig
@@ -31,12 +32,42 @@ class Machine:
         self.pipeline = pipeline
         self.rse = rse
         self.kernel = kernel
+        # The telemetry hub: every component registers its snapshot()
+        # provider here, in document order.  "rse" is always present in
+        # the document (None for bare machines) so the schema is stable.
+        self.obs = Observability(self)
+        self.obs.register("pipeline", pipeline.snapshot)
+        self.obs.register("memory", hierarchy.snapshot)
+        self.obs.register("rse", rse.snapshot if rse is not None else None)
+        self.obs.register("kernel", kernel.snapshot)
+        kernel.snapshot_provider = self.snapshot
 
     # Convenience accessors -------------------------------------------------
 
     @property
     def cycle(self):
         return self.pipeline.cycle
+
+    def snapshot(self):
+        """One schema-stable nested document covering every component.
+
+        Top-level keys: ``schema``, ``cycle``, ``pipeline``, ``memory``,
+        ``rse`` (None without the framework), ``kernel``, ``obs``.
+        """
+        return self.obs.document()
+
+    def reset_stats(self):
+        """Zero every component's counters (warm-up / steady-state cuts).
+
+        Architectural state — registers, memory, caches' residency, RSE
+        tables, threads — is untouched; only reporting counters reset.
+        """
+        self.pipeline.reset_stats()
+        self.hierarchy.reset_stats()
+        if self.rse is not None:
+            self.rse.reset_stats()
+        self.kernel.reset_stats()
+        self.obs.reset()
 
     def module(self, module_id):
         return self.rse.modules[module_id] if self.rse else None

@@ -1,8 +1,19 @@
 """CLI smoke tests (in-process via cli.main for speed)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+LOOP_SOURCE = """
+    main:
+        li $t0, 5
+    loop:
+        addi $t0, $t0, -1
+        bnez $t0, loop
+        halt
+"""
 
 
 def test_info(capsys):
@@ -109,3 +120,94 @@ def test_report_collects_results(tmp_path, capsys):
 
 def test_report_empty_dir(tmp_path, capsys):
     assert main(["report", "--results-dir", str(tmp_path)]) == 1
+
+
+# ------------------------------------------------------ unified telemetry
+
+
+def test_run_stats_json_then_stats(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    stats_file = tmp_path / "snap.json"
+    assert main(["run", str(source), "--stats-json", str(stats_file)]) == 0
+    capsys.readouterr()
+
+    doc = json.loads(stats_file.read_text())
+    assert doc["schema"] == "repro.obs/1"
+    assert doc["pipeline"]["instret"] > 0
+
+    assert main(["stats", str(stats_file)]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline.instret" in out
+    assert "memory.il1.accesses" in out
+
+
+def test_stats_json_round_trip(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    stats_file = tmp_path / "snap.json"
+    assert main(["run", str(source), "--stats-json", str(stats_file)]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(stats_file), "--json"]) == 0
+    reread = json.loads(capsys.readouterr().out)
+    assert reread == json.loads(stats_file.read_text())
+
+
+def test_stats_diff(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    bare, icm = tmp_path / "bare.json", tmp_path / "icm.json"
+    assert main(["run", str(source), "--stats-json", str(bare)]) == 0
+    assert main(["run", "--icm", str(source), "--stats-json", str(icm)]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(bare), "--diff", str(icm)]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline.cycles" in out       # ICM run takes more cycles
+
+
+def test_run_json_carries_snapshot(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    assert main(["run", "--json", str(source)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "machine"
+    assert doc["reason"] == "halt"
+    assert doc["snapshot"]["schema"] == "repro.obs/1"
+
+
+def test_run_functional_rejects_stats_json(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("main: li $t0, 1\n halt\n")
+    assert main(["run", "--func", str(source),
+                 "--stats-json", str(tmp_path / "x.json")]) == 2
+
+
+def test_info_json(capsys):
+    assert main(["info", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "pipeline_config" in doc and "mlr_hardware_cost" in doc
+
+
+def test_campaign_store_round_trips_through_stats(tmp_path, capsys):
+    store = tmp_path / "campaign.jsonl"
+    assert main(["campaign", "--injections", "4", "--max-cycles", "20000",
+                 "--store", str(store), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["runs"] == 4
+    assert summary["detection"]["detected"] == 4
+
+    assert main(["stats", str(store)]) == 0
+    assert "campaign" in capsys.readouterr().out.lower()
+
+    assert main(["stats", str(store), "--json"]) == 0
+    reread = json.loads(capsys.readouterr().out)
+    assert reread["runs"] == 4
+    assert reread["outcomes"] == summary["outcomes"]
+    assert reread["spec"]["injections"] == 4
+
+
+def test_stats_rejects_unrecognised_file(tmp_path):
+    bogus = tmp_path / "bogus.txt"
+    bogus.write_text("not json at all\n")
+    with pytest.raises(SystemExit):
+        main(["stats", str(bogus)])

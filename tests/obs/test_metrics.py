@@ -1,0 +1,82 @@
+"""Units for the metric primitives behind Machine.snapshot()['obs']."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_snapshot():
+    counter = Counter("events")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.snapshot() == {"kind": "counter", "value": 5}
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_tracks_extremes():
+    gauge = Gauge("occupancy")
+    for value in (3, 9, 1):
+        gauge.set(value)
+    doc = gauge.snapshot()
+    assert doc == {"kind": "gauge", "value": 1, "min": 1, "max": 9}
+    gauge.reset()
+    assert gauge.snapshot()["min"] is None
+
+
+def test_histogram_bucketing():
+    hist = Histogram("wait", bounds=(1, 4, 16))
+    for value in (0, 1, 2, 5, 100):
+        hist.observe(value)
+    doc = hist.snapshot()
+    assert doc["count"] == 5
+    assert doc["sum"] == 108
+    assert doc["min"] == 0 and doc["max"] == 100
+    # bisect_left: value <= bound lands in that bound's bucket.
+    assert doc["buckets"] == {"le_1": 2, "le_4": 1, "le_16": 1}
+    assert doc["overflow"] == 1
+    assert hist.mean == pytest.approx(108 / 5)
+
+
+def test_histogram_percentile():
+    hist = Histogram("lat", bounds=(1, 2, 4, 8))
+    for value in (1, 1, 2, 4, 50):
+        hist.observe(value)
+    assert hist.percentile(50) == 2
+    assert hist.percentile(100) == 50      # overflow resolves to max
+    assert Histogram("empty").percentile(99) == 0
+
+
+def test_registry_create_on_first_use():
+    registry = MetricsRegistry()
+    counter = registry.counter("a")
+    assert registry.counter("a") is counter
+    registry.gauge("b")
+    registry.histogram("c", bounds=(1, 2))
+    assert registry.names() == ["a", "b", "c"]
+    assert len(registry) == 3
+    assert "a" in registry and "zzz" not in registry
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_sorted_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("z").inc(7)
+    registry.counter("a").inc(1)
+    assert list(registry.snapshot()) == ["a", "z"]
+    registry.reset()
+    assert registry.snapshot()["z"]["value"] == 0

@@ -1,0 +1,56 @@
+"""Units for the bounded cycle-event ring buffer and its JSONL export."""
+
+import json
+
+from repro.obs.tracer import CycleTracer
+
+
+def test_ring_buffer_bounds_and_drop_accounting():
+    tracer = CycleTracer(capacity=4)
+    for cycle in range(10):
+        tracer.emit(cycle, "tick")
+    assert len(tracer) == 4
+    assert tracer.emitted_total == 10
+    assert tracer.dropped == 6
+    # Oldest events were evicted; the window is the most recent four.
+    assert [event[0] for event in tracer.events()] == [6, 7, 8, 9]
+
+
+def test_events_filter_by_kind():
+    tracer = CycleTracer(capacity=16)
+    tracer.emit(1, "a")
+    tracer.emit(2, "b", {"x": 1})
+    tracer.emit(3, "a")
+    assert [event[0] for event in tracer.events("a")] == [1, 3]
+    assert tracer.events("b")[0][2] == {"x": 1}
+
+
+def test_clear():
+    tracer = CycleTracer(capacity=4)
+    tracer.emit(1, "a")
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.emitted_total == 0
+
+
+def test_export_jsonl_round_trip(tmp_path):
+    tracer = CycleTracer(capacity=8)
+    tracer.emit(5, "bus_wait", {"wait": 3})
+    tracer.emit(9, "sched")
+    path = tmp_path / "trace.jsonl"
+    written = tracer.export_jsonl(str(path))
+    assert written == 2
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    header, first, second = lines
+    assert header["kind"] == "trace"
+    assert header["capacity"] == 8
+    assert header["emitted"] == 2 and header["dropped"] == 0
+    assert first == {"kind": "event", "cycle": 5, "event": "bus_wait",
+                     "data": {"wait": 3}}
+    assert second == {"kind": "event", "cycle": 9, "event": "sched"}
+
+
+def test_snapshot_shape():
+    tracer = CycleTracer(capacity=2)
+    tracer.emit(1, "a")
+    assert tracer.snapshot() == {"capacity": 2, "emitted": 1,
+                                 "buffered": 1, "dropped": 0}
