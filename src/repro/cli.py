@@ -342,6 +342,57 @@ def _campaign_summary(records):
             "damaging_runs": damage_count(records)}
 
 
+def _cmd_difftest(args):
+    """Differential fuzz: interp vs predecode vs pipeline commit stream."""
+    from repro.difftest import fuzz
+
+    def progress(index, count, result):
+        stream = sys.stdout
+        stream.write("\r  %d/%d programs%s" % (
+            index + 1, count, "" if result.ok else "  (DIVERGENCE)"))
+        if index + 1 >= count:
+            stream.write("\n")
+        stream.flush()
+
+    if args.json:
+        progress = None          # keep stdout pure JSON
+    elif not sys.stdout.isatty():
+        progress = None
+
+    kwargs = {}
+    if args.max_steps is not None:
+        kwargs["max_steps"] = args.max_steps
+    report = fuzz(seed=args.seed, count=args.count, mode=args.mode,
+                  shrink_diverging=not args.no_shrink,
+                  corpus_dir=args.corpus, store=args.store,
+                  progress=progress, **kwargs)
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            emit_json(payload, stream=handle)
+    if args.json:
+        emit_json(payload)
+        return 0 if report.ok else 1
+    print("difftest: seed=%d mode=%s  %d programs executed"
+          % (report.seed, report.mode, report.executed)
+          + (", %d resumed from store" % report.resumed
+             if report.resumed else ""))
+    if report.limited:
+        print("  %d programs hit the step limit on every engine"
+              % report.limited)
+    if report.ok:
+        print("  no divergences: interp, predecode and pipeline agree")
+        return 0
+    print("  %d DIVERGENCES:" % len(report.divergences))
+    for entry in report.divergences:
+        print("  program %d (seed %d):" % (entry["index"], entry["seed"]))
+        divergence = entry["divergence"]
+        print("    [%s] %s" % (divergence["kind"], divergence["detail"]))
+        if entry.get("corpus_file"):
+            print("    shrunk repro: %s" % entry["corpus_file"])
+    return 1
+
+
 def _cmd_report(args):
     """Concatenate the benchmark result tables into one report."""
     import glob
@@ -594,6 +645,31 @@ def main(argv=None):
                                  help="re-execute one injection by id")
     add_json_flag(campaign_parser)
     campaign_parser.set_defaults(func_impl=_cmd_campaign)
+
+    difftest_parser = sub.add_parser(
+        "difftest", help="differential fuzz of the three execution engines")
+    difftest_parser.add_argument("--seed", type=int, default=1234)
+    difftest_parser.add_argument("--count", type=int, default=100,
+                                 help="number of generated programs")
+    difftest_parser.add_argument(
+        "--mode", default="all", choices=["basic", "check", "smc", "all"],
+        help="instruction mix: basic ISA, +CHECKs, +self-modifying code")
+    difftest_parser.add_argument("--max-steps", type=int, default=None,
+                                 help="per-engine retired-instruction "
+                                      "budget per program")
+    difftest_parser.add_argument("--store", default=None,
+                                 help="JSONL progress store; an existing "
+                                      "store resumes the run")
+    difftest_parser.add_argument("--corpus", default=None, metavar="DIR",
+                                 help="write shrunk diverging programs "
+                                      "as .s files under DIR")
+    difftest_parser.add_argument("--no-shrink", action="store_true",
+                                 help="report divergences without "
+                                      "minimizing them")
+    difftest_parser.add_argument("--out", default=None, metavar="PATH",
+                                 help="also write the JSON report to PATH")
+    add_json_flag(difftest_parser)
+    difftest_parser.set_defaults(func_impl=_cmd_difftest)
 
     attack_parser = sub.add_parser("attack", help="run an exploit demo")
     attack_parser.add_argument("kind", choices=["stack", "got"])

@@ -1,0 +1,33 @@
+"""Cross-engine differential fuzzing (Section: validating the simulator stack).
+
+The paper's coverage numbers are only as trustworthy as the simulators
+that produced them, and this repo has three ways to execute a program:
+the reference interpreter (:class:`~repro.funcsim.FuncSim` with
+``predecode_enabled=False``), the predecode closure engine, and the
+out-of-order pipeline's commit stream.  :mod:`repro.difftest` keeps the
+three honest the way sim-safe kept sim-outorder honest in SimpleScalar:
+
+* :mod:`repro.difftest.generator` — seeded, constrained random programs
+  over the full ISA, guaranteed to terminate, built from atomic *idioms*
+  the shrinker can delete wholesale.
+* :mod:`repro.difftest.oracle` — runs one program through all three
+  engines in lockstep and compares retired-instruction streams, final
+  registers, dirtied memory and stop/fault state; the first mismatch
+  becomes a :class:`~repro.difftest.oracle.Divergence` with a
+  disassembled window around the offending pc.
+* :mod:`repro.difftest.shrink` — ddmin over the program's idioms,
+  minimising a diverging program to a near-minimal repro.
+* :mod:`repro.difftest.runner` — the fuzz loop: resumable, JSON
+  reporting, corpus persistence (``repro difftest`` on the CLI).
+"""
+
+from repro.difftest.generator import MODES, GeneratedProgram, generate
+from repro.difftest.oracle import Divergence, OracleResult, run_source
+from repro.difftest.runner import FuzzReport, fuzz
+from repro.difftest.shrink import shrink
+
+__all__ = [
+    "MODES", "GeneratedProgram", "generate",
+    "Divergence", "OracleResult", "run_source",
+    "FuzzReport", "fuzz", "shrink",
+]

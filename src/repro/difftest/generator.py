@@ -1,0 +1,324 @@
+"""Constrained random program generator for differential fuzzing.
+
+Programs are built from *idioms*: self-contained groups of instructions
+with locally unique labels, so any subset of idioms still assembles and
+still terminates.  That property is what makes ddmin shrinking
+(:mod:`repro.difftest.shrink`) trivial — the shrinker deletes idioms,
+never individual lines.
+
+Structural guarantees, regardless of seed:
+
+* **Termination.**  The only backward branches are the fixed outer loop
+  (counted down in ``$s7``) and the checksum fold (counted in ``$t9``);
+  every idiom-level branch is strictly forward, every ``jal`` helper
+  returns, and self-modifying patches only ever write straight-line ALU
+  instructions.
+* **Memory discipline.**  Loads and stores hit a private scratch array
+  addressed off ``$gp``, pre-seeded with a deterministic pattern, and
+  the epilogue xor-folds the whole array into ``$s6`` so a wrong store
+  byte becomes a wrong register even if a comparison misses the page.
+* **Register discipline.**  Destinations come from ``$t0-$t7 $s0-$s5``;
+  ``$v1 $t8 $t9`` are idiom/epilogue temporaries, ``$at`` belongs to the
+  assembler, ``$s6 $s7`` to the harness, ``$ra`` to ``jal`` idioms.
+
+Modes widen the instruction mix: ``basic`` is ALU/branch/memory only,
+``check`` adds CHECK instructions, ``smc`` adds self-modifying-code
+patches, and ``all`` is everything.
+"""
+
+import random
+
+MODES = ("basic", "check", "smc", "all")
+
+#: Registers idioms may write.  $v1/$t8/$t9 are reserved as temporaries,
+#: $s6/$s7 for the harness checksum and loop counter.
+WORK_REGS = ("$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+             "$s0", "$s1", "$s2", "$s3", "$s4", "$s5")
+
+SCRATCH_WORDS = 32          # private load/store arena, 128 bytes
+
+#: Values register initialisation draws from — edge values first, so
+#: INT_MIN/INT_MAX/-1 show up in arithmetic often.
+EDGE_VALUES = (0, 1, 2, 0xFFFFFFFF, 0x80000000, 0x7FFFFFFF, 0xFFFF8000,
+               0x00008000, 0x0000FFFF, 0xAAAAAAAA, 0x55555555)
+
+
+class Idiom:
+    """One atomic unit of generated program text.
+
+    *body* lines run inside the outer loop; *tail* lines are emitted
+    after ``halt`` (jal helpers, SMC donor instructions); *data* lines
+    go to the ``.data`` section.  Deleting an idiom deletes all three.
+    """
+
+    __slots__ = ("kind", "body", "tail", "data")
+
+    def __init__(self, kind, body, tail=(), data=()):
+        self.kind = kind
+        self.body = list(body)
+        self.tail = list(tail)
+        self.data = list(data)
+
+
+class GeneratedProgram:
+    """A generated program plus the structure the shrinker needs."""
+
+    def __init__(self, seed, mode, loops, reg_inits, scratch, idioms):
+        self.seed = seed
+        self.mode = mode
+        self.loops = loops
+        self.reg_inits = reg_inits          # [(reg, value)]
+        self.scratch = scratch              # [word, ...]
+        self.idioms = list(idioms)
+
+    def replace(self, idioms=None, loops=None):
+        """A copy with a different idiom subset (shrinker hook)."""
+        return GeneratedProgram(
+            self.seed, self.mode,
+            self.loops if loops is None else loops,
+            self.reg_inits, self.scratch,
+            self.idioms if idioms is None else idioms)
+
+    @property
+    def source(self):
+        lines = ["# difftest seed=%d mode=%s idioms=%d loops=%d" % (
+                     self.seed, self.mode, len(self.idioms), self.loops),
+                 "    .text", "main:",
+                 "    la $gp, scratch",
+                 "    li $s6, 0"]
+        for reg, value in self.reg_inits:
+            lines.append("    li %s, 0x%08x" % (reg, value))
+        lines.append("    li $s7, %d" % self.loops)
+        lines.append("loop_top:")
+        for idiom in self.idioms:
+            lines.extend("    " + text for text in idiom.body)
+        lines.append("    addi $s7, $s7, -1")
+        lines.append("    bgtz $s7, loop_top")
+        # Epilogue: xor-fold the scratch arena into $s6.
+        lines.extend(["    la $t8, scratch",
+                      "    li $t9, %d" % SCRATCH_WORDS,
+                      "fold:",
+                      "    lw $v1, 0($t8)",
+                      "    xor $s6, $s6, $v1",
+                      "    addi $t8, $t8, 4",
+                      "    addi $t9, $t9, -1",
+                      "    bgtz $t9, fold",
+                      "    halt"])
+        for idiom in self.idioms:
+            lines.extend(idiom.tail)
+        lines.append("    .data")
+        lines.append("scratch:")
+        lines.extend("    .word 0x%08x" % word for word in self.scratch)
+        for idiom in self.idioms:
+            lines.extend(idiom.data)
+        return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------- idiom makers
+#
+# Each maker takes (rng, uid) and returns an Idiom.  *uid* is globally
+# unique within the program, so labels never collide no matter which
+# subset of idioms survives shrinking.
+
+def _reg(rng):
+    return rng.choice(WORK_REGS)
+
+
+def _src(rng):
+    return rng.choice(WORK_REGS + ("$zero", "$s6"))
+
+
+def _alu3(rng, uid):
+    op = rng.choice(("add", "sub", "and", "or", "xor", "nor", "slt",
+                     "sltu", "sllv", "srlv", "srav", "mul"))
+    return Idiom("alu3", ["%s %s, %s, %s" % (op, _reg(rng), _src(rng),
+                                             _src(rng))])
+
+
+def _alui(rng, uid):
+    op = rng.choice(("addi", "slti", "sltiu", "andi", "ori", "xori"))
+    if op in ("andi", "ori", "xori"):
+        imm = rng.randrange(0, 0x10000)
+    else:
+        imm = rng.randrange(-0x8000, 0x8000)
+    return Idiom("alui", ["%s %s, %s, %d" % (op, _reg(rng), _src(rng), imm)])
+
+
+def _shift(rng, uid):
+    op = rng.choice(("sll", "srl", "sra"))
+    return Idiom("shift", ["%s %s, %s, %d" % (op, _reg(rng), _src(rng),
+                                              rng.randrange(0, 32))])
+
+
+def _lui(rng, uid):
+    return Idiom("lui", ["lui %s, 0x%04x" % (_reg(rng),
+                                             rng.randrange(0, 0x10000))])
+
+
+def _safe_div(rng, uid):
+    # ori .., 1 makes the divisor odd, hence nonzero: never faults.
+    op = rng.choice(("div", "rem", "divu", "remu"))
+    return Idiom("safe_div", [
+        "ori $v1, %s, 1" % _src(rng),
+        "%s %s, %s, $v1" % (op, _reg(rng), _src(rng))])
+
+
+def _intmin_div(rng, uid):
+    # INT_MIN / -1: quotient overflows; must wrap to 0x80000000 / 0
+    # identically in every engine (satellite 1 regression).
+    op = rng.choice(("div", "rem"))
+    return Idiom("intmin_div", [
+        "lui $v1, 0x8000",
+        "addi $t9, $zero, -1",
+        "%s %s, $v1, $t9" % (op, _reg(rng))])
+
+
+def _maybe_fault_div(rng, uid):
+    # The divisor can be zero: all three engines must fault at the same
+    # pc with the same cause class, or agree it is nonzero.
+    op = rng.choice(("div", "divu", "rem", "remu"))
+    return Idiom("maybe_fault_div", [
+        "andi $v1, %s, 7" % _src(rng),
+        "%s %s, %s, $v1" % (op, _reg(rng), _src(rng))])
+
+
+def _load(rng, uid):
+    op = rng.choice(("lw", "lh", "lhu", "lb", "lbu"))
+    size = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[op]
+    offset = rng.randrange(0, SCRATCH_WORDS * 4 // size) * size
+    return Idiom("load", ["%s %s, %d($gp)" % (op, _reg(rng), offset)])
+
+
+def _store(rng, uid):
+    op = rng.choice(("sw", "sh", "sb"))
+    size = {"sw": 4, "sh": 2, "sb": 1}[op]
+    offset = rng.randrange(0, SCRATCH_WORDS * 4 // size) * size
+    return Idiom("store", ["%s %s, %d($gp)" % (op, _src(rng), offset)])
+
+
+def _store_load_forward(rng, uid):
+    # Store immediately followed by an overlapping load: stresses LSQ
+    # store-to-load forwarding (containment) and the stall path
+    # (partial overlap) against the in-order reference.
+    word = rng.randrange(0, SCRATCH_WORDS) * 4
+    st = rng.choice(("sw", "sh", "sb"))
+    st_size = {"sw": 4, "sh": 2, "sb": 1}[st]
+    st_off = word + rng.randrange(0, 4 // st_size) * st_size
+    ld = rng.choice(("lw", "lh", "lhu", "lb", "lbu"))
+    ld_size = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[ld]
+    ld_off = word + rng.randrange(0, 4 // ld_size) * ld_size
+    return Idiom("st_ld_fwd", [
+        "%s %s, %d($gp)" % (st, _src(rng), st_off),
+        "%s %s, %d($gp)" % (ld, _reg(rng), ld_off)])
+
+
+def _branch_skip(rng, uid):
+    label = "skip_%d" % uid
+    kind = rng.choice(("beq", "bne", "blez", "bgtz", "bltz", "bgez",
+                       "blt", "bgt", "ble", "bge"))
+    if kind in ("beq", "bne", "blt", "bgt", "ble", "bge"):
+        branch = "%s %s, %s, %s" % (kind, _src(rng), _src(rng), label)
+    else:
+        branch = "%s %s, %s" % (kind, _src(rng), label)
+    body = [branch]
+    for __ in range(rng.randrange(1, 3)):
+        body.append("addi %s, %s, %d" % (_reg(rng), _src(rng),
+                                         rng.randrange(-64, 64)))
+    body.append("%s:" % label)
+    return Idiom("branch_skip", body)
+
+
+def _jal_helper(rng, uid):
+    label = "helper_%d" % uid
+    tail = ["%s:" % label]
+    for __ in range(rng.randrange(1, 4)):
+        tail.append("    xor %s, %s, %s" % (_reg(rng), _src(rng),
+                                            _src(rng)))
+    tail.append("    jr $ra")
+    return Idiom("jal_helper", ["jal %s" % label], tail=tail)
+
+
+def _jr_table(rng, uid):
+    label = "jcont_%d" % uid
+    return Idiom("jr_table", [
+        "la $t9, %s" % label,
+        "jr $t9",
+        "addi %s, %s, 99" % (_reg(rng), _reg(rng)),    # skipped
+        "%s:" % label])
+
+
+def _jalr_self(rng, uid):
+    # jalr rd==rs: the link value must be written before the target
+    # register is read, so control falls through to the next line.
+    label = "jnext_%d" % uid
+    marked = _reg(rng)
+    return Idiom("jalr_self", [
+        "la $t9, %s" % label,
+        "jalr $t9, $t9",
+        "addi %s, %s, %d" % (marked, marked, rng.randrange(1, 100)),
+        "%s:" % label])
+
+
+def _chk(rng, uid):
+    module = rng.randrange(0, 16)
+    blocking = rng.choice(("BLK", "NBLK"))
+    op = rng.randrange(0, 32)
+    param = rng.randrange(0, 0x10000)
+    return Idiom("chk", ["chk %d, %s, %d, 0x%04x" % (module, blocking,
+                                                     op, param)])
+
+
+def _smc_patch(rng, uid):
+    # Overwrite an instruction inside the loop with a donor word taken
+    # from past-the-halt text.  Both the donor and the original are
+    # straight-line ALU ops, so the program terminates either way; the
+    # engines must agree on *which* instruction executed.
+    patch = "patch_%d" % uid
+    donor = "donor_%d" % uid
+    reg = _reg(rng)
+    return Idiom(
+        "smc_patch",
+        ["la $t9, %s" % patch,
+         "lw $v1, %s" % donor,
+         "sw $v1, 0($t9)",
+         "%s:" % patch,
+         "addi %s, %s, 1" % (reg, reg)],
+        tail=["%s:" % donor,
+              "    addi %s, %s, %d" % (reg, reg, rng.randrange(2, 64))])
+
+
+_BASIC_MIX = (
+    (_alu3, 18), (_alui, 14), (_shift, 8), (_lui, 4),
+    (_safe_div, 6), (_intmin_div, 2), (_maybe_fault_div, 1),
+    (_load, 10), (_store, 10), (_store_load_forward, 8),
+    (_branch_skip, 12), (_jal_helper, 4), (_jr_table, 3), (_jalr_self, 2),
+)
+
+_MODE_MIX = {
+    "basic": _BASIC_MIX,
+    "check": _BASIC_MIX + ((_chk, 8),),
+    "smc": _BASIC_MIX + ((_smc_patch, 5),),
+    "all": _BASIC_MIX + ((_chk, 6), (_smc_patch, 4)),
+}
+
+
+def generate(seed, mode="all", size=None):
+    """Generate one program deterministically from *seed* and *mode*."""
+    if mode not in MODES:
+        raise ValueError("unknown difftest mode %r (choose from %s)"
+                         % (mode, ", ".join(MODES)))
+    rng = random.Random(seed)
+    makers, weights = zip(*_MODE_MIX[mode])
+    count = size if size is not None else rng.randrange(8, 29)
+    loops = rng.randrange(1, 5)
+    reg_inits = []
+    for reg in WORK_REGS:
+        if rng.random() < 0.5:
+            value = rng.choice(EDGE_VALUES)
+        else:
+            value = rng.getrandbits(32)
+        reg_inits.append((reg, value))
+    scratch = [rng.getrandbits(32) for __ in range(SCRATCH_WORDS)]
+    idioms = [rng.choices(makers, weights)[0](rng, uid)
+              for uid in range(count)]
+    return GeneratedProgram(seed, mode, loops, reg_inits, scratch, idioms)

@@ -1,0 +1,343 @@
+"""Lockstep oracle: one program, three engines, first divergence wins.
+
+The three engines are:
+
+* ``interp`` — :class:`~repro.funcsim.FuncSim` with
+  ``predecode_enabled=False``: the fetch/decode/dispatch reference.
+* ``predecode`` — the same simulator through the closure cache.
+* ``pipeline`` — the out-of-order core; its architectural story is the
+  in-order commit stream.
+
+Comparison points, in order of diagnostic value:
+
+1. the retired-instruction pc stream (first mismatching index),
+2. stop state: halt vs fault vs step/cycle limit, and for faults the
+   faulting pc plus a normalised cause class (the engines word their
+   messages differently — "unaligned word load at 0x.." vs "unaligned
+   fetch" — but must agree on *where* and *what kind*),
+3. final registers ``r1..r31``,
+4. retired-instruction count,
+5. every memory page any engine dirtied.
+
+The first mismatch becomes a :class:`Divergence` carrying a disassembled
+window around the offending pc, rendered from the reference engine's
+memory so self-modifying programs show what was actually executed.
+"""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_segment
+from repro.memory.mainmem import PAGE_SHIFT, PAGE_SIZE, MainMemory
+from repro.memory.bus import BASELINE_TIMING
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.pipeline.core import EventKind
+
+STACK_TOP = 0x7FFF0000
+ENGINES = ("interp", "predecode", "pipeline")
+
+DEFAULT_MAX_STEPS = 400_000
+#: The OoO core retires one instruction in a handful of cycles at worst
+#: (mispredict + refetch); 16x steps is a generous ceiling.
+CYCLES_PER_STEP = 16
+
+
+class CommitRecorder:
+    """A no-op RSE whose only job is recording the pipeline commit stream."""
+
+    def __init__(self):
+        self.stream = []
+
+    def on_commit(self, uop, cycle):
+        self.stream.append(uop.pc)
+
+    # The pipeline consults these hooks when an RSE is attached; return
+    # the "proceed" answer for each so behaviour matches rse=None.
+    def on_dispatch(self, uop, cycle):
+        pass
+
+    def on_operands(self, uop, cycle, values):
+        pass
+
+    def on_execute(self, uop, cycle):
+        pass
+
+    def on_mem_load(self, uop, cycle, value):
+        pass
+
+    def on_squash(self, uops, cycle):
+        pass
+
+    def step(self, cycle):
+        pass
+
+    def ioq_gate(self, uop, cycle):
+        return None
+
+    def pre_commit_store(self, uop, cycle):
+        return 0
+
+    def check_blocks_loads(self, instr):
+        return False
+
+
+class EngineRun:
+    """Outcome of one engine executing one program."""
+
+    __slots__ = ("engine", "stream", "regs", "instret", "stop",
+                 "fault_pc", "fault_cause", "memory")
+
+    def __init__(self, engine, stream, regs, instret, stop,
+                 fault_pc, fault_cause, memory):
+        self.engine = engine
+        self.stream = stream            # retired pcs, in order
+        self.regs = regs                # final r0..r31
+        self.instret = instret
+        self.stop = stop                # "halt" | "fault" | "limit"
+        self.fault_pc = fault_pc
+        self.fault_cause = fault_cause  # normalised class, None unless fault
+        self.memory = memory
+
+
+def classify_cause(cause):
+    """Collapse an engine-specific fault message to a comparable class."""
+    if cause is None:
+        return None
+    text = str(cause).lower()
+    if "divide" in text:
+        return "arith"
+    if "unaligned" in text:
+        return "unaligned"
+    if "decode" in text or "illegal" in text or "unknown" in text:
+        return "decode"
+    return "other"
+
+
+class Divergence:
+    """First observed disagreement between two engines."""
+
+    def __init__(self, kind, engines, detail, pc=None, index=None,
+                 window=""):
+        self.kind = kind                # stream|stop|regs|instret|mem
+        self.engines = engines          # (reference_name, other_name)
+        self.detail = detail
+        self.pc = pc
+        self.index = index
+        self.window = window
+
+    def report(self):
+        lines = ["DIVERGENCE [%s] %s vs %s: %s" % (
+            self.kind, self.engines[0], self.engines[1], self.detail)]
+        if self.pc is not None:
+            lines.append("  at pc=0x%08x" % self.pc)
+        if self.index is not None:
+            lines.append("  retire index %d" % self.index)
+        if self.window:
+            lines.append(self.window)
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {"kind": self.kind, "engines": list(self.engines),
+                "detail": self.detail,
+                "pc": None if self.pc is None else "0x%08x" % self.pc,
+                "index": self.index, "window": self.window}
+
+    def __repr__(self):
+        return "Divergence(%s, %s, %r)" % (self.kind, self.engines,
+                                           self.detail)
+
+
+class OracleResult:
+    """Outcome of running one program through all three engines."""
+
+    def __init__(self, divergence, runs, limited=False):
+        self.divergence = divergence
+        self.runs = runs                # engine name -> EngineRun
+        self.limited = limited          # every engine hit its step limit
+
+    @property
+    def ok(self):
+        return self.divergence is None
+
+
+# ------------------------------------------------------------------- running
+
+def _fresh_memory(asm):
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    return mem
+
+
+def _run_funcsim(engine, asm, max_steps):
+    mem = _fresh_memory(asm)
+    sim = FuncSim(mem, entry=asm.entry, sp=STACK_TOP,
+                  predecode_enabled=(engine == "predecode"))
+    stream = []
+    stop = "limit"
+    for __ in range(max_steps):
+        pc = sim.pc
+        result = sim.step()
+        if result is StepResult.OK:
+            stream.append(pc)
+            continue
+        if result is StepResult.HALTED:
+            stream.append(pc)
+            stop = "halt"
+        elif result is StepResult.FAULT:
+            stop = "fault"
+        else:          # syscall: the generator never emits one
+            stop = "syscall"
+        break
+    fault_pc, cause = sim.fault if sim.fault else (None, None)
+    return EngineRun(engine, stream, list(sim.regs), sim.instret, stop,
+                     fault_pc, classify_cause(cause), mem)
+
+
+def _run_pipeline(asm, max_steps):
+    mem = _fresh_memory(asm)
+    recorder = CommitRecorder()
+    pipeline = Pipeline(mem, MemoryHierarchy(BASELINE_TIMING),
+                        config=PipelineConfig(), rse=recorder)
+    pipeline.reset_at(asm.entry)
+    pipeline.regs[29] = STACK_TOP
+    event = pipeline.run(max_cycles=max_steps * CYCLES_PER_STEP)
+    kind = event.kind
+    if kind is EventKind.HALT:
+        stop = "halt"
+    elif kind is EventKind.FAULT:
+        stop = "fault"
+    elif kind is EventKind.MAX_CYCLES:
+        stop = "limit"
+    else:
+        stop = kind.value
+    fault_pc = event.pc if stop == "fault" else None
+    cause = event.cause if stop == "fault" else None
+    return EngineRun("pipeline", recorder.stream, list(pipeline.regs),
+                     pipeline.stats.instret, stop, fault_pc,
+                     classify_cause(cause), mem)
+
+
+# ----------------------------------------------------------------- comparing
+
+def _disasm_window(asm, ref_mem, pc, radius=4):
+    """Disassemble ``radius`` instructions either side of *pc*.
+
+    Rendered from the reference engine's final memory, so a program
+    that rewrote its own text shows the word that actually executed.
+    """
+    if pc is None:
+        return ""
+    base = max(asm.text_base, (pc - radius * 4) & ~3)
+    length = (2 * radius + 1) * 4
+    try:
+        lines = disassemble_segment(ref_mem, base, length,
+                                    symbols=asm.symbols)
+    except Exception:          # window fell off mapped memory
+        return ""
+    rendered = []
+    for line in lines:
+        marker = ">>" if line.pc == pc else "  "
+        rendered.append("  %s %08x:  %08x    %s" % (marker, line.pc,
+                                                    line.word, line.text))
+    return "\n".join(rendered)
+
+
+def _compare(asm, ref, other):
+    """First divergence between *ref* and *other*, or None."""
+    pair = (ref.engine, other.engine)
+    window = lambda pc: _disasm_window(asm, ref.memory, pc)
+
+    # 1. Retired pc streams.
+    for index, (a, b) in enumerate(zip(ref.stream, other.stream)):
+        if a != b:
+            return Divergence(
+                "stream", pair,
+                "%s retired pc=0x%08x, %s retired pc=0x%08x"
+                % (ref.engine, a, other.engine, b),
+                pc=a, index=index, window=window(a))
+    if len(ref.stream) != len(other.stream):
+        longer = ref if len(ref.stream) > len(other.stream) else other
+        index = min(len(ref.stream), len(other.stream))
+        pc = longer.stream[index]
+        return Divergence(
+            "stream", pair,
+            "retired %d vs %d instructions; first extra pc=0x%08x in %s"
+            % (len(ref.stream), len(other.stream), pc, longer.engine),
+            pc=pc, index=index, window=window(pc))
+
+    # 2. Stop state.
+    if ref.stop != other.stop:
+        return Divergence(
+            "stop", pair, "%s stopped with %s, %s with %s"
+            % (ref.engine, ref.stop, other.engine, other.stop),
+            pc=ref.fault_pc or other.fault_pc,
+            window=window(ref.fault_pc or other.fault_pc))
+    if ref.stop == "fault":
+        if (ref.fault_pc, ref.fault_cause) != (other.fault_pc,
+                                               other.fault_cause):
+            return Divergence(
+                "stop", pair,
+                "%s faulted at pc=%s (%s), %s at pc=%s (%s)"
+                % (ref.engine, _hex(ref.fault_pc), ref.fault_cause,
+                   other.engine, _hex(other.fault_pc), other.fault_cause),
+                pc=ref.fault_pc, window=window(ref.fault_pc))
+
+    # 3. Registers (r0 is hardwired; include $at — both engines run the
+    # same expanded instructions, so even scratch must agree).
+    for reg in range(1, 32):
+        if ref.regs[reg] != other.regs[reg]:
+            return Divergence(
+                "regs", pair,
+                "r%d: %s=0x%08x %s=0x%08x"
+                % (reg, ref.engine, ref.regs[reg], other.engine,
+                   other.regs[reg]))
+
+    # 4. Retired counts.
+    if ref.instret != other.instret:
+        return Divergence(
+            "instret", pair, "%s retired %d, %s retired %d"
+            % (ref.engine, ref.instret, other.engine, other.instret))
+
+    # 5. Dirtied memory, page by page.
+    pages = sorted(set(ref.memory.write_versions)
+                   | set(other.memory.write_versions))
+    for page in pages:
+        base = page << PAGE_SHIFT
+        a = ref.memory.load_bytes(base, PAGE_SIZE)
+        b = other.memory.load_bytes(base, PAGE_SIZE)
+        if a != b:
+            offset = next(i for i in range(PAGE_SIZE) if a[i] != b[i])
+            addr = base + offset
+            return Divergence(
+                "mem", pair,
+                "byte at 0x%08x: %s=0x%02x %s=0x%02x"
+                % (addr, ref.engine, a[offset], other.engine, b[offset]))
+    return None
+
+
+def _hex(value):
+    return "None" if value is None else "0x%08x" % value
+
+
+def run_source(source, max_steps=DEFAULT_MAX_STEPS, constants=None,
+               engines=ENGINES):
+    """Run *source* through the engines and compare against ``interp``.
+
+    Returns an :class:`OracleResult`; ``result.divergence`` is the first
+    mismatch found (predecode first, then pipeline), or None.
+    """
+    asm = assemble(source, constants=constants)
+    runs = {"interp": _run_funcsim("interp", asm, max_steps)}
+    if "predecode" in engines:
+        runs["predecode"] = _run_funcsim("predecode", asm, max_steps)
+    if "pipeline" in engines:
+        runs["pipeline"] = _run_pipeline(asm, max_steps)
+    limited = all(run.stop == "limit" for run in runs.values())
+    divergence = None
+    for name in ("predecode", "pipeline"):
+        if name in runs:
+            divergence = _compare(asm, runs["interp"], runs[name])
+            if divergence is not None:
+                break
+    return OracleResult(divergence, runs, limited=limited)

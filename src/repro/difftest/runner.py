@@ -1,0 +1,159 @@
+"""The fuzz loop: generate, run the oracle, shrink, persist, report.
+
+Program *i* of a run is generated from ``derive_seed(seed, i)``, so a
+run is reproducible from ``(seed, mode, count)`` alone and any single
+diverging index can be replayed in isolation.  Progress optionally
+streams to a JSONL store (header line + one line per program), which a
+rerun with the same store resumes instead of repeating — the same
+discipline :mod:`repro.campaign` uses for fault-injection campaigns.
+"""
+
+import json
+import os
+
+from repro.difftest.generator import generate
+from repro.difftest.oracle import DEFAULT_MAX_STEPS, run_source
+from repro.difftest.shrink import shrink
+
+STORE_VERSION = 1
+
+
+def derive_seed(seed, index):
+    """Per-program seed: decorrelated from neighbours, reproducible."""
+    return (seed * 1_000_003 + index * 7_919 + 0x9E3779B9) & 0x7FFFFFFF
+
+
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    def __init__(self, seed, count, mode):
+        self.seed = seed
+        self.count = count
+        self.mode = mode
+        self.executed = 0
+        self.resumed = 0          # programs skipped via the store
+        self.limited = 0          # every engine hit its step limit
+        self.divergences = []     # dicts: index, seed, divergence, ...
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def to_dict(self):
+        return {
+            "seed": self.seed, "count": self.count, "mode": self.mode,
+            "executed": self.executed, "resumed": self.resumed,
+            "limited": self.limited, "ok": self.ok,
+            "divergences": self.divergences,
+        }
+
+
+def _check_for(mode, max_steps):
+    """A shrinker predicate: rerun the oracle on a candidate program."""
+    def check(program):
+        return run_source(program.source, max_steps=max_steps).divergence
+    return check
+
+
+def _store_header(seed, count, mode):
+    return {"kind": "difftest", "version": STORE_VERSION,
+            "seed": seed, "mode": mode, "count": count}
+
+
+def _load_store(path, header):
+    """Indexes already completed in a compatible store, or None."""
+    if not path or not os.path.exists(path):
+        return None
+    done = set()
+    with open(path) as handle:
+        first = handle.readline()
+        if not first.strip():
+            return None
+        existing = json.loads(first)
+        for key in ("kind", "seed", "mode"):
+            if existing.get(key) != header[key]:
+                raise ValueError(
+                    "difftest store %s was written by a different run "
+                    "(%s=%r, expected %r)" % (path, key,
+                                              existing.get(key),
+                                              header[key]))
+        for line in handle:
+            line = line.strip()
+            if line:
+                done.add(json.loads(line)["index"])
+    return done
+
+
+def _corpus_path(corpus_dir, seed, index):
+    return os.path.join(corpus_dir, "div_seed%d_i%d.s" % (seed, index))
+
+
+def _persist_repro(corpus_dir, seed, index, result):
+    """Write the shrunk diverging program as a commented .s corpus file."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = _corpus_path(corpus_dir, seed, index)
+    divergence = result.divergence
+    header = ["# difftest repro: seed=%d index=%d" % (seed, index)]
+    if divergence is not None:
+        for line in divergence.report().splitlines():
+            header.append("# " + line)
+    with open(path, "w") as handle:
+        handle.write("\n".join(header) + "\n")
+        handle.write(result.program.source)
+    return path
+
+
+def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
+         shrink_diverging=True, corpus_dir=None, store=None,
+         progress=None):
+    """Run *count* generated programs through the oracle.
+
+    Returns a :class:`FuzzReport`.  With *store*, completed indexes are
+    journalled to a JSONL file and skipped on rerun; with *corpus_dir*,
+    every diverging program is shrunk and persisted as a ``.s`` repro.
+    """
+    report = FuzzReport(seed, count, mode)
+    header = _store_header(seed, count, mode)
+    done = _load_store(store, header)
+    handle = None
+    if store:
+        if done is None:
+            done = set()
+            handle = open(store, "w")
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+        else:
+            handle = open(store, "a")
+    try:
+        for index in range(count):
+            if done and index in done:
+                report.resumed += 1
+                continue
+            program = generate(derive_seed(seed, index), mode=mode)
+            result = run_source(program.source, max_steps=max_steps)
+            report.executed += 1
+            if result.limited:
+                report.limited += 1
+            record = {"index": index, "seed": program.seed,
+                      "ok": result.ok}
+            if not result.ok:
+                entry = {"index": index, "seed": program.seed,
+                         "divergence": result.divergence.to_dict()}
+                if shrink_diverging:
+                    shrunk = shrink(program, _check_for(mode, max_steps))
+                    entry["shrunk_idioms"] = len(shrunk.program.idioms)
+                    entry["shrunk_source"] = shrunk.program.source
+                    if corpus_dir:
+                        entry["corpus_file"] = _persist_repro(
+                            corpus_dir, seed, index, shrunk)
+                report.divergences.append(entry)
+                record["divergence"] = entry["divergence"]
+            if handle is not None:
+                handle.write(json.dumps(record) + "\n")
+                handle.flush()
+            if progress is not None:
+                progress(index, count, result)
+    finally:
+        if handle is not None:
+            handle.close()
+    return report

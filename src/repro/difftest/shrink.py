@@ -1,0 +1,81 @@
+"""Minimise a diverging program: ddmin over idioms, then loop count.
+
+The generator's idioms are self-contained (locally unique labels, no
+cross-idiom dataflow other than through registers), so any subset of
+them still assembles and still terminates.  That turns shrinking into
+textbook delta debugging: drop idiom chunks as long as the oracle still
+reports a divergence of the same kind.
+"""
+
+
+class ShrinkResult:
+    """Outcome of shrinking one diverging program."""
+
+    __slots__ = ("program", "divergence", "oracle_runs")
+
+    def __init__(self, program, divergence, oracle_runs):
+        self.program = program
+        self.divergence = divergence
+        self.oracle_runs = oracle_runs
+
+
+def shrink(program, check, max_oracle_runs=200):
+    """Minimise *program* while *check* still reports a divergence.
+
+    *check* takes a :class:`~repro.difftest.generator.GeneratedProgram`
+    and returns a :class:`~repro.difftest.oracle.Divergence` or None.
+    Returns a :class:`ShrinkResult` whose program is 1-minimal at idiom
+    granularity (removing any single remaining idiom loses the bug), up
+    to the *max_oracle_runs* budget.
+    """
+    runs = 0
+
+    def still_fails(candidate):
+        nonlocal runs, best_divergence
+        if runs >= max_oracle_runs:
+            return False
+        runs += 1
+        divergence = check(candidate)
+        if divergence is not None:
+            best_divergence = divergence
+            return True
+        return False
+
+    best = program
+    best_divergence = None
+
+    # Cheapest reduction first: one trip round the outer loop.
+    if best.loops > 1:
+        candidate = best.replace(loops=1)
+        if still_fails(candidate):
+            best = candidate
+
+    # ddmin over idioms: try dropping chunks, halving granularity when
+    # nothing at the current size can be dropped.
+    chunk = max(1, len(best.idioms) // 2)
+    while chunk >= 1 and len(best.idioms) > 1:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(best.idioms):
+            idioms = best.idioms[:start] + best.idioms[start + chunk:]
+            if not idioms:
+                start += chunk
+                continue
+            candidate = best.replace(idioms=idioms)
+            if still_fails(candidate):
+                best = candidate
+                shrunk_this_pass = True
+                # Re-test the same start: the next chunk slid into place.
+            else:
+                start += chunk
+        if shrunk_this_pass:
+            continue          # another pass at the same granularity
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+
+    # The caller's divergence might predate shrinking; make sure the
+    # reported one matches the final program.
+    if best_divergence is None:
+        best_divergence = check(best)
+    return ShrinkResult(best, best_divergence, runs)

@@ -17,7 +17,11 @@ from repro.system import build_machine
 from repro.workloads import gotplt
 
 PAPER_GOT_SIZES = (128, 256, 384, 512, 640, 768, 896, 1024)
-QUICK_GOT_SIZES = (32, 64, 128)
+# Quick mode stays at or near the paper's smallest size (128): the RSE
+# win is a crossover, not a law — the MLR path pays a fixed MAU setup
+# cost while the software TRR loop scales linearly (and benefits from
+# store-to-load forwarding), so far below 128 entries TRR can win.
+QUICK_GOT_SIZES = (64, 96, 128)
 
 
 def run_pair(entries, max_cycles=20_000_000):

@@ -50,6 +50,10 @@ def to_unsigned(value):
 def _op_div(instr, a, b):
     if b == 0:
         raise ArithmeticFault()
+    if a == 0x80000000 and b == MASK32:
+        # INT_MIN / -1 overflows a 32-bit quotient; it wraps to
+        # INT_MIN under MASK32 (no trap), identically in every engine.
+        return 0x80000000
     quotient = abs(to_signed(a)) // abs(to_signed(b))
     if (to_signed(a) < 0) != (to_signed(b) < 0):
         quotient = -quotient
@@ -59,6 +63,8 @@ def _op_div(instr, a, b):
 def _op_rem(instr, a, b):
     if b == 0:
         raise ArithmeticFault()
+    if a == 0x80000000 and b == MASK32:
+        return 0          # INT_MIN % -1: the wrapped quotient is exact
     sa, sb = to_signed(a), to_signed(b)
     remainder = abs(sa) % abs(sb)
     if sa < 0:

@@ -347,6 +347,7 @@ class Pipeline:
                 return PipelineEvent(EventKind.FAULT, pc=pc, cause=cause,
                                      uop=uop)
             # --- retire -----------------------------------------------------
+            smc_flush = False
             if instr.is_store:
                 if rse is not None:
                     stall = rse.pre_commit_store(uop, cycle)
@@ -357,6 +358,7 @@ class Pipeline:
                                    uop.store_value)
                 self.hierarchy.dstore(cycle, uop.eff_addr)
                 stats.stores += 1
+                smc_flush = self._smc_hazard(uop.eff_addr >> PAGE_SHIFT)
             dest = instr.dest
             if dest and uop.value is not None:
                 self.regs[dest] = uop.value
@@ -383,6 +385,16 @@ class Pipeline:
                 stats.branches += 1
             if rse is not None:
                 rse.on_commit(uop, cycle)
+            if smc_flush:
+                # The store rewrote a page that younger in-flight
+                # instructions were decoded from (self-modifying code
+                # landing inside the fetch window).  Squash them and
+                # refetch so execution re-decodes what memory now holds,
+                # exactly like the in-order reference interpreter.
+                self.flush_all()
+                self.fetch_pc = (uop.pc + 4) & MASK32
+                self.fetch_enabled = not self._pending_timer
+                return None
             if instr.iclass is InstrClass.SYSCALL:
                 return PipelineEvent(EventKind.SYSCALL, pc=uop.pc, uop=uop)
             if instr.iclass is InstrClass.HALT:
@@ -502,11 +514,13 @@ class Pipeline:
             elif iclass is InstrClass.JUMP:
                 if instr.dest:          # jal / jalr: link register
                     uop.value = (uop.pc + 4) & MASK32
+                # jalr writes the link before reading the target register
+                # (the reference-interpreter order, visible when rd == rs).
+                if instr.dest and instr.dest == instr.rs:
+                    rs_val = uop.value
                 uop.actual_next = semantics.jump_target(instr, uop.pc, rs_val)
-                if uop.actual_next & 3:
-                    uop.fault = (uop.pc, "unaligned jump target 0x%08x"
-                                 % uop.actual_next)
-                    uop.actual_next = uop.pred_next          # don't redirect
+                # An unaligned target redirects normally; the fetch unit
+                # faults at the target pc, exactly like the interpreter.
         except semantics.ArithmeticFault:
             uop.fault = (uop.pc, "integer divide by zero")
         if self.rse is not None and not instr.is_check:
@@ -549,8 +563,10 @@ class Pipeline:
                 return False
             lo, hi = older.eff_addr, older.eff_addr + older.mem_size
             if lo < addr + size and addr < hi:
-                if older.eff_addr == addr and older.mem_size == size:
-                    forward_from = older          # youngest exact match wins
+                if lo <= addr and addr + size <= hi:
+                    # Exact containment: every loaded byte comes from this
+                    # store (youngest containing store wins).
+                    forward_from = older
                 else:
                     return False          # partial overlap: wait for commit
         uop.eff_addr = addr
@@ -567,7 +583,12 @@ class Pipeline:
                 uop.done_cycle = cycle + 1
                 return True
         if forward_from is not None:
-            uop.value = self._extract_load_value(instr, forward_from.store_value)
+            # Shift the contained bytes down to the load's position (the
+            # store's value is little-endian, so byte k of the stored
+            # range lives at bit 8k) before width extraction.
+            raw = forward_from.store_value >> (
+                8 * (addr - forward_from.eff_addr))
+            uop.value = self._extract_load_value(instr, raw)
             uop.forwarded = True
             uop.done_cycle = cycle + 1
             self.stats.load_forwards += 1
@@ -759,6 +780,23 @@ class Pipeline:
         return (pc + 4) & MASK32
 
     # ----------------------------------------------------------------- flush
+
+    def _smc_hazard(self, page):
+        """Does any in-flight instruction live on text page *page*?
+
+        Called when a store commits: instructions already fetched from
+        that page were decoded from the pre-store bytes and must be
+        squashed.  Instructions whose fetch is still pending decode
+        later (against post-store memory) and need no flush.
+        """
+        for uop in self.rob:
+            if uop.pc >> PAGE_SHIFT == page:
+                return True
+        for uop in self.fetch_buffer:
+            if uop.pc >> PAGE_SHIFT == page:
+                return True
+        held = self._held
+        return held is not None and (held[0] >> PAGE_SHIFT) == page
 
     def _flush_younger(self, index):
         """Squash every uop younger than ``rob[index]`` (mispredict recovery)."""

@@ -1,0 +1,127 @@
+"""Exhaustive signed-arithmetic edge cases, pinned across engines.
+
+Satellite of the differential-fuzzing work: the arithmetic corners that
+historically drift between an interpreter and a compiled/predecoded
+fast path — INT_MIN division, sign-extension masking in arithmetic
+shifts, shift-amount masking — get an exhaustive grid here, checked
+three ways: directly against the semantics tables, and differentially
+between the reference interpreter and the predecode closures.
+"""
+
+import pytest
+
+from repro.isa import semantics
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import SPEC_BY_NAME
+from repro.isa.predecode import compile_instr
+from repro.memory.mainmem import MainMemory
+
+MASK32 = 0xFFFFFFFF
+INT_MIN = 0x80000000
+INT_MAX = 0x7FFFFFFF
+EDGES = (0, 1, 2, INT_MAX - 1, INT_MAX, INT_MIN, INT_MIN + 1,
+         0xFFFFFFFE, 0xFFFFFFFF)
+
+
+def make(name, **fields):
+    return decode(encode(SPEC_BY_NAME[name], **fields))
+
+
+def every_engine_result(name, a, b, shamt=0):
+    """(table, closure) results for one R-type op on operand values."""
+    instr = make(name, rd=4, rs=2, rt=3, shamt=shamt)
+    table = semantics.alu_result(instr, a, b)
+
+    class _Sim:
+        regs = [0] * 32
+    sim = _Sim()
+    sim.regs[2] = a
+    sim.regs[3] = b
+    fn = compile_instr(0, instr, MainMemory())
+    fn(sim)
+    return table, sim.regs[4]
+
+
+# ------------------------------------------------------------- div/rem wrap
+
+def test_int_min_div_minus_one_wraps():
+    table, closure = every_engine_result("div", INT_MIN, 0xFFFFFFFF)
+    assert table == closure == INT_MIN
+
+
+def test_int_min_rem_minus_one_is_zero():
+    table, closure = every_engine_result("rem", INT_MIN, 0xFFFFFFFF)
+    assert table == closure == 0
+
+
+@pytest.mark.parametrize("a", EDGES)
+@pytest.mark.parametrize("b", EDGES)
+@pytest.mark.parametrize("name", ["div", "rem", "divu", "remu"])
+def test_division_grid_in_range_and_engine_identical(name, a, b):
+    if b == 0:
+        for variant in (semantics.alu_result,):
+            with pytest.raises(semantics.ArithmeticFault):
+                variant(make(name, rd=4, rs=2, rt=3), a, b)
+        return
+    table, closure = every_engine_result(name, a, b)
+    assert table == closure
+    assert 0 <= table <= MASK32          # never escapes 32 bits
+    if name == "div" and not (a == INT_MIN and b == MASK32):
+        # Python-exact signed quotient, truncated toward zero.
+        sa, sb = semantics.to_signed(a), semantics.to_signed(b)
+        expect = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            expect = -expect
+        assert semantics.to_signed(table) == expect
+    if name == "divu":
+        assert table == a // b
+    if name == "remu":
+        assert table == a % b
+
+
+@pytest.mark.parametrize("name", ["div", "rem"])
+def test_division_identity_holds_for_wrapped_case(name):
+    # INT_MIN == (INT_MIN / -1) * -1 + (INT_MIN % -1) under MASK32.
+    q, __ = every_engine_result("div", INT_MIN, 0xFFFFFFFF)
+    r, __ = every_engine_result("rem", INT_MIN, 0xFFFFFFFF)
+    assert (q * semantics.to_signed(0xFFFFFFFF) + r) & MASK32 == INT_MIN
+
+
+# ----------------------------------------------------------- shift masking
+
+@pytest.mark.parametrize("value", EDGES)
+@pytest.mark.parametrize("shamt", [0, 1, 15, 31])
+def test_sra_masks_to_32_bits(value, shamt):
+    table, closure = every_engine_result("sra", 0, value, shamt=shamt)
+    assert table == closure
+    assert 0 <= table <= MASK32
+    assert table == (semantics.to_signed(value) >> shamt) & MASK32
+    if value & INT_MIN:          # negative: high bits fill with ones
+        assert table >> (31 - shamt) == (1 << (shamt + 1)) - 1
+
+
+@pytest.mark.parametrize("value", EDGES)
+@pytest.mark.parametrize("amount", [0, 1, 31, 32, 33, 63, 0xFFFFFFFF])
+def test_srav_masks_amount_and_result(value, amount):
+    table, closure = every_engine_result("srav", amount, value)
+    assert table == closure
+    assert 0 <= table <= MASK32
+    assert table == (semantics.to_signed(value) >> (amount & 31)) & MASK32
+
+
+@pytest.mark.parametrize("value", EDGES)
+@pytest.mark.parametrize("amount", [0, 1, 31, 32, 33, 0xFFFFFFFF])
+def test_sllv_srlv_mask_amount(value, amount):
+    sll_t, sll_c = every_engine_result("sllv", amount, value)
+    srl_t, srl_c = every_engine_result("srlv", amount, value)
+    assert sll_t == sll_c == (value << (amount & 31)) & MASK32
+    assert srl_t == srl_c == value >> (amount & 31)
+
+
+@pytest.mark.parametrize("a", EDGES)
+@pytest.mark.parametrize("b", EDGES)
+def test_mul_wraps_identically(a, b):
+    table, closure = every_engine_result("mul", a, b)
+    assert table == closure
+    assert table == (semantics.to_signed(a) * semantics.to_signed(b)) \
+        & MASK32

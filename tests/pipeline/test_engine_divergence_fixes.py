@@ -1,0 +1,99 @@
+"""Regressions for pipeline-vs-interpreter divergences found by difftest.
+
+Each test pins one fix made while bringing the out-of-order core into
+exact architectural agreement with the reference interpreter (the
+shrunk fuzzer repros live in ``tests/property/corpus/``; these are the
+targeted white-box versions).
+"""
+
+from repro.funcsim import StepResult
+from tests.helpers import (assert_same_architectural_state, run_func,
+                           run_pipeline)
+
+
+# --- jalr with rd == rs: link is written before the target is read ----------
+
+JALR_SELF = """
+main:
+    li $s0, 0
+    la $t9, target
+    jalr $t9, $t9
+    addi $s0, $s0, 5
+target:
+    halt
+"""
+
+
+def test_jalr_rd_equals_rs_falls_through_via_link():
+    pipe, func = assert_same_architectural_state(JALR_SELF)
+    assert func.regs[16] == 5
+
+
+# --- self-modifying store landing inside the fetch window -------------------
+
+SMC_WINDOW = """
+main:
+    li $s0, 0
+    la $t1, patch
+    lw $t2, donor
+    sw $t2, 0($t1)
+patch:
+    addi $s0, $s0, 1
+    halt
+donor:
+    addi $s0, $s0, 77
+"""
+
+
+def test_store_into_fetch_window_squashes_and_refetches():
+    pipe, func = assert_same_architectural_state(SMC_WINDOW)
+    assert func.regs[16] == 77
+
+
+SMC_LOOP = """
+main:
+    li $s0, 0
+    li $s7, 3
+loop:
+    la $t1, patch
+    lw $t2, donor
+    sw $t2, 0($t1)
+patch:
+    addi $s0, $s0, 1
+    addi $s7, $s7, -1
+    bgtz $s7, loop
+    halt
+donor:
+    addi $s0, $s0, 10
+"""
+
+
+def test_repeated_smc_store_in_loop_stays_consistent():
+    __, func = assert_same_architectural_state(SMC_LOOP)
+    # First trip patches in time (+10); later trips re-store the same
+    # word, which still executes the patched instruction (+10 each).
+    assert func.regs[16] == 30
+
+
+# --- unaligned jump target faults at the target, not at the jump ------------
+
+UNALIGNED_JR = """
+main:
+    la $t0, target
+    addi $t0, $t0, 2
+    jr $t0
+target:
+    halt
+"""
+
+
+def test_unaligned_jump_target_faults_at_target_pc():
+    func, func_asm, func_result = run_func(UNALIGNED_JR)
+    pipe, pipe_asm, event = run_pipeline(UNALIGNED_JR)
+    assert func_result is StepResult.FAULT
+    assert event.kind.value == "fault"
+    fault_pc = func_asm.symbols["target"] + 2
+    assert func.fault[0] == fault_pc
+    assert event.pc == fault_pc
+    assert "unaligned" in func.fault[1]
+    assert "unaligned" in event.cause

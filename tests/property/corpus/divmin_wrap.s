@@ -1,0 +1,12 @@
+# difftest repro (pinned in this tree): INT_MIN / -1 overflows a 32-bit
+# quotient; every engine must wrap it to 0x80000000 with remainder 0
+# under MASK32 — no trap, no Python bignum escaping into the register
+# file.  Also pins sra/srav sign-extension masking parity.
+main:
+    lui $t0, 0x8000        # INT_MIN
+    addi $t1, $zero, -1
+    div $s0, $t0, $t1      # 0x80000000 (wrapped quotient)
+    rem $s1, $t0, $t1      # 0 (the wrapped quotient is exact)
+    sra $s2, $t0, 31       # 0xffffffff
+    srav $s3, $t0, $t1     # shift = -1 & 31 = 31 -> 0xffffffff
+    halt

@@ -1,0 +1,11 @@
+# difftest repro (fixed in this tree): jalr with rd == rs must write the
+# link register BEFORE reading the jump target, matching the reference
+# interpreter.  The pipeline used to read the stale rs value and jump to
+# `target`, skipping the marker addi, leaving $s0 = 0 instead of 5.
+main:
+    li $s0, 0
+    la $t9, target
+    jalr $t9, $t9          # link $t9 = pc+4, then jump to the link
+    addi $s0, $s0, 5       # must execute (fall-through via the link)
+target:
+    halt

@@ -1,0 +1,15 @@
+# difftest repro (fixed in this tree): a committed store that rewrites
+# an instruction already inside the pipeline's fetch window must squash
+# the younger in-flight instructions and refetch, like the in-order
+# reference.  The pipeline used to execute the stale decoded addi+1 and
+# end with $s0 = 1 instead of 77.
+main:
+    li $s0, 0
+    la $t1, patch
+    lw $t2, donor          # encoded `addi $s0, $s0, 77`
+    sw $t2, 0($t1)         # lands while `patch` is already fetched
+patch:
+    addi $s0, $s0, 1       # rewritten just in time
+    halt
+donor:
+    addi $s0, $s0, 77      # never executed in place; donor word only

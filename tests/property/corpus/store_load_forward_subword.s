@@ -1,0 +1,20 @@
+# difftest repro (fixed in this tree): LSQ store-to-load forwarding must
+# honour containment.  Sub-word loads fully inside a pending sw forward
+# the correct bytes (shifted to the load's position); partially
+# overlapping accesses wait for the store to commit and read memory.
+# The pipeline used to forward only exact (address, size) matches and
+# read stale memory for contained sub-word loads.
+main:
+    la $gp, scratch
+    li $t0, 0x7fb3ff91
+    sw $t0, 0($gp)
+    lb $s0, 0($gp)         # contained: 0xffffff91 (sign-extended byte 0)
+    lbu $s1, 3($gp)        # contained: 0x0000007f (byte 3)
+    lhu $s2, 2($gp)        # contained: 0x00007fb3 (high half)
+    sb $t0, 5($gp)
+    lw $s3, 4($gp)         # partial overlap: must stall to memory
+    halt
+    .data
+scratch:
+    .word 0x11111111
+    .word 0x22222222

@@ -1,0 +1,10 @@
+# difftest repro (fixed in this tree): a jump to an unaligned target
+# must redirect control and fault at the *target* pc during fetch,
+# exactly like the interpreter.  The pipeline used to raise the fault on
+# the jr itself, reporting the wrong faulting pc.
+main:
+    la $t0, target
+    addi $t0, $t0, 2       # misalign the target
+    jr $t0                 # engines must agree: unaligned fault at target+2
+target:
+    halt
