@@ -1,0 +1,97 @@
+"""Campaign throughput: cold per-injection runs vs fork-at-trigger.
+
+Runs the same seeded 200-injection register-flip campaign twice — once
+rebuilding and re-simulating the warmup prefix for every injection, once
+sharing prefixes through machine checkpoints (``fork=True``) — and
+writes both timings to ``benchmarks/results/BENCH_campaign.json``.
+
+Two things ARE asserted here, because they are correctness claims, not
+absolute-speed claims:
+
+* the two runs produce byte-identical records (fork is an execution
+  detail);
+* fork mode is at least 1.5x faster.  The ratio compares the same
+  machine against itself in the same process, so it holds even on a
+  noisy shared CI box; absolute instrs/sec numbers are only reported.
+
+The workload runs the demo checksum loop for 64 passes so each run
+carries a few thousand warmup cycles — the cost fork mode exists to
+amortise — and the cycle budget is about twice the golden run, keeping
+HUNG runs (which cost the full budget in *both* modes) from flattening
+the measured ratio.  Unprotected machine: register flips don't need the
+ICM, and the trigger window then spans the whole run instead of the
+shorter unprotected-golden fraction of a protected one.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from conftest import RESULTS_DIR
+from repro.campaign import CampaignSpec, DEMO_WORKLOAD, run_campaign
+
+#: 64 passes instead of 16: a longer shared prefix per trigger.
+WORKLOAD = DEMO_WORKLOAD.replace("li $t5, 16", "li $t5, 64")
+assert WORKLOAD != DEMO_WORKLOAD
+
+INJECTIONS = 200
+MAX_CYCLES = 8_000
+RECORDS = []
+
+
+def commit_hash():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True).strip()
+    except Exception:
+        return "unknown"
+
+
+def campaign_spec():
+    return CampaignSpec(source=WORKLOAD, model="reg-flip", protected=False,
+                        injections=INJECTIONS, seed=7, max_cycles=MAX_CYCLES)
+
+
+def test_fork_speedup(benchmark):
+    spec = campaign_spec()
+
+    start = time.perf_counter()
+    cold = run_campaign(spec, fork=False)
+    cold_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    forked = benchmark.pedantic(run_campaign, args=(spec,),
+                                kwargs={"fork": True},
+                                rounds=1, iterations=1)
+    fork_elapsed = time.perf_counter() - start
+
+    assert cold.records == forked.records
+    speedup = cold_elapsed / fork_elapsed
+    RECORDS.append({
+        "benchmark": "campaign-fork", "commit": commit_hash(),
+        "workload": "demo-checksum-64pass", "model": spec.model,
+        "injections": spec.injections, "max_cycles": spec.max_cycles,
+        "cold_seconds": round(cold_elapsed, 3),
+        "fork_seconds": round(fork_elapsed, 3),
+        "speedup": round(speedup, 2),
+        "outcomes": cold.summary(),
+        "records_identical": True,
+    })
+    assert speedup >= 1.5, \
+        "fork mode %.2fx vs cold (%.2fs vs %.2fs); expected >= 1.5x" \
+        % (speedup, fork_elapsed, cold_elapsed)
+
+
+def test_z_write_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert RECORDS, "no campaign benchmark records collected"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_campaign.json")
+    with open(path, "w") as handle:
+        json.dump(RECORDS, handle, indent=2)
+    print("\nwrote %s" % path)
+    for entry in RECORDS:
+        print(entry)

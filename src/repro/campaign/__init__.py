@@ -9,7 +9,8 @@ outcomes; this package makes that a first-class subsystem:
 * :mod:`repro.campaign.space` — seeded, order-independent sampling of
   the injection space;
 * :mod:`repro.campaign.runner` — serial or multiprocessing execution
-  with crash-isolated workers and per-run cycle budgets;
+  with crash-isolated workers, per-run cycle budgets, and fork-at-trigger
+  prefix sharing over :mod:`repro.checkpoint` machine snapshots;
 * :mod:`repro.campaign.store` — the append-only JSONL store campaigns
   resume from and single runs replay out of;
 * :mod:`repro.campaign.report` — outcome tables, Wilson-interval
@@ -21,13 +22,15 @@ from repro.campaign.models import (FaultModel, Injection, MODELS, Outcome,
 from repro.campaign.report import (detection_stats, format_campaign_report,
                                    format_comparison, outcome_counts)
 from repro.campaign.runner import (CampaignRun, CampaignSpec, DEMO_WORKLOAD,
-                                   replay, resume_spec, run_campaign)
+                                   ForkEngine, replay, resume_spec,
+                                   run_campaign)
 from repro.campaign.space import derive_seed, sample_injections
 from repro.campaign.store import ResultStore, StoreMismatch
 
 __all__ = [
     "CampaignRun", "CampaignSpec", "DEMO_WORKLOAD", "FaultModel",
-    "Injection", "MODELS", "Outcome", "ResultStore", "StoreMismatch",
+    "ForkEngine", "Injection", "MODELS", "Outcome", "ResultStore",
+    "StoreMismatch",
     "derive_seed", "detection_stats", "format_campaign_report",
     "format_comparison", "get_model", "outcome_counts", "register",
     "replay", "resume_spec", "run_campaign", "sample_injections",

@@ -36,6 +36,7 @@ class Outcome(enum.Enum):
     BENIGN = "benign"            # ran to completion, results intact
     HUNG = "hung"                # exceeded the per-run cycle budget
     CRASHED = "crashed"          # the simulator worker itself died
+    NOT_TRIGGERED = "not_triggered"  # run ended before fire(); no fault landed
 
 
 class Injection:
@@ -84,6 +85,13 @@ class FaultModel:
     """Base class; subclasses define one way the hardware can break."""
 
     name = None
+
+    #: True when :meth:`arm` never touches the machine (it only derives
+    #: the trigger cycle from *params*), so it may be called with
+    #: ``machine=None`` and the run up to the trigger is workload-pure.
+    #: That purity is what lets the campaign runner share one simulated
+    #: prefix across injections in ``--fork`` mode.
+    arm_is_pure = False
 
     def build_space(self, ctx):
         """Derive the picklable sample space from a campaign context."""
@@ -147,6 +155,7 @@ class RegisterFileBitFlip(FaultModel):
     would forward instead of reading the file."""
 
     name = "reg-flip"
+    arm_is_pure = True
 
     def build_space(self, ctx):
         return {"regs": list(range(1, 32)), "max_cycle": _trigger_window(ctx)}
@@ -175,6 +184,7 @@ class DataMemoryBitFlip(FaultModel):
     below the stack top when the workload has no data segment."""
 
     name = "mem-flip"
+    arm_is_pure = True
 
     def build_space(self, ctx):
         addrs = list(ctx.data_words)

@@ -23,8 +23,14 @@ def outcome_counts(records):
 
 
 def detection_stats(records, z=1.96):
-    """``(detected, total, rate, (ci_low, ci_high))`` for *records*."""
-    total = len(records)
+    """``(detected, total, rate, (ci_low, ci_high))`` for *records*.
+
+    *total* counts only runs whose fault actually fired: NOT_TRIGGERED
+    runs ended (or were skipped) before the trigger cycle, so they carry
+    no information about detection and would deflate the rate.
+    """
+    total = sum(1 for record in records
+                if record["outcome"] != Outcome.NOT_TRIGGERED.value)
     detected = sum(1 for record in records
                    if record["outcome"] == Outcome.DETECTED.value)
     return detected, total, rate(detected, total), \
@@ -50,6 +56,10 @@ def format_campaign_report(records, title="Fault-injection campaign"):
                  "(95%% Wilson CI: %.1f%% - %.1f%%)"
                  % (detected, n, 100 * det_rate, 100 * low, 100 * high))
     lines.append("damaging runs:  %d/%d" % (damage_count(records), n))
+    skipped = counts[Outcome.NOT_TRIGGERED.value]
+    if skipped:
+        lines.append("not triggered:  %d run(s), excluded from the "
+                     "detection rate" % skipped)
     return "\n".join(lines)
 
 

@@ -10,6 +10,19 @@ The engine fixes the two structural costs of the original serial loop in
   with per-injection derived seeds so results are identical regardless
   of worker count or completion order.
 
+Fork mode (``fork=True`` / ``repro campaign --fork``) removes the third
+structural cost — re-simulating the fault-free warmup prefix for every
+injection.  For fault models whose :meth:`~repro.campaign.models
+.FaultModel.arm` is pure (reg-flip, mem-flip: arming only picks the
+trigger cycle), injections are grouped by trigger cycle, each distinct
+prefix is simulated once on a trunk machine, checkpointed with
+:meth:`repro.system.Machine.checkpoint`, and every injection at that
+trigger is restore-and-strike.  Because checkpoint/restore is
+cycle-exact, forked and cold campaigns produce byte-identical records —
+the flag is an execution detail and deliberately not part of the spec
+fingerprint.  Models that arm by mutating the machine (instr-flip,
+cf-corrupt) silently keep the fresh-machine path.
+
 Workers are crash-isolated: a Python-level failure inside one injection
 is caught in the worker and classified :data:`Outcome.CRASHED`; a hard
 worker death (the pool breaks) fails only the chunk that was in flight —
@@ -202,13 +215,22 @@ def execute_injection(ctx, injection):
         budget = ctx.spec.max_cycles
         trigger = ctx.model.arm(machine, ctx, injection.params)
         if trigger:
-            trigger = max(1, min(trigger, budget - 1))
+            if not 0 < trigger < budget:
+                # The model sampled a trigger outside the run budget.
+                # Clamping would fire the fault at a cycle the model
+                # never chose; report the run as never injected instead.
+                return not_triggered_record(injection)
             event = machine.pipeline.run(max_cycles=trigger)
-            if event.kind is EventKind.MAX_CYCLES:
-                # Reached the trigger point: strike, then run out the rest
-                # of the budget.
-                ctx.model.fire(machine, ctx, injection.params)
-                event = machine.pipeline.run(max_cycles=budget - trigger)
+            if event.kind is not EventKind.MAX_CYCLES:
+                # The workload ended before the armed trigger: fire()
+                # never ran, so no fault landed and the outcome says
+                # nothing about detection.
+                return not_triggered_record(injection, event=event,
+                                            cycles=machine.pipeline.cycle)
+            # Reached the trigger point: strike, then run out the rest
+            # of the budget.
+            ctx.model.fire(machine, ctx, injection.params)
+            event = machine.pipeline.run(max_cycles=budget - trigger)
         else:
             event = machine.pipeline.run(max_cycles=budget)
         outcome = classify(machine, ctx, event)
@@ -227,6 +249,118 @@ def crashed_record(injection, error="worker died"):
             "pc": 0, "cycles": 0, "error": error}
 
 
+def not_triggered_record(injection, event=None, cycles=0):
+    """Record for a run whose fault never fired.
+
+    With *event* the workload ended there before reaching the armed
+    trigger; without, the sampled trigger fell outside the cycle budget
+    and the run was skipped outright.
+    """
+    return {"id": injection.id, "model": injection.model,
+            "seed": injection.seed, "params": injection.params,
+            "outcome": Outcome.NOT_TRIGGERED.value,
+            "event": event.kind.value if event is not None else "skipped",
+            "pc": event.pc if event is not None else 0,
+            "cycles": cycles}
+
+
+# ------------------------------------------------------------ fork-at-trigger
+
+class ForkEngine:
+    """Shared-prefix execution: simulate each distinct trigger prefix once.
+
+    Keeps one trunk machine plus two checkpoints: the pristine machine
+    (cycle 0) and the latest trigger prefix.  Triggers should arrive in
+    ascending order for maximal prefix reuse; a smaller trigger simply
+    rewinds to the base checkpoint and re-advances.
+    """
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        # Warm the checkpoint layer's field-name cache on a throwaway
+        # machine: the first capture of each class de-optimises that
+        # instance's attribute access (CPython materialises __dict__),
+        # and the trunk machine simulates every strike tail — it must
+        # not be the one paying that.
+        from repro import checkpoint as checkpoint_layer
+
+        sacrifice, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        checkpoint_layer.warm(sacrifice)
+        self.machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        self.base = self.machine.checkpoint()
+        self.prefix = self.base
+        # (event, end_cycle) once the fault-free workload is known to end
+        # before some trigger; the prefix is deterministic, so this holds
+        # for every trigger >= end_cycle.
+        self.terminal = None
+
+    def _advance_to(self, trigger):
+        """Point ``self.prefix`` at cycle *trigger* exactly.
+
+        Returns True when the trigger is reachable; False when the
+        fault-free workload ends first (``self.terminal`` then holds the
+        terminal event, matching what a cold run would report).
+        """
+        if self.terminal is not None and trigger >= self.terminal[1]:
+            return False
+        if trigger < self.prefix.cycle:
+            self.prefix = self.base
+        if self.prefix.cycle == trigger:
+            return True
+        machine = self.machine
+        machine.restore(self.prefix)
+        event = machine.pipeline.run(max_cycles=trigger - self.prefix.cycle)
+        if event.kind is EventKind.MAX_CYCLES:
+            self.prefix = machine.checkpoint()
+            return True
+        self.terminal = (event, machine.pipeline.cycle)
+        return False
+
+    def strike(self, injection, trigger):
+        """Restore the prefix at *trigger*, fire, run out the budget."""
+        ctx = self.ctx
+        if not self._advance_to(trigger):
+            event, cycles = self.terminal
+            return not_triggered_record(injection, event=event, cycles=cycles)
+        machine = self.machine
+        machine.restore(self.prefix)
+        ctx.model.fire(machine, ctx, injection.params)
+        event = machine.pipeline.run(
+            max_cycles=ctx.spec.max_cycles - trigger)
+        outcome = classify(machine, ctx, event)
+        return {"id": injection.id, "model": injection.model,
+                "seed": injection.seed, "params": injection.params,
+                "outcome": outcome.value, "event": event.kind.value,
+                "pc": event.pc, "cycles": machine.pipeline.cycle}
+
+
+def forked_injection(ctx, engine, injection):
+    """One injection through the fork engine, with a cold-path fallback.
+
+    Any failure inside the checkpoint machinery falls back to
+    :func:`execute_injection` on a fresh machine, which produces the
+    identical record (just without the shared-prefix saving).
+    """
+    try:
+        trigger = ctx.model.arm(None, ctx, injection.params)
+        if not (trigger and 0 < trigger < ctx.spec.max_cycles):
+            return not_triggered_record(injection)
+        return engine.strike(injection, trigger)
+    except Exception:
+        return execute_injection(ctx, injection)
+
+
+def _fork_order(ctx, injections):
+    """Ascending-trigger order, id-stable, for maximal prefix reuse."""
+    def key(injection):
+        try:
+            trigger = ctx.model.arm(None, ctx, injection.params)
+        except Exception:
+            trigger = 0
+        return (trigger or 0, injection.id)
+    return sorted(injections, key=key)
+
+
 class CampaignRun:
     """The outcome of :func:`run_campaign`: ordered records + metrics."""
 
@@ -243,10 +377,22 @@ class CampaignRun:
         return {outcome.value: self.count(outcome) for outcome in Outcome}
 
     @property
+    def injected_runs(self):
+        """Runs whose fault actually landed (NOT_TRIGGERED excluded)."""
+        return len(self.records) - self.count(Outcome.NOT_TRIGGERED)
+
+    @property
     def detection_rate(self):
-        if not self.records:
+        """DETECTED over runs where a fault was injected.
+
+        NOT_TRIGGERED runs never had :meth:`FaultModel.fire` called, so
+        counting them in the denominator would deflate coverage with
+        runs that say nothing about detection.
+        """
+        injected = self.injected_runs
+        if not injected:
             return 0.0
-        return self.count(Outcome.DETECTED) / len(self.records)
+        return self.count(Outcome.DETECTED) / injected
 
     def __repr__(self):
         return "CampaignRun(%s)" % self.summary()
@@ -255,20 +401,31 @@ class CampaignRun:
 # ----------------------------------------------------------------- worker IPC
 
 _WORKER_CTX = None
+_WORKER_FORK = None
 
 
-def _worker_init(spec_dict):
+def _worker_init(spec_dict, fork=False):
     """Pool initializer: build the campaign context once per process."""
-    global _WORKER_CTX
+    global _WORKER_CTX, _WORKER_FORK
     _WORKER_CTX = CampaignContext(CampaignSpec.from_dict(spec_dict))
+    _WORKER_FORK = None
+    if fork and _WORKER_CTX.model.arm_is_pure:
+        try:
+            _WORKER_FORK = ForkEngine(_WORKER_CTX)
+        except Exception:
+            _WORKER_FORK = None      # cold path still produces the records
 
 
 def _worker_run_chunk(injection_dicts):
-    return [execute_injection(_WORKER_CTX, Injection.from_dict(payload))
-            for payload in injection_dicts]
+    injections = [Injection.from_dict(payload) for payload in injection_dicts]
+    if _WORKER_FORK is not None:
+        return [forked_injection(_WORKER_CTX, _WORKER_FORK, injection)
+                for injection in injections]
+    return [execute_injection(_WORKER_CTX, injection)
+            for injection in injections]
 
 
-def _parallel_dispatch(spec, todo, chunk_size, workers, emit):
+def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False):
     """Fan chunks out over a process pool, surviving worker death.
 
     A chunk whose future fails (worker killed, pool broken) is retried
@@ -285,7 +442,7 @@ def _parallel_dispatch(spec, todo, chunk_size, workers, emit):
     while pending:
         pool = futures_mod.ProcessPoolExecutor(
             max_workers=workers, initializer=_worker_init,
-            initargs=(spec_dict,))
+            initargs=(spec_dict, fork))
         submitted = {
             pool.submit(_worker_run_chunk,
                         [injection.to_dict() for injection in chunk]):
@@ -311,7 +468,7 @@ def _parallel_dispatch(spec, todo, chunk_size, workers, emit):
 # ------------------------------------------------------------------- campaign
 
 def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
-                 progress=None):
+                 progress=None, fork=False):
     """Execute (or resume) a campaign; returns a :class:`CampaignRun`.
 
     Args:
@@ -322,6 +479,10 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
             spec's fingerprint, only the missing injections run.
         progress: optional ``callback(done, total)`` fired as records
             land (including records recovered from the store).
+        fork: share trigger prefixes via machine checkpoints instead of
+            re-simulating the warmup per injection (see module
+            docstring).  Records are identical either way; only the
+            wall-clock changes, so the flag is not in the fingerprint.
     """
     ctx = CampaignContext(spec)
     injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
@@ -351,12 +512,21 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
         if progress is not None:
             progress(len(records), total)
 
+    use_fork = fork and ctx.model.arm_is_pure
     try:
         if workers <= 1:
-            for injection in todo:
-                emit([execute_injection(ctx, injection)])
+            if use_fork and todo:
+                engine = ForkEngine(ctx)
+                for injection in _fork_order(ctx, todo):
+                    emit([forked_injection(ctx, engine, injection)])
+            else:
+                for injection in todo:
+                    emit([execute_injection(ctx, injection)])
         elif todo:
-            _parallel_dispatch(spec, todo, chunk_size, workers, emit)
+            if use_fork:
+                todo = _fork_order(ctx, todo)
+            _parallel_dispatch(spec, todo, chunk_size, workers, emit,
+                               fork=use_fork)
     finally:
         if store is not None:
             store.close()

@@ -1,0 +1,229 @@
+"""Whole-machine architectural checkpoint/restore.
+
+Fault-injection campaigns re-simulate the same warmup prefix for every
+injection: N injections over a workload whose triggers average T cycles
+re-execute N*T redundant cycles.  The injection environments in the
+related literature (InjectV, ISAAC) all converge on the same lever —
+*snapshot once, fork per fault* — and this module is that lever for the
+whole simulated machine:
+
+``Machine.checkpoint()``
+    returns a :class:`MachineCheckpoint` — an immutable, self-contained
+    copy of every piece of mutable machine state;
+``Machine.restore(cp)``
+    rewinds the *same* machine to that point.  One checkpoint can be
+    restored any number of times; execution after a restore is
+    cycle-for-cycle identical to a cold run (`tests/integration/
+    test_checkpoint.py` proves this against the difftest oracle).
+
+Design notes
+------------
+
+**Memory is copy-on-write against the page table.**  `MainMemory` is
+sparse (4 KB pages materialised on first touch) and already versions
+every page on store for the predecode cache.  A checkpoint copies only
+the materialised pages (:meth:`MainMemory.capture_state`); restore
+(:meth:`MainMemory.restore_state`) compares versions and touches only
+pages the discarded timeline actually wrote, giving every changed page
+a version *strictly above* any it has ever had.  That monotonicity is
+the predecode interplay: cached decode closures revalidate by version
+equality, so entries for untouched pages stay hot across a restore
+while entries for rewound pages can never falsely revalidate.
+
+**Everything else is captured by component, through one shared
+``deepcopy``.**  The machine's singletons — memory, hierarchy, pipeline,
+RSE engine, MAU, IOQ, input queues, self-checker, modules, kernel — are
+*pinned* in the deepcopy memo, so the capture copies their mutable
+fields while every cross-reference (an in-flight uop shared between the
+ROB, the rename map and an IOQ entry; a thread shared between the
+kernel and the scheduler) resolves to one consistent clone.  Restore
+deep-copies the stored state again (so the checkpoint stays pristine)
+and grafts the fields back onto the live objects — external references
+to the machine's components remain valid across a restore.
+
+**Pending MAU work must be plain data.**  Module->MAU requests carry a
+``(module, tag)`` continuation instead of a Python closure precisely so
+they can be checkpointed; a request still using a bare callback (the
+MLR's load-time sequences do) makes the machine refuse to checkpoint
+rather than silently capture a closure whose captured objects the
+restore cannot rewind.
+
+The captured boundary is a plain cycle boundary — callers who want the
+paper's "drained commit boundary" (architectural state only, empty
+ROB) can simply checkpoint when the pipeline is idle; the campaign
+runner checkpoints mid-flight and relies on full microarchitectural
+capture so forked and cold runs retire identical streams.
+"""
+
+import copy
+
+__all__ = ["CheckpointError", "MachineCheckpoint", "capture", "restore",
+           "warm"]
+
+
+class CheckpointError(RuntimeError):
+    """The machine is in a state the checkpoint layer cannot capture."""
+
+
+#: Per-component fields that are wiring or derived caches, not mutable
+#: machine state: left untouched by restore.
+_PIPELINE_SKIP = frozenset((
+    "memory", "hierarchy", "config", "rse", "check_injector", "mem_check",
+    "_predecode",
+))
+_ENGINE_SKIP = frozenset((
+    "memory", "hierarchy", "kernel", "queues", "ioq", "mau", "selfcheck",
+    "modules",
+))
+_MAU_SKIP = frozenset(("memory", "hierarchy"))
+_QUEUE_SKIP = frozenset(("name", "depth"))
+_SELFCHECK_SKIP = frozenset(("engine",))
+_MODULE_SKIP = frozenset(("engine", "name", "save_page_handler"))
+_KERNEL_SKIP = frozenset((
+    "pipeline", "memory", "rse", "config", "snapshot_provider",
+))
+
+
+class MachineCheckpoint:
+    """An immutable whole-machine snapshot (see module docstring)."""
+
+    __slots__ = ("cycle", "pages", "versions", "_state")
+
+    def __init__(self, cycle, pages, versions, state):
+        self.cycle = cycle          # pipeline cycle at capture
+        self.pages = pages          # page index -> bytes (materialised only)
+        self.versions = versions    # page index -> write version at capture
+        self._state = state         # per-component deep-copied field dicts
+
+    def __repr__(self):
+        return "MachineCheckpoint(cycle=%d, pages=%d)" % (
+            self.cycle, len(self.pages))
+
+
+#: class -> tuple of instance attribute names, learned from the first
+#: instance captured.  Reading ``obj.__dict__`` materialises a managed
+#: dict on the instance, and CPython (3.11+) then permanently drops the
+#: inline-values LOAD_ATTR fast path for that object — measured at ~20%
+#: on the whole-pipeline simulation rate.  Caching the names per class
+#: and walking them with ``getattr`` keeps every machine captured after
+#: the first one (and the first one too, if :func:`warm` ran) at full
+#: speed.  Safe because every captured class assigns all of its fields
+#: in ``__init__``; a field that appears only on later instances would
+#: be a bug this cache turns into a loud AttributeError on capture.
+_FIELD_NAMES = {}
+
+
+def _fields(obj, skip=frozenset()):
+    cls = type(obj)
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = _FIELD_NAMES[cls] = tuple(obj.__dict__)
+    return {name: getattr(obj, name) for name in names
+            if name not in skip}
+
+
+def _graft(obj, fields):
+    for key, value in fields.items():
+        setattr(obj, key, value)
+
+
+def _pins(machine):
+    """The identity-preserved singletons (deepcopy memo seeds)."""
+    pipeline = machine.pipeline
+    kernel = machine.kernel
+    pins = [machine, machine.memory, machine.hierarchy, pipeline, kernel,
+            pipeline.config, kernel.config]
+    if pipeline._predecode is not None:
+        pins.append(pipeline._predecode)
+    rse = machine.rse
+    if rse is not None:
+        pins.extend((rse, rse.mau, rse.ioq, rse.queues, rse.selfcheck))
+        pins.extend(rse.queues.all_queues())
+        pins.extend(rse.modules.values())
+    return pins
+
+
+def _pending_requests(mau):
+    pending = list(mau._queue)
+    if mau._active is not None:
+        pending.append(mau._active)
+    return pending
+
+
+def _collect(machine):
+    state = {
+        "pipeline": _fields(machine.pipeline, _PIPELINE_SKIP),
+        "hierarchy": _fields(machine.hierarchy),
+        "kernel": _fields(machine.kernel, _KERNEL_SKIP),
+    }
+    rse = machine.rse
+    if rse is not None:
+        state["rse"] = {
+            "engine": _fields(rse, _ENGINE_SKIP),
+            "mau": _fields(rse.mau, _MAU_SKIP),
+            "ioq": _fields(rse.ioq),
+            "selfcheck": _fields(rse.selfcheck, _SELFCHECK_SKIP),
+            "queues": {queue.name: _fields(queue, _QUEUE_SKIP)
+                       for queue in rse.queues.all_queues()},
+            "modules": {module_id: _fields(module, _MODULE_SKIP)
+                        for module_id, module in rse.modules.items()},
+        }
+    return state
+
+
+def warm(machine):
+    """Populate the field-name cache from a sacrificial *machine*.
+
+    The first capture of each class reads ``__dict__`` to learn the
+    field names, which permanently slows attribute access on that one
+    instance (see :data:`_FIELD_NAMES`).  Callers that keep a long-lived
+    trunk machine (the campaign fork engine) capture a same-shaped
+    throwaway machine first so the trunk never pays that cost.
+    """
+    capture(machine)
+
+
+def capture(machine):
+    """Snapshot *machine*; returns a :class:`MachineCheckpoint`."""
+    rse = machine.rse
+    if rse is not None:
+        holders = sorted({request.module_name
+                          for request in _pending_requests(rse.mau)
+                          if request.callback is not None})
+        if holders:
+            raise CheckpointError(
+                "pending MAU request(s) from %s carry Python callbacks; "
+                "only tag-based (module, tag) requests are checkpointable "
+                "— drain the MAU or convert the module to on_mau_complete"
+                % ", ".join(holders))
+    pages, versions = machine.memory.capture_state()
+    memo = {id(pin): pin for pin in _pins(machine)}
+    state = copy.deepcopy(_collect(machine), memo)
+    return MachineCheckpoint(machine.pipeline.cycle, pages, versions, state)
+
+
+def restore(machine, checkpoint):
+    """Rewind *machine* to *checkpoint* (reusable; returns *machine*)."""
+    machine.memory.restore_state(checkpoint.pages, checkpoint.versions)
+    # Re-copy the stored state with the same pins so the checkpoint
+    # survives this restore untouched and can be restored again.
+    memo = {id(pin): pin for pin in _pins(machine)}
+    state = copy.deepcopy(checkpoint._state, memo)
+    _graft(machine.pipeline, state["pipeline"])
+    _graft(machine.hierarchy, state["hierarchy"])
+    _graft(machine.kernel, state["kernel"])
+    rse = machine.rse
+    if rse is not None:
+        if "rse" not in state:
+            raise CheckpointError(
+                "checkpoint was captured without an RSE attached")
+        sub = state["rse"]
+        _graft(rse, sub["engine"])
+        _graft(rse.mau, sub["mau"])
+        _graft(rse.ioq, sub["ioq"])
+        _graft(rse.selfcheck, sub["selfcheck"])
+        for queue in rse.queues.all_queues():
+            _graft(queue, sub["queues"][queue.name])
+        for module_id, fields in sub["modules"].items():
+            _graft(rse.modules[module_id], fields)
+    return machine

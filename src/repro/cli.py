@@ -295,7 +295,7 @@ def _cmd_campaign(args):
                          args.model, args.injections))
             runs[protected] = run_campaign(side, workers=args.workers,
                                            chunk_size=args.chunk,
-                                           progress=progress)
+                                           progress=progress, fork=args.fork)
         if args.json:
             emit_json({"model": args.model, "seed": args.seed,
                        "compare": {
@@ -313,7 +313,8 @@ def _cmd_campaign(args):
               % (args.model, args.injections, args.workers,
                  "protected" if spec.protected else "unprotected"))
     run = run_campaign(spec, workers=args.workers, chunk_size=args.chunk,
-                       store_path=args.store, progress=progress)
+                       store_path=args.store, progress=progress,
+                       fork=args.fork)
     if args.json:
         summary = _campaign_summary(run.records)
         summary.update({"model": args.model, "seed": args.seed,
@@ -335,10 +336,12 @@ def _campaign_summary(records):
     from repro.campaign.report import (damage_count, detection_stats,
                                        outcome_counts)
 
-    detected, total, det_rate, (low, high) = detection_stats(records)
-    return {"runs": total, "outcomes": outcome_counts(records),
-            "detection": {"detected": detected, "rate": det_rate,
-                          "ci95": [low, high]},
+    detected, injected, det_rate, (low, high) = detection_stats(records)
+    counts = outcome_counts(records)
+    return {"runs": len(records), "outcomes": counts,
+            "detection": {"detected": detected, "injected": injected,
+                          "rate": det_rate, "ci95": [low, high]},
+            "not_triggered": counts["not_triggered"],
             "damaging_runs": damage_count(records)}
 
 
@@ -635,6 +638,16 @@ def main(argv=None):
     campaign_parser.add_argument("--store", default=None,
                                  help="JSONL result store; an existing "
                                       "store resumes the campaign")
+    campaign_parser.add_argument("--fork", dest="fork", action="store_true",
+                                 help="checkpoint each trigger prefix once "
+                                      "and restore-and-strike per injection "
+                                      "(identical records, less wall-clock; "
+                                      "reg-flip / mem-flip)")
+    campaign_parser.add_argument("--no-fork", dest="fork",
+                                 action="store_false",
+                                 help="always re-simulate the warmup prefix "
+                                      "(the default)")
+    campaign_parser.set_defaults(fork=False)
     campaign_parser.add_argument("--unprotected", action="store_true",
                                  help="run without the RSE/ICM (baseline)")
     campaign_parser.add_argument("--compare", action="store_true",

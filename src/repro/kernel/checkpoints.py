@@ -60,6 +60,16 @@ class CheckpointStore:
             self._evict_oldest()
         return snapshot
 
+    def save_from(self, memory, page, cycle, writer):
+        """Snapshot *page* straight out of *memory*.
+
+        Goes through :meth:`MainMemory.snapshot_page` — the same
+        copy-on-write primitive :mod:`repro.checkpoint` builds
+        whole-machine snapshots on — so saving a never-touched page
+        records zeros without materialising it.
+        """
+        return self.save(page, cycle, writer, memory.snapshot_page(page))
+
     def snapshot_count(self):
         return sum(len(snaps) for snaps in self._history.values())
 

@@ -436,8 +436,7 @@ class Kernel:
         long ("the process is suspended, and no subsequent stores can be
         executed until the entire memory page has been saved").
         """
-        data = self.memory.snapshot_page(page)
-        self.checkpoints.save(page, cycle, writer_tid, data)
+        self.checkpoints.save_from(self.memory, page, cycle, writer_tid)
         if self.config.checkpoint_gc_age is not None:
             self.checkpoints.garbage_collect(cycle)
         cost = self.config.savepage_cost

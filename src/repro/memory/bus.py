@@ -54,12 +54,26 @@ class MemoryBus:
     request issued in the same cycle queues behind the CPU's.
     """
 
+    FIELDS = ("timing", "busy_until", "cpu_transfers", "mau_transfers",
+              "mau_wait_cycles")
+
     def __init__(self, timing):
         self.timing = timing
         self.busy_until = 0
         self.cpu_transfers = 0
         self.mau_transfers = 0
         self.mau_wait_cycles = 0
+
+    def __deepcopy__(self, memo):
+        # ``timing`` is an immutable BusTiming shared by reference; the
+        # rest are ints.  getattr/setattr (never ``__dict__``) preserves
+        # the inline-values attribute fast path on the per-miss hot
+        # path for both the original and the checkpoint clone.
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        for name in self.FIELDS:
+            setattr(clone, name, getattr(self, name))
+        return clone
 
     def cpu_transfer(self, now, nbytes):
         """Start a pipeline-side transfer; returns its completion cycle."""

@@ -70,6 +70,30 @@ class Cache:
         self._sets = [dict() for __ in range(self.num_sets)]
         self.stats = CacheStats()
 
+    def __deepcopy__(self, memo):
+        """Hand-rolled clone: the generic machinery walks every resident
+        tag of every set, which makes checkpoint capture/restore
+        (:mod:`repro.checkpoint`) pay thousands of deepcopy dispatches
+        per cache.  Set contents are int->bool, so a plain dict copy per
+        set is already a deep copy.  Fields move via getattr/setattr —
+        touching ``__dict__`` would materialise it and cost the original
+        (and the clone) CPython's inline-values attribute fast path on
+        the per-access hot loop."""
+        cls = type(self)
+        names = cls.__dict__.get("_COPY_FIELDS")
+        if names is None:
+            names = cls._COPY_FIELDS = tuple(self.__dict__)
+        clone = object.__new__(cls)
+        memo[id(self)] = clone
+        for name in names:
+            setattr(clone, name, getattr(self, name))
+        clone._sets = [dict(block_set) for block_set in self._sets]
+        stats = CacheStats()
+        for field in CacheStats.__slots__:
+            setattr(stats, field, getattr(self.stats, field))
+        clone.stats = stats
+        return clone
+
     # ------------------------------------------------------------ access
 
     def access(self, addr, is_write=False):

@@ -62,8 +62,18 @@ class MainMemory:
         return sorted(self._pages)
 
     def snapshot_page(self, page_index):
-        """Return a copy of page *page_index* (materialising it if needed)."""
-        return bytes(self._page(page_index << PAGE_SHIFT))
+        """Return a copy of page *page_index* without materialising it.
+
+        A never-touched page reads as zeros, and snapshotting one must
+        not allocate it: a snapshot is an observation, and growing
+        ``_pages`` as a side effect would make ``page_numbers()`` (and
+        every consumer that iterates materialised pages, the checkpoint
+        layer included) depend on snapshot history.
+        """
+        page = self._pages.get(page_index)
+        if page is None:
+            return bytes(PAGE_SIZE)
+        return bytes(page)
 
     def restore_page(self, page_index, payload):
         """Overwrite page *page_index* with *payload* (must be PAGE_SIZE long)."""
@@ -72,6 +82,52 @@ class MainMemory:
         self._pages[page_index] = bytearray(payload)
         versions = self.write_versions
         versions[page_index] = versions.get(page_index, 0) + 1
+
+    # -------------------------------------------------- whole-memory capture
+
+    def capture_state(self):
+        """Snapshot every materialised page plus the version map.
+
+        Returns ``(pages, versions)`` where *pages* maps page index to
+        an immutable ``bytes`` copy and *versions* is a copy of
+        :attr:`write_versions`.  Never-touched pages are not captured —
+        they read as zeros before and after, which is the copy-on-write
+        half of the checkpoint layer: a checkpoint costs one page copy
+        per *materialised* page, not one per addressable page.
+        """
+        return ({index: bytes(page) for index, page in self._pages.items()},
+                dict(self.write_versions))
+
+    def restore_state(self, pages, versions):
+        """Rewind memory to a :meth:`capture_state` snapshot.
+
+        Version bookkeeping is what keeps cached derived views (the
+        predecode cache) correct across a rewind:
+
+        * a page whose version is unchanged since capture was never
+          written in the discarded timeline — its bytes are already
+          right, so it is left alone and cached views of it stay valid;
+        * a changed page gets the captured bytes back and a version
+          *strictly above* every version the discarded timeline used
+          (never the captured number again), so stale cached views can
+          never revalidate;
+        * a page materialised only after the capture is dropped, with
+          the same monotonic bump if it had been written.
+        """
+        live = self._pages
+        current = self.write_versions
+        for index in set(live) | set(pages):
+            captured_version = versions.get(index, 0)
+            current_version = current.get(index, 0)
+            payload = pages.get(index)
+            if payload is None:
+                # Materialised after the capture: forget it entirely.
+                del live[index]
+                if current_version:
+                    current[index] = current_version + 1
+            elif current_version != captured_version or index not in live:
+                live[index] = bytearray(payload)
+                current[index] = max(current_version, captured_version) + 1
 
     # ------------------------------------------------------------- bytes
 

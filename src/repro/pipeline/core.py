@@ -129,6 +129,16 @@ class PipelineStats:
         for name in self.FIELDS:
             setattr(self, name, 0)
 
+    def __deepcopy__(self, memo):
+        # Counters are ints; walking FIELDS with getattr/setattr keeps
+        # the original's (and clone's) inline-values attribute fast path
+        # intact — these counters are bumped every simulated cycle.
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        for name in self.FIELDS:
+            setattr(clone, name, getattr(self, name))
+        return clone
+
     def snapshot(self):
         doc = {name: getattr(self, name) for name in self.FIELDS}
         doc["ipc"] = self.ipc

@@ -24,6 +24,27 @@ class BranchPredictor:
         self.lookups = 0
         self.hits = 0
 
+    def __deepcopy__(self, memo):
+        """Flat-table clone.  Predictor state is lists of ints/None (and
+        scalar counters), so generic deepcopy's per-element dispatch is
+        pure overhead on the machine-checkpoint path — copy the lists
+        wholesale instead.  Field names are cached per class (subclasses
+        like gshare add their own) and moved via getattr/setattr:
+        touching ``__dict__`` would materialise it and cost the original
+        and the clone CPython's inline-values attribute fast path on the
+        per-prediction hot loop."""
+        cls = type(self)
+        names = cls.__dict__.get("_COPY_FIELDS")
+        if names is None:
+            names = cls._COPY_FIELDS = tuple(self.__dict__)
+        clone = object.__new__(cls)
+        memo[id(self)] = clone
+        for name in names:
+            value = getattr(self, name)
+            setattr(clone, name,
+                    list(value) if isinstance(value, list) else value)
+        return clone
+
     # --------------------------------------------------------------- predict
 
     def predict_direction(self, pc):

@@ -14,13 +14,26 @@ from collections import deque
 
 
 class MAURequest:
-    """One queued module request."""
+    """One queued module request.
+
+    Completion is delivered one of two ways:
+
+    * ``module``/``tag`` — the MAU calls ``module.on_mau_complete(request)``
+      with the finished request; *tag* is an opaque continuation token the
+      module stashed at submit time (an in-flight check, an IOQ entry).
+      This is the preferred form: the request is plain data, so a pending
+      request survives :meth:`Machine.checkpoint` / ``restore`` intact.
+    * ``callback`` — a bare Python callable, kept for ad-hoc consumers.
+      A closure captures live objects the checkpoint layer cannot see
+      through, so a machine with a pending callback request refuses to
+      checkpoint.
+    """
 
     __slots__ = ("module_name", "kind", "addr", "nbytes", "data", "callback",
-                 "done_cycle", "result")
+                 "module", "tag", "done_cycle", "result")
 
     def __init__(self, module_name, kind, addr, nbytes, data=None,
-                 callback=None):
+                 callback=None, module=None, tag=None):
         if kind not in ("load", "store"):
             raise ValueError("kind must be 'load' or 'store'")
         self.module_name = module_name
@@ -29,6 +42,8 @@ class MAURequest:
         self.nbytes = nbytes
         self.data = data              # payload for stores
         self.callback = callback      # called as callback(result_bytes|None)
+        self.module = module          # delivery target for tag-based requests
+        self.tag = tag                # opaque continuation token
         self.done_cycle = None
         self.result = None
 
@@ -47,18 +62,25 @@ class MemoryAccessUnit:
 
     # ---------------------------------------------------------------- submit
 
-    def load(self, module_name, addr, nbytes, callback):
-        """Queue a load of *nbytes* from *addr*; *callback(bytes)* on completion."""
+    def load(self, module_name, addr, nbytes, callback=None,
+             module=None, tag=None):
+        """Queue a load of *nbytes* from *addr*.
+
+        Completion either calls *callback(bytes)* or, for checkpointable
+        tag-based requests, ``module.on_mau_complete(request)``.
+        """
         request = MAURequest(module_name, "load", addr, nbytes,
-                             callback=callback)
+                             callback=callback, module=module, tag=tag)
         self._queue.append(request)
         self.requests_total += 1
         return request
 
-    def store(self, module_name, addr, data, callback=None):
-        """Queue a store of *data* to *addr*; *callback(None)* on completion."""
+    def store(self, module_name, addr, data, callback=None,
+              module=None, tag=None):
+        """Queue a store of *data* to *addr* (completion as for :meth:`load`)."""
         request = MAURequest(module_name, "store", addr, len(data),
-                             data=bytes(data), callback=callback)
+                             data=bytes(data), callback=callback,
+                             module=module, tag=tag)
         self._queue.append(request)
         self.requests_total += 1
         return request
@@ -82,6 +104,8 @@ class MemoryAccessUnit:
             self._active = None
             if active.callback is not None:
                 active.callback(active.result)
+            elif active.module is not None:
+                active.module.on_mau_complete(active)
         if self._active is None and self._queue:
             request = self._queue.popleft()
             request.done_cycle = self.hierarchy.mau_access(cycle,

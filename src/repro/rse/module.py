@@ -90,6 +90,15 @@ class RSEModule:
     def step(self, cycle):
         """Advance module-internal state one machine cycle."""
 
+    def on_mau_complete(self, request):
+        """A tag-based MAU request submitted by this module finished.
+
+        *request* is the :class:`~repro.rse.mau.MAURequest`; its ``tag``
+        is whatever continuation token the module attached at submit
+        time and ``result`` holds the loaded bytes (loads only).  The
+        default is a no-op so fire-and-forget stores need no handler.
+        """
+
     # ---------------------------------------------------------------- stats
 
     def snapshot(self):

@@ -193,6 +193,11 @@ class DDT(RSEModule):
             consumers = self.ddm.get(producer, set())
             for consumer in tids:
                 blob.append(1 if consumer in consumers else 0)
-        self.engine.mau.store(
-            self.name, dest, bytes(blob),
-            lambda __: self.finish_check(entry, False, self.engine.cycle))
+        # Tag-based completion (no closure) so a pending dump survives a
+        # machine checkpoint/restore.
+        self.engine.mau.store(self.name, dest, bytes(blob),
+                              module=self, tag=entry)
+
+    def on_mau_complete(self, request):
+        """The serialised DDM reached memory: release the waiting CHECK."""
+        self.finish_check(request.tag, False, self.engine.cycle)

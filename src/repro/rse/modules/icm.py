@@ -202,22 +202,30 @@ class ICM(RSEModule):
         self._inflight.append(check)
 
     def _request_fill(self, check, cycle):
-        """ICM_MEMREQ: fetch a replacement group through the MAU."""
+        """ICM_MEMREQ: fetch a replacement group through the MAU.
+
+        The request carries the in-flight check as its *tag* (no closure)
+        so a machine checkpointed mid-miss restores with the fill still
+        pending and deliverable.
+        """
         group_bytes = self.replacement_group * 4
         group_base = check.checker_addr - (check.checker_addr % group_bytes)
+        self.engine.mau.load(self.name, group_base, group_bytes,
+                             module=self, tag=check)
 
-        def arrived(data, check=check, group_base=group_base):
-            # Install the whole group (contiguous checked instructions).
-            for index in range(self.replacement_group):
-                addr = group_base + index * 4
-                word = int.from_bytes(data[index * 4:index * 4 + 4], "little")
-                self._cache.pop(addr, None)
-                self._cache[addr] = word
-            self._evict_to_capacity()
-            check.redundant_word = self._cache[check.checker_addr]
-            check.due_cycle = self.engine.cycle + COMPARE_CYCLES
-
-        self.engine.mau.load(self.name, group_base, group_bytes, arrived)
+    def on_mau_complete(self, request):
+        """A replacement group arrived: install it and start the compare."""
+        check = request.tag
+        data = request.result
+        # Install the whole group (contiguous checked instructions).
+        for index in range(self.replacement_group):
+            addr = request.addr + index * 4
+            word = int.from_bytes(data[index * 4:index * 4 + 4], "little")
+            self._cache.pop(addr, None)
+            self._cache[addr] = word
+        self._evict_to_capacity()
+        check.redundant_word = self._cache[check.checker_addr]
+        check.due_cycle = self.engine.cycle + COMPARE_CYCLES
 
     def _evict_to_capacity(self):
         """Drop least-recently-used entries, a replacement group at a time."""

@@ -72,6 +72,16 @@ class Machine:
     def module(self, module_id):
         return self.rse.modules[module_id] if self.rse else None
 
+    def checkpoint(self):
+        """Snapshot the whole machine (see :mod:`repro.checkpoint`)."""
+        from repro.checkpoint import capture
+        return capture(self)
+
+    def restore(self, checkpoint):
+        """Rewind this machine to *checkpoint*; reusable, returns self."""
+        from repro.checkpoint import restore
+        return restore(self, checkpoint)
+
     def enable_ddt_recovery(self):
         """Attach the recovery manager (requires an attached DDT module)."""
         ddt = self.rse.modules[MODULE_DDT]

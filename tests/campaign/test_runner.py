@@ -163,6 +163,117 @@ def test_replay_validates_id():
         replay(spec_for(injections=4), 4)
 
 
+# -------------------------------------------------------- not-triggered
+
+class _LateTrigger:
+    """Test-only model: arms a trigger *extra* cycles past the golden end.
+
+    With ``extra`` small the workload halts before the trigger (fire()
+    never runs); with ``extra`` huge the trigger falls outside the cycle
+    budget and the run is skipped outright.  Either way the record must
+    come back NOT_TRIGGERED and stay out of the detection denominator.
+    """
+
+    name = "test-late-trigger"
+    arm_is_pure = True
+
+    def __init__(self, extra=100):
+        self.extra = int(extra)
+
+    def build_space(self, ctx):
+        return {"trigger": ctx.golden_cycles + self.extra}
+
+    def sample(self, rng, space):
+        rng.random()                      # keep the per-injection draw
+        return {"cycle": space["trigger"]}
+
+    def arm(self, machine, ctx, params):
+        return params["cycle"]
+
+    def fire(self, machine, ctx, params):
+        machine.pipeline.regs[9] ^= 1     # must never run in these tests
+
+
+@pytest.fixture
+def late_trigger_model():
+    from repro.campaign.models import MODELS
+
+    MODELS[_LateTrigger.name] = _LateTrigger
+    yield
+    MODELS.pop(_LateTrigger.name, None)
+
+
+def test_early_halt_reports_not_triggered(late_trigger_model):
+    """Regression: a run that halts before the armed trigger is
+    NOT_TRIGGERED (event records the halt), never BENIGN/CORRUPTED."""
+    spec = spec_for(model="test-late-trigger", injections=6,
+                    model_options={"extra": 100})
+    run = run_campaign(spec)
+    assert len(run.records) == 6
+    for record in run.records:
+        assert record["outcome"] == Outcome.NOT_TRIGGERED.value
+        assert record["event"] == "halt"
+        assert record["cycles"] > 0
+    assert run.injected_runs == 0
+    assert run.detection_rate == 0.0
+
+
+def test_out_of_budget_trigger_reports_not_triggered(late_trigger_model):
+    """Regression: a trigger past max_cycles must be skipped, not clamped
+    into the budget (clamping used to fire the fault at a cycle the model
+    never sampled)."""
+    spec = spec_for(model="test-late-trigger", injections=4,
+                    model_options={"extra": 10**9})
+    run = run_campaign(spec)
+    for record in run.records:
+        assert record["outcome"] == Outcome.NOT_TRIGGERED.value
+        assert record["event"] == "skipped"
+        assert record["cycles"] == 0
+
+
+def test_not_triggered_excluded_from_detection_rate():
+    from repro.campaign.report import detection_stats
+
+    records = [{"id": 0, "outcome": "detected"},
+               {"id": 1, "outcome": "detected"},
+               {"id": 2, "outcome": "not_triggered"},
+               {"id": 3, "outcome": "not_triggered"}]
+    detected, total, det_rate, __ = detection_stats(records)
+    assert total == 2
+    assert detected == 2
+    assert det_rate == 1.0
+
+    from repro.campaign.runner import CampaignRun
+    synthetic = CampaignRun(spec_for(), records)
+    assert synthetic.injected_runs == 2
+    assert synthetic.detection_rate == 1.0
+
+
+# ----------------------------------------------------------------- fork
+
+def test_fork_records_match_cold_serial():
+    """--fork is an execution detail: byte-identical records."""
+    spec = spec_for(model="reg-flip", injections=12, max_cycles=10_000)
+    cold = run_campaign(spec, fork=False)
+    forked = run_campaign(spec, fork=True)
+    assert cold.records == forked.records
+
+
+def test_fork_parallel_matches_cold(tmp_path):
+    spec = spec_for(model="mem-flip", source=DEMO_WORKLOAD, protected=False,
+                    injections=10, seed=11, max_cycles=20_000)
+    cold = run_campaign(spec, workers=1, fork=False)
+    forked = run_campaign(spec, workers=2, chunk_size=3, fork=True)
+    assert cold.records == forked.records
+
+
+def test_fork_flag_is_safe_for_impure_models():
+    """instr-flip arms by rewriting memory; fork silently stays cold."""
+    spec = spec_for(injections=6)
+    assert run_campaign(spec, fork=True).records == \
+        run_campaign(spec, fork=False).records
+
+
 # ---------------------------------------------------------------- shim
 
 def test_faults_shim_on_new_engine():

@@ -114,3 +114,43 @@ def test_cstring_respects_limit_without_nul():
     mem = MainMemory()
     mem.store_bytes(0x700, b"A" * 64)
     assert mem.load_cstring(0x700, limit=16) == "A" * 16
+
+
+def test_snapshot_page_does_not_materialise_untouched_pages():
+    """Regression: snapshotting a never-written page must not allocate it."""
+    mem = MainMemory()
+    mem.store_word(0x1000, 7)
+    before = mem.page_numbers()
+    snap = mem.snapshot_page(0x9000 >> 12)
+    assert snap == bytes(PAGE_SIZE)
+    assert mem.page_numbers() == before
+    assert (0x9000 >> 12) not in mem.write_versions
+
+
+def test_capture_state_round_trip():
+    mem = MainMemory()
+    mem.store_word(0x1000, 0xAAAA)
+    mem.store_word(0x5000, 0xBBBB)
+    pages, versions = mem.capture_state()
+    mem.store_word(0x1000, 1)            # dirty a captured page
+    mem.store_word(0x9000, 2)            # materialise a new page
+    mem.restore_state(pages, versions)
+    assert (0x9000 >> 12) not in mem.page_numbers()   # dropped by restore
+    assert mem.load_word(0x1000) == 0xAAAA
+    assert mem.load_word(0x5000) == 0xBBBB
+    assert mem.load_word(0x9000) == 0
+
+
+def test_restore_state_bumps_versions_only_for_changed_pages():
+    mem = MainMemory()
+    mem.store_word(0x1000, 1)
+    mem.store_word(0x2000, 2)
+    pages, versions = mem.capture_state()
+    untouched_before = mem.write_versions[0x2000 >> 12]
+    mem.store_word(0x1000, 3)
+    dirtied_before = mem.write_versions[0x1000 >> 12]
+    mem.restore_state(pages, versions)
+    # The rewound page gets a fresh, strictly larger version; the page
+    # that never diverged keeps both its bytes and its version.
+    assert mem.write_versions[0x1000 >> 12] > dirtied_before
+    assert mem.write_versions[0x2000 >> 12] == untouched_before
