@@ -1,0 +1,111 @@
+"""AssertionMonitor: per-run host for property checkers.
+
+One monitor watches one engine run.  Adapters translate engine
+internals into the neutral event vocabulary and feed
+``monitor.handlers(event)``; checkers call back into
+``monitor.violation`` which records a bounded list of
+:class:`Violation` records, bumps per-property counters and mirrors
+them into a metrics registry (``assertions.<property-id>``) when one
+is supplied.
+"""
+
+from repro.assertions.properties import select
+
+#: events a checker may subscribe to via an ``on_<event>`` method.
+EVENTS = ("retire", "store", "jump", "forward", "redirect", "ioq_alloc",
+          "ioq_gate", "checkpoint", "restore", "finish")
+
+DEFAULT_VIOLATION_LIMIT = 100
+
+
+class Violation:
+    """One assertion firing: what, where, when, on which engine."""
+
+    __slots__ = ("property_id", "engine", "pc", "cycle", "detail",
+                 "operands")
+
+    def __init__(self, property_id, engine, pc, cycle, detail, operands):
+        self.property_id = property_id
+        self.engine = engine
+        self.pc = pc
+        self.cycle = cycle
+        self.detail = detail
+        self.operands = operands
+
+    def to_dict(self):
+        return {
+            "property": self.property_id,
+            "engine": self.engine,
+            "pc": self.pc,
+            "cycle": self.cycle,
+            "detail": self.detail,
+            "operands": self.operands,
+        }
+
+    def __repr__(self):
+        where = "" if self.pc is None else " pc=0x%08x" % self.pc
+        return "<Violation %s engine=%s%s %s>" % (
+            self.property_id, self.engine, where, self.detail)
+
+
+class AssertionMonitor:
+    """Hosts one checker instance per property supported by *engine*."""
+
+    def __init__(self, engine, properties=None, metrics=None,
+                 violation_limit=DEFAULT_VIOLATION_LIMIT):
+        self.engine = engine
+        self.metrics = metrics
+        self.violation_limit = violation_limit
+        self.violations = []
+        self.counts = {}
+        self.clock = None          # adapters point this at cycle/instret
+        self.checkers = [cls(self) for cls in select(engine, properties)]
+        self._handlers = {}
+        for event in EVENTS:
+            bound = tuple(getattr(checker, "on_" + event)
+                          for checker in self.checkers
+                          if hasattr(checker, "on_" + event))
+            if bound:
+                self._handlers[event] = bound
+        self._finished = False
+
+    @property
+    def property_ids(self):
+        return [checker.id for checker in self.checkers]
+
+    def handlers(self, event):
+        """Handler tuple for *event* (empty when no checker subscribes)."""
+        return self._handlers.get(event, ())
+
+    def violation(self, property_id, detail, pc=None, operands=None):
+        self.counts[property_id] = self.counts.get(property_id, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter("assertions." + property_id).inc()
+        if len(self.violations) < self.violation_limit:
+            cycle = self.clock() if self.clock is not None else None
+            self.violations.append(Violation(
+                property_id, self.engine, pc, cycle, detail,
+                dict(operands) if operands else {}))
+
+    def violation_count(self):
+        return sum(self.counts.values())
+
+    def finish(self, memory):
+        """Run end-of-monitoring sweeps (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        for handler in self.handlers("finish"):
+            handler(memory)
+
+    def violated_properties(self):
+        """Set of property ids that fired at least once."""
+        return {pid for pid, count in self.counts.items() if count}
+
+    def snapshot(self):
+        return {
+            "engine": self.engine,
+            "properties": self.property_ids,
+            "counts": dict(self.counts),
+            "violations": [v.to_dict() for v in self.violations],
+        }

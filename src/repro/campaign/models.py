@@ -31,6 +31,7 @@ class Outcome(enum.Enum):
     """What one injected run did."""
 
     DETECTED = "detected"        # RSE CHECK_ERROR before any damage
+    ASSERTION = "assertion"      # invariant suite flagged the corruption
     FAULTED = "faulted"          # architectural fault surfaced instead
     CORRUPTED = "corrupted"      # ran to completion with wrong results
     BENIGN = "benign"            # ran to completion, results intact

@@ -56,6 +56,11 @@ def format_campaign_report(records, title="Fault-injection campaign"):
                  "(95%% Wilson CI: %.1f%% - %.1f%%)"
                  % (detected, n, 100 * det_rate, 100 * low, 100 * high))
     lines.append("damaging runs:  %d/%d" % (damage_count(records), n))
+    flagged = counts[Outcome.ASSERTION.value]
+    if flagged:
+        lines.append("assertion-flagged: %d run(s) caught by the "
+                     "invariant suite (separate channel, not in the "
+                     "module detection rate)" % flagged)
     skipped = counts[Outcome.NOT_TRIGGERED.value]
     if skipped:
         lines.append("not triggered:  %d run(s), excluded from the "

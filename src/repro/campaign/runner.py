@@ -89,7 +89,7 @@ class CampaignSpec:
 
     def __init__(self, source, model="instr-flip", model_options=None,
                  protected=True, injections=50, seed=99,
-                 max_cycles=500_000, result_regs=(16,)):
+                 max_cycles=500_000, result_regs=(16,), assertions=False):
         self.source = source
         self.model = model
         self.model_options = dict(model_options or {})
@@ -98,13 +98,21 @@ class CampaignSpec:
         self.seed = seed
         self.max_cycles = max_cycles
         self.result_regs = tuple(result_regs)
+        self.assertions = assertions
 
     def to_dict(self):
-        return {"source": self.source, "model": self.model,
-                "model_options": self.model_options,
-                "protected": self.protected, "injections": self.injections,
-                "seed": self.seed, "max_cycles": self.max_cycles,
-                "result_regs": list(self.result_regs)}
+        doc = {"source": self.source, "model": self.model,
+               "model_options": self.model_options,
+               "protected": self.protected, "injections": self.injections,
+               "seed": self.seed, "max_cycles": self.max_cycles,
+               "result_regs": list(self.result_regs)}
+        if self.assertions:
+            # Only serialized when on: monitoring changes classification
+            # (the ASSERTION outcome), so it belongs in the fingerprint,
+            # but omitting the key when off keeps every pre-existing
+            # store's fingerprint valid.
+            doc["assertions"] = True
+        return doc
 
     @classmethod
     def from_dict(cls, payload):
@@ -113,7 +121,8 @@ class CampaignSpec:
                    protected=payload["protected"],
                    injections=payload["injections"], seed=payload["seed"],
                    max_cycles=payload["max_cycles"],
-                   result_regs=tuple(payload.get("result_regs") or (16,)))
+                   result_regs=tuple(payload.get("result_regs") or (16,)),
+                   assertions=payload.get("assertions", False))
 
     def fingerprint(self):
         canonical = json.dumps(self.to_dict(), sort_keys=True)
@@ -174,7 +183,7 @@ class CampaignContext:
         return golden, machine.pipeline.cycle
 
 
-def build_campaign_machine(asm, protected):
+def build_campaign_machine(asm, protected, assertions=False):
     """Fresh machine loaded with the (pre-assembled) workload image."""
     machine = build_machine(with_rse=protected,
                             modules=("icm",) if protected else ())
@@ -190,13 +199,25 @@ def build_campaign_machine(asm, protected):
         machine.pipeline.check_injector = make_icm_injector(checker_map)
     machine.pipeline.reset_at(asm.entry)
     machine.pipeline.regs[29] = STACK_TOP
+    if assertions:
+        machine.assertions.attach()
     return machine, checker_map
 
 
 def classify(machine, ctx, event):
-    """Map how the run ended to an :class:`Outcome`."""
+    """Map how the run ended to an :class:`Outcome`.
+
+    Module detection (CHECK_ERROR) outranks the assertion channel: the
+    paper's modules are the mechanism under evaluation, the invariant
+    suite is the harness watching the machine itself.  A run that
+    neither module caught but that broke a microarchitectural invariant
+    classifies ASSERTION regardless of how it ended — the violation is
+    the earliest, most localised evidence of the corruption.
+    """
     if event.kind is EventKind.CHECK_ERROR:
         return Outcome.DETECTED
+    if machine.assertions.violation_count():
+        return Outcome.ASSERTION
     if event.kind is EventKind.FAULT:
         return Outcome.FAULTED
     if event.kind is EventKind.MAX_CYCLES:
@@ -211,7 +232,8 @@ def classify(machine, ctx, event):
 def execute_injection(ctx, injection):
     """Run one injection on a fresh machine; returns its record dict."""
     try:
-        machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
+                                             assertions=ctx.spec.assertions)
         budget = ctx.spec.max_cycles
         trigger = ctx.model.arm(machine, ctx, injection.params)
         if trigger:
@@ -234,10 +256,13 @@ def execute_injection(ctx, injection):
         else:
             event = machine.pipeline.run(max_cycles=budget)
         outcome = classify(machine, ctx, event)
-        return {"id": injection.id, "model": injection.model,
-                "seed": injection.seed, "params": injection.params,
-                "outcome": outcome.value, "event": event.kind.value,
-                "pc": event.pc, "cycles": machine.pipeline.cycle}
+        record = {"id": injection.id, "model": injection.model,
+                  "seed": injection.seed, "params": injection.params,
+                  "outcome": outcome.value, "event": event.kind.value,
+                  "pc": event.pc, "cycles": machine.pipeline.cycle}
+        if ctx.spec.assertions:
+            record["assertions"] = machine.assertions.violation_count()
+        return record
     except Exception as exc:                         # crash-isolate the run
         return crashed_record(injection, repr(exc))
 
@@ -512,7 +537,10 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
         if progress is not None:
             progress(len(records), total)
 
-    use_fork = fork and ctx.model.arm_is_pure
+    # Fork mode reuses one trunk machine across injections; an attached
+    # monitor would carry one strike's violations into the next run's
+    # classification, so monitored campaigns always take the cold path.
+    use_fork = fork and ctx.model.arm_is_pure and not spec.assertions
     try:
         if workers <= 1:
             if use_fork and todo:

@@ -22,6 +22,11 @@ Commands
     ``Machine.snapshot()`` JSON document (``repro run --stats-json``)
     or a campaign JSONL store.
 
+``assertions list``
+    Print the portable invariant catalog (:mod:`repro.assertions`);
+    ``--assert`` on ``run``, ``difftest`` and ``campaign`` runs the
+    same properties live against the chosen engine(s).
+
 ``info``
     Print the simulated machine configuration and the Section 3.1
     hardware-cost estimates.
@@ -108,23 +113,38 @@ def _cmd_run(args):
         memory.store_bytes(asm.text_base, asm.text)
         memory.store_bytes(asm.data_base, asm.data)
         sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000)
+        adapter = None
+        if args.with_assertions:
+            from repro.assertions import attach_funcsim
+
+            adapter = attach_funcsim(sim)
         result = sim.run(max_steps=args.max_cycles)
+        violations = []
+        if adapter is not None:
+            adapter.detach()          # runs the end-of-run sweeps
+            violations = adapter.monitor.violations
         if args.json:
-            emit_json({"mode": "functional", "result": result.value,
+            payload = {"mode": "functional", "result": result.value,
                        "instret": sim.instret,
                        "fault": ("pc=0x%08x %s" % sim.fault
-                                 if sim.fault else None)})
-            return 0
+                                 if sim.fault else None)}
+            if args.with_assertions:
+                payload["assertions"] = adapter.monitor.snapshot()
+            emit_json(payload)
+            return 1 if violations else 0
         print("functional run: %s after %d instructions"
               % (result.value, sim.instret))
         if sim.fault:
             print("fault: pc=0x%08x %s" % sim.fault)
-        return 0
+        _print_violations(violations, args.with_assertions)
+        return 1 if violations else 0
 
     machine = build_machine(with_rse=args.icm,
                             modules=("icm",) if args.icm else ())
     image, asm = build_workload_image(source, MemoryLayout())
     machine.kernel.load_process(image)
+    if args.with_assertions:
+        machine.assertions.attach()
     if args.icm:
         icm = machine.module(MODULE_ICM)
         text = image.segment(".text")
@@ -135,14 +155,23 @@ def _cmd_run(args):
         machine.pipeline.check_injector = make_icm_injector(checker_map)
     result = machine.kernel.run(max_cycles=args.max_cycles)
     snapshot = result.snapshot
+    violations = []
+    if args.with_assertions:
+        machine.assertions.detach()       # runs the end-of-run sweeps
+        violations = machine.assertions.violations()
     if args.stats_json:
         with open(args.stats_json, "w") as handle:
             emit_json(snapshot, stream=handle)
     if args.json:
-        emit_json({"mode": "machine", "reason": result.reason,
+        payload = {"mode": "machine", "reason": result.reason,
                    "cycles": result.cycles,
                    "output": [value for __, value in machine.kernel.output],
-                   "snapshot": snapshot})
+                   "snapshot": snapshot}
+        if args.with_assertions:
+            payload["assertions"] = machine.assertions.snapshot()
+        emit_json(payload)
+        if violations:
+            return 1
         return 0 if result.reason in ("halt", "all_exited") else 1
     pipeline = snapshot["pipeline"]
     print("run ended: %s" % result.reason)
@@ -163,7 +192,25 @@ def _cmd_run(args):
                  100 * icm.cache_hit_rate))
     if args.stats_json:
         print("snapshot written to %s" % args.stats_json)
+    _print_violations(violations, args.with_assertions)
+    if violations:
+        return 1
     return 0 if result.reason in ("halt", "all_exited") else 1
+
+
+def _print_violations(violations, watched):
+    """Human-readable assertion summary for ``repro run --assert``."""
+    if not watched:
+        return
+    if not violations:
+        print("assertions: all properties held")
+        return
+    print("assertions: %d VIOLATION(S):" % len(violations))
+    for violation in violations:
+        where = ("" if violation.pc is None
+                 else " pc=0x%08x" % violation.pc)
+        print("  [%s]%s %s" % (violation.property_id, where,
+                               violation.detail))
 
 
 def _cmd_experiment(args):
@@ -255,7 +302,8 @@ def _cmd_campaign(args):
                         model_options=model_options,
                         protected=not args.unprotected,
                         injections=args.injections, seed=args.seed,
-                        max_cycles=args.max_cycles)
+                        max_cycles=args.max_cycles,
+                        assertions=args.with_assertions)
 
     if args.replay is not None:
         stored = None
@@ -288,7 +336,8 @@ def _cmd_campaign(args):
                                 model_options=model_options,
                                 protected=protected,
                                 injections=args.injections, seed=args.seed,
-                                max_cycles=args.max_cycles)
+                                max_cycles=args.max_cycles,
+                                assertions=args.with_assertions)
             if not args.json:
                 print("%s campaign (%s, %d injections):"
                       % ("protected" if protected else "unprotected",
@@ -368,7 +417,8 @@ def _cmd_difftest(args):
     report = fuzz(seed=args.seed, count=args.count, mode=args.mode,
                   shrink_diverging=not args.no_shrink,
                   corpus_dir=args.corpus, store=args.store,
-                  progress=progress, **kwargs)
+                  progress=progress, assertions=args.with_assertions,
+                  **kwargs)
     payload = report.to_dict()
     if args.out:
         with open(args.out, "w") as handle:
@@ -379,21 +429,51 @@ def _cmd_difftest(args):
     print("difftest: seed=%d mode=%s  %d programs executed"
           % (report.seed, report.mode, report.executed)
           + (", %d resumed from store" % report.resumed
-             if report.resumed else ""))
+             if report.resumed else "")
+          + (", assertions on" if args.with_assertions else ""))
     if report.limited:
         print("  %d programs hit the step limit on every engine"
               % report.limited)
     if report.ok:
         print("  no divergences: interp, predecode and pipeline agree")
+        if args.with_assertions:
+            print("  no assertion violations on any engine")
         return 0
-    print("  %d DIVERGENCES:" % len(report.divergences))
-    for entry in report.divergences:
-        print("  program %d (seed %d):" % (entry["index"], entry["seed"]))
-        divergence = entry["divergence"]
-        print("    [%s] %s" % (divergence["kind"], divergence["detail"]))
-        if entry.get("corpus_file"):
-            print("    shrunk repro: %s" % entry["corpus_file"])
+    if report.divergences:
+        print("  %d DIVERGENCES:" % len(report.divergences))
+        for entry in report.divergences:
+            print("  program %d (seed %d):"
+                  % (entry["index"], entry["seed"]))
+            divergence = entry["divergence"]
+            print("    [%s] %s" % (divergence["kind"], divergence["detail"]))
+            if entry.get("corpus_file"):
+                print("    shrunk repro: %s" % entry["corpus_file"])
+    for entry in report.violations:
+        print("  program %d (seed %d): symmetric assertion violations:"
+              % (entry["index"], entry["seed"]))
+        for engine, records in sorted(entry["violations"].items()):
+            for record in records:
+                print("    [%s] %s: %s" % (record["property"], engine,
+                                           record["detail"]))
     return 1
+
+
+def _cmd_assertions(args):
+    """List the portable invariant catalog."""
+    from repro.assertions import catalog
+
+    entries = catalog()
+    if args.json:
+        emit_json({"properties": [
+            {"id": pid, "description": description, "engines": list(engines)}
+            for pid, description, engines in entries]})
+        return 0
+    rows = [[pid, ", ".join(engines), description]
+            for pid, description, engines in entries]
+    print(format_table(["Property", "Engines", "Invariant"], rows,
+                       title="Assertion catalog (%d properties)"
+                             % len(entries)))
+    return 0
 
 
 def _cmd_report(args):
@@ -594,6 +674,20 @@ def main(argv=None):
         subparser.add_argument("--json", action="store_true",
                                help="emit machine-readable JSON on stdout")
 
+    def add_assert_flags(subparser):
+        # dest is explicit: "assert" is a Python keyword, so the default
+        # attribute name argparse would derive is unusable.
+        subparser.add_argument("--assert", dest="with_assertions",
+                               action="store_true",
+                               help="run under the microarchitectural "
+                                    "invariant suite (violations fail "
+                                    "the run)")
+        subparser.add_argument("--no-assert", dest="with_assertions",
+                               action="store_false",
+                               help="disable the invariant suite "
+                                    "(the default)")
+        subparser.set_defaults(with_assertions=False)
+
     run_parser = sub.add_parser("run", help="assemble and run a program")
     run_parser.add_argument("file")
     run_parser.add_argument("--func", action="store_true",
@@ -604,6 +698,7 @@ def main(argv=None):
     run_parser.add_argument("--stats-json", default=None, metavar="PATH",
                             help="write the Machine.snapshot() document "
                                  "to PATH")
+    add_assert_flags(run_parser)
     add_json_flag(run_parser)
     run_parser.set_defaults(func_impl=_cmd_run)
 
@@ -656,6 +751,7 @@ def main(argv=None):
     campaign_parser.add_argument("--replay", type=int, default=None,
                                  metavar="ID",
                                  help="re-execute one injection by id")
+    add_assert_flags(campaign_parser)
     add_json_flag(campaign_parser)
     campaign_parser.set_defaults(func_impl=_cmd_campaign)
 
@@ -681,8 +777,19 @@ def main(argv=None):
                                       "minimizing them")
     difftest_parser.add_argument("--out", default=None, metavar="PATH",
                                  help="also write the JSON report to PATH")
+    add_assert_flags(difftest_parser)
     add_json_flag(difftest_parser)
     difftest_parser.set_defaults(func_impl=_cmd_difftest)
+
+    assertions_parser = sub.add_parser(
+        "assertions", help="the portable microarchitectural invariant "
+                           "catalog")
+    assertions_parser.add_argument(
+        "action", choices=["list"],
+        help="list: show every property, its invariant and the engines "
+             "it runs on")
+    add_json_flag(assertions_parser)
+    assertions_parser.set_defaults(func_impl=_cmd_assertions)
 
     attack_parser = sub.add_parser("attack", help="run an exploit demo")
     attack_parser.add_argument("kind", choices=["stack", "got"])

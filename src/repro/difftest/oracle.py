@@ -10,6 +10,13 @@ The three engines are:
 
 Comparison points, in order of diagnostic value:
 
+0. with ``assertions=True``, the set of invariant properties that
+   fired (:mod:`repro.assertions`): an assertion firing on one engine
+   but not another is itself a divergence — compared first because a
+   property violation localises a bug far better than the downstream
+   state drift it causes.  Only properties both engines support are
+   compared; symmetric firings are not a divergence but still surface
+   through ``OracleResult.violations``,
 1. the retired-instruction pc stream (first mismatching index),
 2. stop state: halt vs fault vs step/cycle limit, and for faults the
    faulting pc plus a normalised cause class (the engines word their
@@ -24,6 +31,8 @@ window around the offending pc, rendered from the reference engine's
 memory so self-modifying programs show what was actually executed.
 """
 
+from repro.assertions import attach_funcsim, attach_pipeline
+from repro.assertions.properties import shared_properties
 from repro.funcsim import FuncSim, StepResult
 from repro.isa.assembler import assemble
 from repro.isa.disasm import disassemble_segment
@@ -85,10 +94,10 @@ class EngineRun:
     """Outcome of one engine executing one program."""
 
     __slots__ = ("engine", "stream", "regs", "instret", "stop",
-                 "fault_pc", "fault_cause", "memory")
+                 "fault_pc", "fault_cause", "memory", "violations")
 
     def __init__(self, engine, stream, regs, instret, stop,
-                 fault_pc, fault_cause, memory):
+                 fault_pc, fault_cause, memory, violations=None):
         self.engine = engine
         self.stream = stream            # retired pcs, in order
         self.regs = regs                # final r0..r31
@@ -97,6 +106,13 @@ class EngineRun:
         self.fault_pc = fault_pc
         self.fault_cause = fault_cause  # normalised class, None unless fault
         self.memory = memory
+        self.violations = violations    # Violation list, None if not watched
+
+    def violated(self):
+        """Property ids that fired on this run (empty when unwatched)."""
+        if not self.violations:
+            return set()
+        return {violation.property_id for violation in self.violations}
 
 
 def classify_cause(cause):
@@ -159,6 +175,15 @@ class OracleResult:
     def ok(self):
         return self.divergence is None
 
+    @property
+    def violations(self):
+        """engine name -> violation dicts, for engines that fired any."""
+        doc = {}
+        for name, run in self.runs.items():
+            if run.violations:
+                doc[name] = [v.to_dict() for v in run.violations]
+        return doc
+
 
 # ------------------------------------------------------------------- running
 
@@ -169,10 +194,11 @@ def _fresh_memory(asm):
     return mem
 
 
-def _run_funcsim(engine, asm, max_steps):
+def _run_funcsim(engine, asm, max_steps, assertions=False):
     mem = _fresh_memory(asm)
     sim = FuncSim(mem, entry=asm.entry, sp=STACK_TOP,
                   predecode_enabled=(engine == "predecode"))
+    adapter = attach_funcsim(sim) if assertions else None
     stream = []
     stop = "limit"
     for __ in range(max_steps):
@@ -189,19 +215,29 @@ def _run_funcsim(engine, asm, max_steps):
         else:          # syscall: the generator never emits one
             stop = "syscall"
         break
+    violations = None
+    if adapter is not None:
+        adapter.detach()          # runs the end-of-run sweeps
+        violations = adapter.monitor.violations
     fault_pc, cause = sim.fault if sim.fault else (None, None)
     return EngineRun(engine, stream, list(sim.regs), sim.instret, stop,
-                     fault_pc, classify_cause(cause), mem)
+                     fault_pc, classify_cause(cause), mem,
+                     violations=violations)
 
 
-def _run_pipeline(asm, max_steps):
+def _run_pipeline(asm, max_steps, assertions=False):
     mem = _fresh_memory(asm)
     recorder = CommitRecorder()
     pipeline = Pipeline(mem, MemoryHierarchy(BASELINE_TIMING),
                         config=PipelineConfig(), rse=recorder)
+    adapter = attach_pipeline(pipeline) if assertions else None
     pipeline.reset_at(asm.entry)
     pipeline.regs[29] = STACK_TOP
     event = pipeline.run(max_cycles=max_steps * CYCLES_PER_STEP)
+    violations = None
+    if adapter is not None:
+        adapter.detach()
+        violations = adapter.monitor.violations
     kind = event.kind
     if kind is EventKind.HALT:
         stop = "halt"
@@ -215,7 +251,7 @@ def _run_pipeline(asm, max_steps):
     cause = event.cause if stop == "fault" else None
     return EngineRun("pipeline", recorder.stream, list(pipeline.regs),
                      pipeline.stats.instret, stop, fault_pc,
-                     classify_cause(cause), mem)
+                     classify_cause(cause), mem, violations=violations)
 
 
 # ----------------------------------------------------------------- comparing
@@ -247,6 +283,29 @@ def _compare(asm, ref, other):
     """First divergence between *ref* and *other*, or None."""
     pair = (ref.engine, other.engine)
     window = lambda pc: _disasm_window(asm, ref.memory, pc)
+
+    # 0. Assertion asymmetry (only when both runs were monitored): the
+    # same invariant suite watched both engines, so a property firing
+    # on one side only is a divergence in its own right — and a far
+    # sharper one than the state drift it eventually causes.  Restrict
+    # to properties both engines host; compare fired-property *sets*
+    # (counts differ legitimately, e.g. retire cascades).
+    if ref.violations is not None and other.violations is not None:
+        comparable = shared_properties(ref.engine, other.engine)
+        ref_fired = ref.violated() & comparable
+        other_fired = other.violated() & comparable
+        if ref_fired != other_fired:
+            asym = sorted(ref_fired ^ other_fired)
+            fired_on = ref if asym[0] in ref_fired else other
+            first = next(v for v in fired_on.violations
+                         if v.property_id == asym[0])
+            return Divergence(
+                "assertion", pair,
+                "property %r fired on %s but not %s: %s"
+                % (asym[0], fired_on.engine,
+                   (other if fired_on is ref else ref).engine,
+                   first.detail),
+                pc=first.pc, window=window(first.pc))
 
     # 1. Retired pc streams.
     for index, (a, b) in enumerate(zip(ref.stream, other.stream)):
@@ -321,18 +380,23 @@ def _hex(value):
 
 
 def run_source(source, max_steps=DEFAULT_MAX_STEPS, constants=None,
-               engines=ENGINES):
+               engines=ENGINES, assertions=False):
     """Run *source* through the engines and compare against ``interp``.
 
     Returns an :class:`OracleResult`; ``result.divergence`` is the first
-    mismatch found (predecode first, then pipeline), or None.
+    mismatch found (predecode first, then pipeline), or None.  With
+    *assertions*, every engine runs under the invariant suite and
+    asymmetric property firings are a fourth divergence class.
     """
     asm = assemble(source, constants=constants)
-    runs = {"interp": _run_funcsim("interp", asm, max_steps)}
+    runs = {"interp": _run_funcsim("interp", asm, max_steps,
+                                   assertions=assertions)}
     if "predecode" in engines:
-        runs["predecode"] = _run_funcsim("predecode", asm, max_steps)
+        runs["predecode"] = _run_funcsim("predecode", asm, max_steps,
+                                         assertions=assertions)
     if "pipeline" in engines:
-        runs["pipeline"] = _run_pipeline(asm, max_steps)
+        runs["pipeline"] = _run_pipeline(asm, max_steps,
+                                         assertions=assertions)
     limited = all(run.stop == "limit" for run in runs.values())
     divergence = None
     for name in ("predecode", "pipeline"):

@@ -26,38 +26,52 @@ def derive_seed(seed, index):
 class FuzzReport:
     """Aggregate outcome of one fuzz run."""
 
-    def __init__(self, seed, count, mode):
+    def __init__(self, seed, count, mode, assertions=False):
         self.seed = seed
         self.count = count
         self.mode = mode
+        self.assertions = assertions
         self.executed = 0
         self.resumed = 0          # programs skipped via the store
         self.limited = 0          # every engine hit its step limit
         self.divergences = []     # dicts: index, seed, divergence, ...
+        self.violations = []      # dicts: index, seed, engine violations
+                                  # (only populated when assertions ran)
 
     @property
     def ok(self):
-        return not self.divergences
+        return not self.divergences and not self.violations
 
     def to_dict(self):
-        return {
+        doc = {
             "seed": self.seed, "count": self.count, "mode": self.mode,
             "executed": self.executed, "resumed": self.resumed,
             "limited": self.limited, "ok": self.ok,
             "divergences": self.divergences,
         }
+        if self.assertions:
+            doc["assertions"] = True
+            doc["violations"] = self.violations
+        return doc
 
 
-def _check_for(mode, max_steps):
+def _check_for(mode, max_steps, assertions=False):
     """A shrinker predicate: rerun the oracle on a candidate program."""
     def check(program):
-        return run_source(program.source, max_steps=max_steps).divergence
+        return run_source(program.source, max_steps=max_steps,
+                          assertions=assertions).divergence
     return check
 
 
-def _store_header(seed, count, mode):
-    return {"kind": "difftest", "version": STORE_VERSION,
-            "seed": seed, "mode": mode, "count": count}
+def _store_header(seed, count, mode, assertions=False):
+    header = {"kind": "difftest", "version": STORE_VERSION,
+              "seed": seed, "mode": mode, "count": count}
+    if assertions:
+        # Only stamped when on, so pre-existing stores stay resumable
+        # for assertion-less runs (and are rejected for monitored ones,
+        # which check more than they did).
+        header["assertions"] = True
+    return header
 
 
 def _load_store(path, header):
@@ -70,8 +84,8 @@ def _load_store(path, header):
         if not first.strip():
             return None
         existing = json.loads(first)
-        for key in ("kind", "seed", "mode"):
-            if existing.get(key) != header[key]:
+        for key in ("kind", "seed", "mode", "assertions"):
+            if existing.get(key) != header.get(key):
                 raise ValueError(
                     "difftest store %s was written by a different run "
                     "(%s=%r, expected %r)" % (path, key,
@@ -105,15 +119,19 @@ def _persist_repro(corpus_dir, seed, index, result):
 
 def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
          shrink_diverging=True, corpus_dir=None, store=None,
-         progress=None):
+         progress=None, assertions=False):
     """Run *count* generated programs through the oracle.
 
     Returns a :class:`FuzzReport`.  With *store*, completed indexes are
     journalled to a JSONL file and skipped on rerun; with *corpus_dir*,
     every diverging program is shrunk and persisted as a ``.s`` repro.
+    With *assertions*, every engine runs under the invariant suite:
+    asymmetric firings become ``assertion`` divergences and symmetric
+    ones are reported per program in ``report.violations`` (either
+    fails the run).
     """
-    report = FuzzReport(seed, count, mode)
-    header = _store_header(seed, count, mode)
+    report = FuzzReport(seed, count, mode, assertions=assertions)
+    header = _store_header(seed, count, mode, assertions=assertions)
     done = _load_store(store, header)
     handle = None
     if store:
@@ -130,7 +148,8 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
                 report.resumed += 1
                 continue
             program = generate(derive_seed(seed, index), mode=mode)
-            result = run_source(program.source, max_steps=max_steps)
+            result = run_source(program.source, max_steps=max_steps,
+                                assertions=assertions)
             report.executed += 1
             if result.limited:
                 report.limited += 1
@@ -140,7 +159,8 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
                 entry = {"index": index, "seed": program.seed,
                          "divergence": result.divergence.to_dict()}
                 if shrink_diverging:
-                    shrunk = shrink(program, _check_for(mode, max_steps))
+                    shrunk = shrink(program, _check_for(
+                        mode, max_steps, assertions=assertions))
                     entry["shrunk_idioms"] = len(shrunk.program.idioms)
                     entry["shrunk_source"] = shrunk.program.source
                     if corpus_dir:
@@ -148,6 +168,13 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
                             corpus_dir, seed, index, shrunk)
                 report.divergences.append(entry)
                 record["divergence"] = entry["divergence"]
+            elif assertions and result.violations:
+                # No asymmetry, but the suite fired (identically) on
+                # some engine(s): the invariant itself is broken.
+                entry = {"index": index, "seed": program.seed,
+                         "violations": result.violations}
+                report.violations.append(entry)
+                record["violations"] = entry["violations"]
             if handle is not None:
                 handle.write(json.dumps(record) + "\n")
                 handle.flush()

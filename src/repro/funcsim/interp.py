@@ -67,6 +67,15 @@ class FuncSim:
         self.predecode_enabled = predecode_enabled
         self._cache = predecode.cache_for(memory) if predecode_enabled \
             else None
+        # Instrumentation points (repro.assertions): predeclared as
+        # instance attributes so an attach/detach cycle only ever
+        # *assigns* these keys.  Adding or deleting instance-dict keys
+        # would convert CPython's key-sharing instance dict into a
+        # combined one and permanently slow every ``self.x`` load in the
+        # hot loop (~10% on kMeans; gated by
+        # benchmarks/test_perf_assertions.py).
+        self.step = self.step          # the bound bare methods; adapters
+        self.run = self.run            # swap the values, detach restores
 
     # ------------------------------------------------------------------ run
 

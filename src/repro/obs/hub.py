@@ -37,6 +37,7 @@ class Observability:
                        else CycleTracer())
         self._sections = {}          # name -> snapshot provider, in order
         self._probes = {}            # name -> attached Probe instance
+        self._probe_kwargs = {}      # name -> kwargs it was attached with
 
     # ------------------------------------------------------------ sections
 
@@ -75,10 +76,19 @@ class Observability:
 
         Returns the probe instance (e.g. the ``commit`` probe exposes
         the :class:`CommitTracer` module as ``.tracer``).
+
+        Re-attaching an already-attached probe with the same kwargs is
+        a no-op returning the existing instance; different kwargs raise
+        (the live probe was built with the old ones — detach first).
         """
         if self.machine is None:
             raise RuntimeError("hub is not bound to a machine")
         if name in self._probes:
+            if kwargs != self._probe_kwargs[name]:
+                raise ValueError(
+                    "probe %r is already attached with %r; detach it "
+                    "before re-attaching with %r"
+                    % (name, self._probe_kwargs[name], kwargs))
             return self._probes[name]
         factory = PROBES.get(name)
         if factory is None:
@@ -87,6 +97,7 @@ class Observability:
         probe = factory(**kwargs)
         probe.attach(self.machine, self)
         self._probes[name] = probe
+        self._probe_kwargs[name] = kwargs
         return probe
 
     def detach(self, name=None):
@@ -96,6 +107,7 @@ class Observability:
                 self.detach(attached)
             return
         probe = self._probes.pop(name, None)
+        self._probe_kwargs.pop(name, None)
         if probe is not None:
             probe.detach(self.machine)
 

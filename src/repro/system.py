@@ -6,6 +6,7 @@ and the kernel — the configuration Figure 1 draws.  Examples, tests and
 benchmarks build machines through :func:`build_machine`.
 """
 
+from repro.assertions.hub import AssertionHub
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.memory.bus import BASELINE_TIMING, FRAMEWORK_TIMING
 from repro.obs import Observability
@@ -40,6 +41,11 @@ class Machine:
         self.obs.register("memory", hierarchy.snapshot)
         self.obs.register("rse", rse.snapshot if rse is not None else None)
         self.obs.register("kernel", kernel.snapshot)
+        # The assertion hub: the standing invariant suite, opt-in like
+        # obs probes ("assertions" is always a document section so the
+        # schema is stable whether or not monitoring ever ran).
+        self.assertions = AssertionHub(self)
+        self.obs.register("assertions", self.assertions.snapshot)
         kernel.snapshot_provider = self.snapshot
 
     # Convenience accessors -------------------------------------------------
@@ -52,7 +58,8 @@ class Machine:
         """One schema-stable nested document covering every component.
 
         Top-level keys: ``schema``, ``cycle``, ``pipeline``, ``memory``,
-        ``rse`` (None without the framework), ``kernel``, ``obs``.
+        ``rse`` (None without the framework), ``kernel``,
+        ``assertions``, ``obs``.
         """
         return self.obs.document()
 

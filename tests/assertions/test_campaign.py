@@ -1,0 +1,71 @@
+"""The campaign ASSERTION detection channel and spec compatibility."""
+
+from repro.campaign import DEMO_WORKLOAD, CampaignSpec, run_campaign
+from repro.campaign.models import Outcome
+from repro.campaign.report import format_campaign_report
+from repro.campaign.runner import (CampaignContext, build_campaign_machine,
+                                   classify)
+
+
+def small_spec(**overrides):
+    options = dict(source=DEMO_WORKLOAD, model="mem-flip", injections=6,
+                   seed=7, protected=False, max_cycles=200_000)
+    options.update(overrides)
+    return CampaignSpec(**options)
+
+
+def test_spec_serialization_is_fingerprint_stable():
+    """Pre-assertion stores must stay resumable: the key is only
+    stamped when the feature is on."""
+    plain = small_spec()
+    assert "assertions" not in plain.to_dict()
+    monitored = small_spec(assertions=True)
+    assert monitored.to_dict()["assertions"] is True
+    assert plain.fingerprint() != monitored.fingerprint()
+    rebuilt = CampaignSpec.from_dict(monitored.to_dict())
+    assert rebuilt.assertions is True
+    assert rebuilt.fingerprint() == monitored.fingerprint()
+
+
+def test_classify_routes_violations_to_assertion_outcome():
+    spec = small_spec(assertions=True)
+    ctx = CampaignContext(spec)
+    machine, __ = build_campaign_machine(ctx.asm, protected=False,
+                                         assertions=True)
+    event = machine.pipeline.run(max_cycles=spec.max_cycles)
+    assert classify(machine, ctx, event) is Outcome.BENIGN
+    machine.assertions.monitor.violation("store-reaches-memory",
+                                         "synthetic", pc=0x1000)
+    assert classify(machine, ctx, event) is Outcome.ASSERTION
+
+
+def test_monitored_campaign_runs_and_records_counts():
+    run = run_campaign(small_spec(assertions=True))
+    assert len(run.records) == 6
+    for record in run.records:
+        if record["outcome"] != Outcome.NOT_TRIGGERED.value:
+            assert "assertions" in record
+    report = format_campaign_report(run.records)
+    assert "Outcome" in report
+
+
+def test_unmonitored_records_carry_no_assertion_key():
+    run = run_campaign(small_spec())
+    assert all("assertions" not in record for record in run.records)
+
+
+def test_fork_mode_is_disabled_under_assertions():
+    """Fork reuses one trunk machine; a live monitor would leak one
+    strike's violations into the next classification."""
+    monitored = run_campaign(small_spec(assertions=True), fork=True)
+    cold = run_campaign(small_spec(assertions=True), fork=False)
+    assert [r["outcome"] for r in monitored.records] == \
+        [r["outcome"] for r in cold.records]
+
+
+def test_report_mentions_assertion_channel_when_it_fires():
+    records = [{"outcome": Outcome.ASSERTION.value},
+               {"outcome": Outcome.DETECTED.value}]
+    report = format_campaign_report(records)
+    assert "assertion-flagged" in report
+    assert "separate channel" in report

@@ -1,0 +1,84 @@
+"""The difftest ``assertion`` divergence class.
+
+A deliberately broken engine stub — the pipeline's store path drops the
+low byte of every word store — must surface through the oracle as an
+``assertion`` divergence: the invariant fires on the broken engine and
+stays quiet on the reference, and that asymmetry is compared *before*
+any downstream state drift.
+"""
+
+import pytest
+
+from repro.difftest import fuzz
+from repro.difftest.oracle import run_source
+from repro.isa import semantics
+import repro.pipeline.core as pipeline_core
+
+STORE_PROGRAM = """
+main:
+    la $gp, scratch
+    li $t0, 0x12345678
+    sw $t0, 0($gp)
+    halt
+    .data
+scratch:
+    .word 0
+"""
+
+
+class _BrokenStores:
+    """Semantics proxy for the pipeline only: sw drops its low byte."""
+
+    def __getattr__(self, name):
+        return getattr(semantics, name)
+
+    @staticmethod
+    def store_to(memory, instr, addr, value):
+        if instr.name == "sw":
+            value &= 0xFFFFFF00
+        semantics.store_to(memory, instr, addr, value)
+
+
+@pytest.fixture
+def broken_pipeline_stores(monkeypatch):
+    monkeypatch.setattr(pipeline_core, "semantics", _BrokenStores())
+
+
+def test_broken_engine_surfaces_as_assertion_divergence(
+        broken_pipeline_stores):
+    result = run_source(STORE_PROGRAM, assertions=True)
+    assert not result.ok
+    divergence = result.divergence
+    assert divergence.kind == "assertion"
+    assert "store-reaches-memory" in divergence.detail
+    assert "pipeline" in divergence.engines
+    # The violation records ride along for the report.
+    assert "pipeline" in result.violations
+    assert result.violations["pipeline"][0]["property"] == \
+        "store-reaches-memory"
+
+
+def test_unwatched_oracle_still_sees_state_divergence(
+        broken_pipeline_stores):
+    """Without assertions the same bug is caught later and less precisely."""
+    result = run_source(STORE_PROGRAM, assertions=False)
+    assert not result.ok
+    assert result.divergence.kind != "assertion"
+
+
+def test_seeded_fuzz_reports_assertion_divergences(broken_pipeline_stores):
+    report = fuzz(seed=1234, count=6, mode="basic", max_steps=20_000,
+                  shrink_diverging=False, assertions=True)
+    assert not report.ok
+    kinds = {entry["divergence"]["kind"] for entry in report.divergences}
+    assert "assertion" in kinds
+    doc = report.to_dict()
+    assert doc["assertions"] is True
+    assert doc["ok"] is False
+
+
+def test_watched_clean_fuzz_stays_clean():
+    report = fuzz(seed=1234, count=6, mode="all", max_steps=20_000,
+                  shrink_diverging=False, assertions=True)
+    assert report.ok
+    assert report.violations == []

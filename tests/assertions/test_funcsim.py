@@ -1,0 +1,163 @@
+"""The funcsim adapters: clean runs stay clean, broken engines are caught."""
+
+from repro.assertions import attach_funcsim
+from repro.funcsim import FuncSim, StepResult
+from repro.isa import semantics
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+
+STACK_TOP = 0x7FFF0000
+
+# Stores of every width, both linking-jump shapes (including the
+# rd == rs case that only a link-before-target engine gets right),
+# loops, and sub-word loads.
+EXERCISER = """
+main:
+    la $gp, scratch
+    li $t0, 0x7fb3ff91
+    sw $t0, 0($gp)
+    sh $t0, 4($gp)
+    sb $t0, 6($gp)
+    lb $s0, 0($gp)
+    lhu $s1, 4($gp)
+    li $t1, 4
+    li $s2, 0
+loop:
+    add $s2, $s2, $t1
+    sw $s2, 8($gp)
+    addi $t1, $t1, -1
+    bnez $t1, loop
+    jal leaf
+    la $t9, target
+    jalr $t9, $t9
+    addi $s3, $s3, 5
+target:
+    halt
+leaf:
+    jr $ra
+    .data
+scratch:
+    .word 0, 0, 0, 0
+"""
+
+
+def run_monitored(source, predecode):
+    asm = assemble(source)
+    memory = MainMemory()
+    memory.store_bytes(asm.text_base, asm.text)
+    memory.store_bytes(asm.data_base, asm.data)
+    sim = FuncSim(memory, entry=asm.entry, sp=STACK_TOP,
+                  predecode_enabled=predecode)
+    adapter = attach_funcsim(sim)
+    result = sim.run(max_steps=100_000)
+    adapter.detach()
+    return sim, result, adapter.monitor
+
+
+def test_interp_clean_run_has_no_violations():
+    sim, result, monitor = run_monitored(EXERCISER, predecode=False)
+    assert result is StepResult.HALTED
+    assert monitor.engine == "interp"
+    assert monitor.violation_count() == 0
+    assert sim.regs[19] == 5          # $s3: jalr fell through via the link
+
+
+def test_predecode_clean_run_has_no_violations():
+    sim, result, monitor = run_monitored(EXERCISER, predecode=True)
+    assert result is StepResult.HALTED
+    assert monitor.engine == "predecode"
+    assert monitor.violation_count() == 0
+
+
+def test_monitoring_does_not_perturb_execution():
+    asm = assemble(EXERCISER)
+    results = []
+    for monitored in (False, True):
+        memory = MainMemory()
+        memory.store_bytes(asm.text_base, asm.text)
+        memory.store_bytes(asm.data_base, asm.data)
+        sim = FuncSim(memory, entry=asm.entry, sp=STACK_TOP)
+        if monitored:
+            attach_funcsim(sim)
+        result = sim.run(max_steps=100_000)
+        results.append((result, sim.instret, list(sim.regs)))
+    assert results[0] == results[1]
+
+
+def test_detach_restores_bare_methods():
+    """Instrumentation must never change the instance dict's key set:
+    adding/deleting keys would un-share CPython's key-sharing dict and
+    tax every hot-loop attribute load even after detach."""
+    asm = assemble(EXERCISER)
+    memory = MainMemory()
+    memory.store_bytes(asm.text_base, asm.text)
+    memory.store_bytes(asm.data_base, asm.data)
+    sim = FuncSim(memory, entry=asm.entry, sp=STACK_TOP)
+    bare_keys = list(sim.__dict__)
+    bare_step, bare_run = sim.step, sim.run
+    adapter = attach_funcsim(sim)
+    assert sim.step is not bare_step and sim.run is not bare_run
+    assert list(sim.__dict__) == bare_keys     # same keys, new values
+    adapter.detach()
+    assert sim.step is bare_step and sim.run is bare_run
+    assert list(sim.__dict__) == bare_keys
+    assert sim.trace_mem is None
+
+
+def test_broken_store_engine_fires_store_reaches_memory(monkeypatch):
+    """A deliberately broken sb (drops the write) must be caught."""
+    monkeypatch.setitem(semantics.STORE_OPS, "sb",
+                        lambda memory, addr, value: None)
+    source = """
+    main:
+        la $gp, scratch
+        li $t0, 0x55
+        sb $t0, 0($gp)
+        halt
+        .data
+    scratch:
+        .word 0
+    """
+    __, result, monitor = run_monitored(source, predecode=False)
+    assert result is StepResult.HALTED
+    assert "store-reaches-memory" in monitor.violated_properties()
+    violation = monitor.violations[0]
+    assert violation.operands["expected"] == 0x55
+    assert violation.operands["actual"] == 0
+
+
+def test_broken_link_order_fires_jalr_property(monkeypatch):
+    """An engine that reads the jump target before writing the link.
+
+    With rd == rs a correct jalr jumps to the freshly written link
+    (pc+4); the classic stale-rs bug jumps to the register's *old*
+    value instead.  We emulate that broken engine by redirecting jalr
+    to the pre-link destination and expect the checker to object.
+    """
+    source = """
+    main:
+        la $t9, wrong
+        jalr $t9, $t9
+        halt
+    wrong:
+        halt
+    """
+    asm = assemble(source)
+    stale_target = asm.symbols["wrong"]
+    original = semantics.jump_target
+    from repro.funcsim import interp as interp_mod
+
+    class StaleSemantics:
+        def __getattr__(self, name):
+            return getattr(semantics, name)
+
+        @staticmethod
+        def jump_target(instr, pc, rs_value):
+            if instr.name == "jalr" and instr.dest == instr.rs:
+                return stale_target      # stale read: target before link
+            return original(instr, pc, rs_value)
+
+    monkeypatch.setattr(interp_mod, "semantics", StaleSemantics())
+    __, result, monitor = run_monitored(source, predecode=False)
+    assert result is StepResult.HALTED
+    assert "jalr-link-before-target" in monitor.violated_properties()

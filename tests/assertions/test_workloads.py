@@ -1,0 +1,55 @@
+"""Every property holds on every engine for the Table 4 workload set.
+
+This is the acceptance gate for the catalog: the same invariants,
+written once, run on the reference interpreter, the predecode closure
+engine and the full out-of-order machine against real benchmark code
+(quick-scaled, as the tier-1 experiment tests are).
+"""
+
+import pytest
+
+from repro.assertions import attach_funcsim
+from repro.experiments.table4 import workload_sources
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+from repro.program.layout import MemoryLayout
+from repro.system import build_machine
+from repro.workloads.asmlib import build_workload_image
+
+WORKLOADS = sorted(workload_sources(quick=True).items())
+
+STACK_TOP = 0x7FFF0000
+
+
+@pytest.mark.parametrize("name,source", WORKLOADS,
+                         ids=[name for name, __ in WORKLOADS])
+@pytest.mark.parametrize("predecode", [False, True],
+                         ids=["interp", "predecode"])
+def test_workload_clean_on_funcsim(name, source, predecode):
+    asm = assemble(source)
+    memory = MainMemory()
+    memory.store_bytes(asm.text_base, asm.text)
+    memory.store_bytes(asm.data_base, asm.data)
+    sim = FuncSim(memory, entry=asm.entry, sp=STACK_TOP,
+                  predecode_enabled=predecode)
+    adapter = attach_funcsim(sim)
+    result = sim.run(max_steps=20_000_000)
+    adapter.detach()
+    assert result is StepResult.HALTED, (name, result)
+    assert adapter.monitor.violation_count() == 0, \
+        adapter.monitor.violations[:3]
+
+
+@pytest.mark.parametrize("name,source", WORKLOADS,
+                         ids=[name for name, __ in WORKLOADS])
+def test_workload_clean_on_pipeline_machine(name, source):
+    machine = build_machine()
+    image, __ = build_workload_image(source, MemoryLayout())
+    machine.kernel.load_process(image)
+    machine.assertions.attach()
+    result = machine.kernel.run(max_cycles=20_000_000)
+    machine.assertions.detach()
+    assert result.reason == "halt", (name, result.reason)
+    assert machine.assertions.violation_count() == 0, \
+        machine.assertions.violations()[:3]

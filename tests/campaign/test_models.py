@@ -138,4 +138,5 @@ def test_injection_round_trips_through_dict():
 def test_outcome_values_cover_crash():
     assert Outcome.CRASHED.value == "crashed"
     assert Outcome.NOT_TRIGGERED.value == "not_triggered"
-    assert len(Outcome) == 7
+    assert Outcome.ASSERTION.value == "assertion"
+    assert len(Outcome) == 8

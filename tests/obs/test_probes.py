@@ -107,3 +107,30 @@ def test_commit_probe_exposes_tracer():
     tracer = machine.obs.probe("commit").tracer
     assert len(tracer.entries) == 50
     machine.obs.detach("commit")
+
+
+def test_reattach_with_conflicting_kwargs_raises():
+    """Silently keeping the old configuration hid real bugs: a second
+    attach("commit", limit=200) used to return the limit=50 probe."""
+    machine = build_loaded(with_rse=True)
+    first = machine.obs.attach("commit", limit=50)
+    assert machine.obs.attach("commit", limit=50) is first   # same: no-op
+    with pytest.raises(ValueError) as excinfo:
+        machine.obs.attach("commit", limit=200)
+    assert "commit" in str(excinfo.value)
+    assert "detach" in str(excinfo.value)
+    # The original probe stays attached and configured.
+    assert machine.obs.attached() == ["commit"]
+    assert machine.obs.probe("commit") is first
+
+
+def test_attach_detach_reattach_cycle_accepts_new_kwargs():
+    machine = build_loaded(with_rse=True)
+    machine.obs.attach("commit", limit=50)
+    machine.obs.detach("commit")
+    probe = machine.obs.attach("commit", limit=200)   # fresh config is fine
+    assert machine.obs.probe("commit") is probe
+    machine.obs.detach("commit")
+    machine.obs.attach("commit", limit=200)
+    machine.obs.detach()
+    assert machine.obs.attached() == []

@@ -14,7 +14,8 @@ from repro.pipeline.core import PipelineStats
 from repro.system import build_machine
 from repro.workloads import kmeans
 
-TOP_KEYS = {"schema", "cycle", "pipeline", "memory", "rse", "kernel", "obs"}
+TOP_KEYS = {"schema", "cycle", "pipeline", "memory", "rse", "kernel",
+            "assertions", "obs"}
 PIPELINE_KEYS = set(PipelineStats.FIELDS) | {"ipc", "predictor"}
 MEMORY_KEYS = {"il1", "dl1", "il2", "dl2", "bus"}
 CACHE_KEYS = {"accesses", "hits", "misses", "writebacks", "miss_rate"}
