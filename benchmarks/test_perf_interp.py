@@ -1,9 +1,12 @@
-"""Interpreter throughput: instructions/sec for both execution engines.
+"""Interpreter throughput: instructions/sec for every execution engine.
 
-Measures the functional simulator (predecode on and off) in retired
-instructions per wall-clock second and the pipeline (predecode on) in
-cycles per second, on the kMeans and VPR workloads, and writes the
-records to ``benchmarks/results/BENCH_interp.json``.
+Measures the functional simulator (bare interpreter, predecode, and
+the superblock trace JIT) in retired instructions per wall-clock
+second and the pipeline (predecode on) in cycles per second, on the
+kMeans and VPR workloads, and writes the records to
+``benchmarks/results/BENCH_interp.json``.  The funcsim rows are
+cold-start (caches built inside the timed run); see
+``test_perf_traces.py`` for the steady-state, thresholded numbers.
 
 ``PERF_INTERP_QUICK=1`` shrinks the workloads to a CI-sized budget.
 The numbers are reported, not asserted against a threshold — a shared
@@ -64,17 +67,19 @@ def record(engine, workload, **fields):
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
-@pytest.mark.parametrize("predecode", [True, False])
-def test_funcsim_throughput(benchmark, workload, predecode):
+@pytest.mark.parametrize("engine", ["funcsim-nocache", "funcsim",
+                                    "funcsim-jit"])
+def test_funcsim_throughput(benchmark, workload, engine):
     asm, mem = loaded_memory(SOURCES[workload])
     sim = FuncSim(mem, entry=asm.entry, sp=0x7FFF0000,
-                  predecode_enabled=predecode)
+                  predecode_enabled=(engine != "funcsim-nocache"),
+                  jit_enabled=(engine == "funcsim-jit"))
     start = time.perf_counter()
     result = benchmark.pedantic(sim.run, args=(50_000_000,),
                                 rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     assert result is StepResult.HALTED
-    record("funcsim" if predecode else "funcsim-nocache", workload,
+    record(engine, workload,
            instrs=sim.instret,
            instrs_per_sec=round(sim.instret / elapsed))
 

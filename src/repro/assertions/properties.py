@@ -80,8 +80,16 @@ def select(engine, properties=None):
             if engine in PROPERTIES[pid].engines]
 
 
+#: Monitored engines run the JIT funcsim deopted onto the predecode
+#: closure path (per-instruction observation forces it), so its
+#: property support is exactly the predecode engine's.
+_ENGINE_ALIASES = {"jit": "predecode"}
+
+
 def shared_properties(engine_a, engine_b):
     """Ids of properties both engines support (difftest comparability)."""
+    engine_a = _ENGINE_ALIASES.get(engine_a, engine_a)
+    engine_b = _ENGINE_ALIASES.get(engine_b, engine_b)
     return {pid for pid, cls in PROPERTIES.items()
             if engine_a in cls.engines and engine_b in cls.engines}
 

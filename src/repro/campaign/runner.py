@@ -38,6 +38,7 @@ from repro.campaign.space import sample_injections
 from repro.campaign.store import ResultStore
 from repro.isa.assembler import assemble
 from repro.isa.encoding import DecodeError, decode
+from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import EventKind
 from repro.rse.check import MODULE_ICM
 from repro.rse.modules.icm import build_checker_memory, make_icm_injector
@@ -137,8 +138,12 @@ class CampaignContext:
     per-injection loop.
     """
 
-    def __init__(self, spec):
+    def __init__(self, spec, batch=True):
         self.spec = spec
+        # Execution detail like ``fork``: batch=False forces the
+        # pipeline's one-step()-per-cycle reference loop.  Records are
+        # identical either way, so it stays out of the fingerprint.
+        self.batch = batch
         self.model = get_model(spec.model, **spec.model_options)
         self.asm = assemble(spec.source)
         self.stack_top = STACK_TOP
@@ -174,7 +179,8 @@ class CampaignContext:
         return pcs
 
     def _golden_run(self):
-        machine, __ = build_campaign_machine(self.asm, protected=False)
+        machine, __ = build_campaign_machine(self.asm, protected=False,
+                                             batch=self.batch)
         event = machine.pipeline.run(max_cycles=self.spec.max_cycles)
         if event.kind is not EventKind.HALT:
             raise RuntimeError("golden run did not halt: %r" % event)
@@ -183,10 +189,12 @@ class CampaignContext:
         return golden, machine.pipeline.cycle
 
 
-def build_campaign_machine(asm, protected, assertions=False):
+def build_campaign_machine(asm, protected, assertions=False, batch=True):
     """Fresh machine loaded with the (pre-assembled) workload image."""
     machine = build_machine(with_rse=protected,
-                            modules=("icm",) if protected else ())
+                            modules=("icm",) if protected else (),
+                            pipeline_config=(None if batch
+                                             else PipelineConfig(batch=False)))
     machine.memory.store_bytes(asm.text_base, asm.text)
     machine.memory.store_bytes(asm.data_base, asm.data)
     checker_map = {}
@@ -233,7 +241,8 @@ def execute_injection(ctx, injection):
     """Run one injection on a fresh machine; returns its record dict."""
     try:
         machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
-                                             assertions=ctx.spec.assertions)
+                                             assertions=ctx.spec.assertions,
+                                             batch=ctx.batch)
         budget = ctx.spec.max_cycles
         trigger = ctx.model.arm(machine, ctx, injection.params)
         if trigger:
@@ -309,9 +318,11 @@ class ForkEngine:
         # not be the one paying that.
         from repro import checkpoint as checkpoint_layer
 
-        sacrifice, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        sacrifice, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
+                                               batch=ctx.batch)
         checkpoint_layer.warm(sacrifice)
-        self.machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected)
+        self.machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
+                                                  batch=ctx.batch)
         self.base = self.machine.checkpoint()
         self.prefix = self.base
         # (event, end_cycle) once the fault-free workload is known to end
@@ -429,10 +440,11 @@ _WORKER_CTX = None
 _WORKER_FORK = None
 
 
-def _worker_init(spec_dict, fork=False):
+def _worker_init(spec_dict, fork=False, batch=True):
     """Pool initializer: build the campaign context once per process."""
     global _WORKER_CTX, _WORKER_FORK
-    _WORKER_CTX = CampaignContext(CampaignSpec.from_dict(spec_dict))
+    _WORKER_CTX = CampaignContext(CampaignSpec.from_dict(spec_dict),
+                                  batch=batch)
     _WORKER_FORK = None
     if fork and _WORKER_CTX.model.arm_is_pure:
         try:
@@ -450,7 +462,8 @@ def _worker_run_chunk(injection_dicts):
             for injection in injections]
 
 
-def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False):
+def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False,
+                       batch=True):
     """Fan chunks out over a process pool, surviving worker death.
 
     A chunk whose future fails (worker killed, pool broken) is retried
@@ -467,7 +480,7 @@ def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False):
     while pending:
         pool = futures_mod.ProcessPoolExecutor(
             max_workers=workers, initializer=_worker_init,
-            initargs=(spec_dict, fork))
+            initargs=(spec_dict, fork, batch))
         submitted = {
             pool.submit(_worker_run_chunk,
                         [injection.to_dict() for injection in chunk]):
@@ -493,7 +506,7 @@ def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False):
 # ------------------------------------------------------------------- campaign
 
 def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
-                 progress=None, fork=False):
+                 progress=None, fork=False, batch=True):
     """Execute (or resume) a campaign; returns a :class:`CampaignRun`.
 
     Args:
@@ -508,8 +521,11 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
             re-simulating the warmup per injection (see module
             docstring).  Records are identical either way; only the
             wall-clock changes, so the flag is not in the fingerprint.
+        batch: False forces the pipeline's one-step()-per-cycle
+            reference loop (``repro campaign --no-jit``).  Like fork,
+            records are identical, so it is not in the fingerprint.
     """
-    ctx = CampaignContext(spec)
+    ctx = CampaignContext(spec, batch=batch)
     injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
 
     store = ResultStore(store_path) if store_path else None
@@ -554,7 +570,7 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
             if use_fork:
                 todo = _fork_order(ctx, todo)
             _parallel_dispatch(spec, todo, chunk_size, workers, emit,
-                               fork=use_fork)
+                               fork=use_fork, batch=batch)
     finally:
         if store is not None:
             store.close()
@@ -567,11 +583,11 @@ def resume_spec(store_path):
     return CampaignSpec.from_dict(header["spec"])
 
 
-def replay(spec, run_id):
+def replay(spec, run_id, batch=True):
     """Re-execute one injection by id; returns its fresh record."""
     if not 0 <= run_id < spec.injections:
         raise ValueError("run id %d outside campaign of %d injections"
                          % (run_id, spec.injections))
-    ctx = CampaignContext(spec)
+    ctx = CampaignContext(spec, batch=batch)
     injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
     return execute_injection(ctx, injections[run_id])

@@ -102,17 +102,25 @@ def _cmd_run(args):
     with open(args.file) as handle:
         source = handle.read()
 
-    if args.func:
+    engine = args.engine or ("predecode" if args.func else "pipeline")
+    if args.func and engine == "pipeline":
+        print("--func contradicts --engine pipeline")
+        return 2
+
+    if engine != "pipeline":
         from repro.isa.assembler import assemble
 
         if args.stats_json:
-            print("--stats-json needs the full machine (drop --func)")
+            print("--stats-json needs the full machine "
+                  "(use --engine pipeline)")
             return 2
         asm = assemble(source, constants=std_constants())
         memory = MainMemory()
         memory.store_bytes(asm.text_base, asm.text)
         memory.store_bytes(asm.data_base, asm.data)
-        sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000)
+        sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000,
+                      predecode_enabled=(engine != "interp"),
+                      jit_enabled=(engine == "jit" and not args.no_jit))
         adapter = None
         if args.with_assertions:
             from repro.assertions import attach_funcsim
@@ -124,23 +132,36 @@ def _cmd_run(args):
             adapter.detach()          # runs the end-of-run sweeps
             violations = adapter.monitor.violations
         if args.json:
-            payload = {"mode": "functional", "result": result.value,
+            payload = {"mode": "functional", "engine": engine,
+                       "result": result.value,
                        "instret": sim.instret,
                        "fault": ("pc=0x%08x %s" % sim.fault
                                  if sim.fault else None)}
+            if sim.trace_cache is not None:
+                payload["trace_cache"] = sim.trace_cache.stats()
             if args.with_assertions:
                 payload["assertions"] = adapter.monitor.snapshot()
             emit_json(payload)
             return 1 if violations else 0
-        print("functional run: %s after %d instructions"
-              % (result.value, sim.instret))
+        print("functional run (%s): %s after %d instructions"
+              % (engine, result.value, sim.instret))
+        if sim.trace_cache is not None:
+            stats = sim.trace_cache.stats()
+            print("trace JIT: %d traces live, %d compiled, "
+                  "%d invalidated, %d deopt runs"
+                  % (stats["traces_live"], stats["compiled"],
+                     stats["invalidated"], stats["deopt_runs"]))
         if sim.fault:
             print("fault: pc=0x%08x %s" % sim.fault)
         _print_violations(violations, args.with_assertions)
         return 1 if violations else 0
 
+    from repro.pipeline.config import PipelineConfig
+
     machine = build_machine(with_rse=args.icm,
-                            modules=("icm",) if args.icm else ())
+                            modules=("icm",) if args.icm else (),
+                            pipeline_config=(PipelineConfig(batch=False)
+                                             if args.no_jit else None))
     image, asm = build_workload_image(source, MemoryLayout())
     machine.kernel.load_process(image)
     if args.with_assertions:
@@ -163,7 +184,8 @@ def _cmd_run(args):
         with open(args.stats_json, "w") as handle:
             emit_json(snapshot, stream=handle)
     if args.json:
-        payload = {"mode": "machine", "reason": result.reason,
+        payload = {"mode": "machine", "engine": "pipeline",
+                   "batch": not args.no_jit, "reason": result.reason,
                    "cycles": result.cycles,
                    "output": [value for __, value in machine.kernel.output],
                    "snapshot": snapshot}
@@ -312,7 +334,7 @@ def _cmd_campaign(args):
             stored = ResultStore(args.store).record_for(args.replay)
             if stored is not None and not args.json:
                 print("stored record: %s" % stored)
-        record = replay(spec, args.replay)
+        record = replay(spec, args.replay, batch=args.batch)
         if args.json:
             emit_json({"replayed": record, "stored": stored})
             return 0
@@ -344,7 +366,8 @@ def _cmd_campaign(args):
                          args.model, args.injections))
             runs[protected] = run_campaign(side, workers=args.workers,
                                            chunk_size=args.chunk,
-                                           progress=progress, fork=args.fork)
+                                           progress=progress, fork=args.fork,
+                                           batch=args.batch)
         if args.json:
             emit_json({"model": args.model, "seed": args.seed,
                        "compare": {
@@ -363,7 +386,7 @@ def _cmd_campaign(args):
                  "protected" if spec.protected else "unprotected"))
     run = run_campaign(spec, workers=args.workers, chunk_size=args.chunk,
                        store_path=args.store, progress=progress,
-                       fork=args.fork)
+                       fork=args.fork, batch=args.batch)
     if args.json:
         summary = _campaign_summary(run.records)
         summary.update({"model": args.model, "seed": args.seed,
@@ -418,7 +441,7 @@ def _cmd_difftest(args):
                   shrink_diverging=not args.no_shrink,
                   corpus_dir=args.corpus, store=args.store,
                   progress=progress, assertions=args.with_assertions,
-                  **kwargs)
+                  jit=args.jit, **kwargs)
     payload = report.to_dict()
     if args.out:
         with open(args.out, "w") as handle:
@@ -430,12 +453,15 @@ def _cmd_difftest(args):
           % (report.seed, report.mode, report.executed)
           + (", %d resumed from store" % report.resumed
              if report.resumed else "")
-          + (", assertions on" if args.with_assertions else ""))
+          + (", assertions on" if args.with_assertions else "")
+          + (", trace-JIT engine on" if args.jit else ""))
     if report.limited:
         print("  %d programs hit the step limit on every engine"
               % report.limited)
     if report.ok:
-        print("  no divergences: interp, predecode and pipeline agree")
+        engines = ("interp, predecode, jit and pipeline" if args.jit
+                   else "interp, predecode and pipeline")
+        print("  no divergences: %s agree" % engines)
         if args.with_assertions:
             print("  no assertion violations on any engine")
         return 0
@@ -631,12 +657,49 @@ def _stats_cell(value):
     return str(value)
 
 
+def _trace_jit_metrics():
+    """Trace-cache gauges, published through the metrics registry.
+
+    ``repro info`` has no long-lived machine to inspect, so it warms a
+    trace cache on the built-in campaign workload (a few thousand
+    instructions) and reports what :meth:`TraceCache.publish` mirrors
+    into a :class:`~repro.obs.metrics.MetricsRegistry` — the same
+    gauges a monitoring hook would scrape off a real run.
+    """
+    from repro.campaign import DEMO_WORKLOAD
+    from repro.funcsim import FuncSim
+    from repro.isa.assembler import assemble
+    from repro.memory.mainmem import MainMemory
+    from repro.obs.metrics import MetricsRegistry
+
+    asm = assemble(DEMO_WORKLOAD)
+    memory = MainMemory()
+    memory.store_bytes(asm.text_base, asm.text)
+    memory.store_bytes(asm.data_base, asm.data)
+    sim = FuncSim(memory, entry=asm.entry, sp=0x7FFF0000,
+                  jit_enabled=True)
+    sim.run(max_steps=100_000)
+    registry = MetricsRegistry()
+    sim.trace_cache.publish(registry)
+    return registry
+
+
 def _cmd_info(args):
+    from repro.isa import traces
     from repro.pipeline.config import PipelineConfig
 
     config = PipelineConfig()
+    registry = _trace_jit_metrics()
+    jit_params = {"heat_threshold": traces.HEAT_THRESHOLD,
+                  "min_trace_len": traces.MIN_TRACE_LEN,
+                  "max_trace_len": traces.MAX_TRACE_LEN,
+                  "max_inline_depth": traces.MAX_INLINE_DEPTH,
+                  "rebuild_limit": traces.REBUILD_LIMIT,
+                  "max_traces": traces.MAX_TRACES}
     if args.json:
         emit_json({"pipeline_config": config,
+                   "trace_jit": {"params": jit_params,
+                                 "metrics": registry.snapshot()},
                    "framework_input_cost": framework_input_cost(),
                    "mlr_hardware_cost": mlr_hardware_cost()})
         return 0
@@ -652,6 +715,14 @@ def _cmd_info(args):
     ]
     print(format_table(["Parameter", "Value"], rows,
                        title="Simulated machine (paper Figure 1)"))
+    print()
+    jit_rows = [[name, str(value)] for name, value in jit_params.items()]
+    print(format_table(["Parameter", "Value"], jit_rows,
+                       title="Funcsim trace JIT (repro.isa.traces)"))
+    gauges = ", ".join("%s=%d" % (name.split(".", 1)[1], doc["value"])
+                       for name, doc in sorted(registry.snapshot().items()))
+    print("warm-up trace-cache gauges (built-in campaign workload):")
+    print("  " + gauges)
     print()
     cost = framework_input_cost()
     print("RSE input interface: %d flip-flops, %d gates (Section 3.1)"
@@ -690,8 +761,20 @@ def main(argv=None):
 
     run_parser = sub.add_parser("run", help="assemble and run a program")
     run_parser.add_argument("file")
+    run_parser.add_argument("--engine", default=None,
+                            choices=["interp", "predecode", "jit",
+                                     "pipeline"],
+                            help="execution engine (default: pipeline; "
+                                 "the others use the functional "
+                                 "simulator)")
     run_parser.add_argument("--func", action="store_true",
-                            help="use the functional simulator")
+                            help="use the functional simulator "
+                                 "(alias for --engine predecode)")
+    run_parser.add_argument("--no-jit", action="store_true",
+                            help="escape hatch: force the reference "
+                                 "execution paths (per-instruction "
+                                 "closures / one-step()-per-cycle "
+                                 "pipeline loop)")
     run_parser.add_argument("--icm", action="store_true",
                             help="attach the RSE with the ICM enabled")
     run_parser.add_argument("--max-cycles", type=int, default=50_000_000)
@@ -743,6 +826,13 @@ def main(argv=None):
                                  help="always re-simulate the warmup prefix "
                                       "(the default)")
     campaign_parser.set_defaults(fork=False)
+    campaign_parser.add_argument("--no-jit", dest="batch",
+                                 action="store_false",
+                                 help="escape hatch: run every injection "
+                                      "on the pipeline's "
+                                      "one-step()-per-cycle reference "
+                                      "loop (records are identical)")
+    campaign_parser.set_defaults(batch=True)
     campaign_parser.add_argument("--unprotected", action="store_true",
                                  help="run without the RSE/ICM (baseline)")
     campaign_parser.add_argument("--compare", action="store_true",
@@ -772,6 +862,13 @@ def main(argv=None):
     difftest_parser.add_argument("--corpus", default=None, metavar="DIR",
                                  help="write shrunk diverging programs "
                                       "as .s files under DIR")
+    difftest_parser.add_argument("--jit", dest="jit", action="store_true",
+                                 help="run the trace-JIT funcsim as a "
+                                      "fourth engine in the oracle")
+    difftest_parser.add_argument("--no-jit", dest="jit",
+                                 action="store_false",
+                                 help="three-engine oracle (the default)")
+    difftest_parser.set_defaults(jit=False)
     difftest_parser.add_argument("--no-shrink", action="store_true",
                                  help="report divergences without "
                                       "minimizing them")

@@ -1,10 +1,15 @@
-"""Lockstep oracle: one program, three engines, first divergence wins.
+"""Lockstep oracle: one program, up to four engines, first divergence wins.
 
-The three engines are:
+The engines are:
 
 * ``interp`` — :class:`~repro.funcsim.FuncSim` with
   ``predecode_enabled=False``: the fetch/decode/dispatch reference.
 * ``predecode`` — the same simulator through the closure cache.
+* ``jit`` (opt-in via ``jit=True``) — the simulator with the superblock
+  trace compiler (:mod:`repro.isa.traces`) on top of the closure cache;
+  its retired-pc stream comes from the JIT run loop's ``retire_log``,
+  so compiled traces (including their logging variants) are what is
+  actually under test.
 * ``pipeline`` — the out-of-order core; its architectural story is the
   in-order commit stream.
 
@@ -197,24 +202,40 @@ def _fresh_memory(asm):
 def _run_funcsim(engine, asm, max_steps, assertions=False):
     mem = _fresh_memory(asm)
     sim = FuncSim(mem, entry=asm.entry, sp=STACK_TOP,
-                  predecode_enabled=(engine == "predecode"))
+                  predecode_enabled=(engine != "interp"),
+                  jit_enabled=(engine == "jit"))
     adapter = attach_funcsim(sim) if assertions else None
     stream = []
     stop = "limit"
-    for __ in range(max_steps):
-        pc = sim.pc
-        result = sim.step()
-        if result is StepResult.OK:
-            stream.append(pc)
-            continue
+    if engine == "jit" and adapter is None:
+        # Run through the trace-JIT dispatch loop so compiled traces
+        # (and their retire-logging variants) are what is under test;
+        # the step loop below would bypass them entirely.  With the
+        # monitor attached the adapter overrides run() with a step
+        # loop anyway — the documented deopt path.
+        sim.retire_log = stream
+        result = sim.run(max_steps)
         if result is StepResult.HALTED:
-            stream.append(pc)
             stop = "halt"
         elif result is StepResult.FAULT:
             stop = "fault"
-        else:          # syscall: the generator never emits one
+        elif result is StepResult.SYSCALL:
             stop = "syscall"
-        break
+    else:
+        for __ in range(max_steps):
+            pc = sim.pc
+            result = sim.step()
+            if result is StepResult.OK:
+                stream.append(pc)
+                continue
+            if result is StepResult.HALTED:
+                stream.append(pc)
+                stop = "halt"
+            elif result is StepResult.FAULT:
+                stop = "fault"
+            else:          # syscall: the generator never emits one
+                stop = "syscall"
+            break
     violations = None
     if adapter is not None:
         adapter.detach()          # runs the end-of-run sweeps
@@ -380,26 +401,33 @@ def _hex(value):
 
 
 def run_source(source, max_steps=DEFAULT_MAX_STEPS, constants=None,
-               engines=ENGINES, assertions=False):
+               engines=ENGINES, assertions=False, jit=False):
     """Run *source* through the engines and compare against ``interp``.
 
     Returns an :class:`OracleResult`; ``result.divergence`` is the first
-    mismatch found (predecode first, then pipeline), or None.  With
-    *assertions*, every engine runs under the invariant suite and
-    asymmetric property firings are a fourth divergence class.
+    mismatch found (predecode first, then jit, then pipeline), or None.
+    With *assertions*, every engine runs under the invariant suite and
+    asymmetric property firings are a fourth divergence class.  With
+    *jit*, the trace-JIT functional simulator joins as a fourth engine
+    so trace-compilation bugs surface as first-divergence reports.
     """
     asm = assemble(source, constants=constants)
+    if jit and "jit" not in engines:
+        engines = tuple(engines) + ("jit",)
     runs = {"interp": _run_funcsim("interp", asm, max_steps,
                                    assertions=assertions)}
     if "predecode" in engines:
         runs["predecode"] = _run_funcsim("predecode", asm, max_steps,
                                          assertions=assertions)
+    if "jit" in engines:
+        runs["jit"] = _run_funcsim("jit", asm, max_steps,
+                                   assertions=assertions)
     if "pipeline" in engines:
         runs["pipeline"] = _run_pipeline(asm, max_steps,
                                          assertions=assertions)
     limited = all(run.stop == "limit" for run in runs.values())
     divergence = None
-    for name in ("predecode", "pipeline"):
+    for name in ("predecode", "jit", "pipeline"):
         if name in runs:
             divergence = _compare(asm, runs["interp"], runs[name])
             if divergence is not None:

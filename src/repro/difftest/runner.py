@@ -26,11 +26,12 @@ def derive_seed(seed, index):
 class FuzzReport:
     """Aggregate outcome of one fuzz run."""
 
-    def __init__(self, seed, count, mode, assertions=False):
+    def __init__(self, seed, count, mode, assertions=False, jit=False):
         self.seed = seed
         self.count = count
         self.mode = mode
         self.assertions = assertions
+        self.jit = jit
         self.executed = 0
         self.resumed = 0          # programs skipped via the store
         self.limited = 0          # every engine hit its step limit
@@ -52,18 +53,20 @@ class FuzzReport:
         if self.assertions:
             doc["assertions"] = True
             doc["violations"] = self.violations
+        if self.jit:
+            doc["jit"] = True
         return doc
 
 
-def _check_for(mode, max_steps, assertions=False):
+def _check_for(mode, max_steps, assertions=False, jit=False):
     """A shrinker predicate: rerun the oracle on a candidate program."""
     def check(program):
         return run_source(program.source, max_steps=max_steps,
-                          assertions=assertions).divergence
+                          assertions=assertions, jit=jit).divergence
     return check
 
 
-def _store_header(seed, count, mode, assertions=False):
+def _store_header(seed, count, mode, assertions=False, jit=False):
     header = {"kind": "difftest", "version": STORE_VERSION,
               "seed": seed, "mode": mode, "count": count}
     if assertions:
@@ -71,6 +74,10 @@ def _store_header(seed, count, mode, assertions=False):
         # for assertion-less runs (and are rejected for monitored ones,
         # which check more than they did).
         header["assertions"] = True
+    if jit:
+        # Same rationale: jit runs compare a fourth engine, so they
+        # can't resume a three-engine store (and vice versa).
+        header["jit"] = True
     return header
 
 
@@ -84,7 +91,7 @@ def _load_store(path, header):
         if not first.strip():
             return None
         existing = json.loads(first)
-        for key in ("kind", "seed", "mode", "assertions"):
+        for key in ("kind", "seed", "mode", "assertions", "jit"):
             if existing.get(key) != header.get(key):
                 raise ValueError(
                     "difftest store %s was written by a different run "
@@ -119,7 +126,7 @@ def _persist_repro(corpus_dir, seed, index, result):
 
 def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
          shrink_diverging=True, corpus_dir=None, store=None,
-         progress=None, assertions=False):
+         progress=None, assertions=False, jit=False):
     """Run *count* generated programs through the oracle.
 
     Returns a :class:`FuzzReport`.  With *store*, completed indexes are
@@ -128,10 +135,12 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
     With *assertions*, every engine runs under the invariant suite:
     asymmetric firings become ``assertion`` divergences and symmetric
     ones are reported per program in ``report.violations`` (either
-    fails the run).
+    fails the run).  With *jit*, the trace-JIT funcsim runs as a
+    fourth engine and is compared against the interpreter too.
     """
-    report = FuzzReport(seed, count, mode, assertions=assertions)
-    header = _store_header(seed, count, mode, assertions=assertions)
+    report = FuzzReport(seed, count, mode, assertions=assertions, jit=jit)
+    header = _store_header(seed, count, mode, assertions=assertions,
+                           jit=jit)
     done = _load_store(store, header)
     handle = None
     if store:
@@ -149,7 +158,7 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
                 continue
             program = generate(derive_seed(seed, index), mode=mode)
             result = run_source(program.source, max_steps=max_steps,
-                                assertions=assertions)
+                                assertions=assertions, jit=jit)
             report.executed += 1
             if result.limited:
                 report.limited += 1
@@ -160,7 +169,7 @@ def fuzz(seed=1234, count=100, mode="all", max_steps=DEFAULT_MAX_STEPS,
                          "divergence": result.divergence.to_dict()}
                 if shrink_diverging:
                     shrunk = shrink(program, _check_for(
-                        mode, max_steps, assertions=assertions))
+                        mode, max_steps, assertions=assertions, jit=jit))
                     entry["shrunk_idioms"] = len(shrunk.program.idioms)
                     entry["shrunk_source"] = shrunk.program.source
                     if corpus_dir:

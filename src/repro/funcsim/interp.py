@@ -2,7 +2,7 @@
 
 import enum
 
-from repro.isa import predecode, semantics
+from repro.isa import predecode, semantics, traces
 from repro.isa.encoding import DecodeError, decode
 from repro.isa.instructions import InstrClass
 from repro.isa.registers import NUM_REGS
@@ -26,6 +26,8 @@ class SimFault(Exception):
         super().__init__("fault at pc=0x%08x: %s" % (pc, cause))
         self.pc = pc
         self.cause = cause
+
+
 
 
 class FuncSim:
@@ -52,7 +54,8 @@ class FuncSim:
     """
 
     def __init__(self, memory, entry=0, sp=0, gp=0, syscall_handler=None,
-                 chk_handler=None, trace_mem=None, predecode_enabled=True):
+                 chk_handler=None, trace_mem=None, predecode_enabled=True,
+                 jit_enabled=False):
         self.memory = memory
         self.regs = [0] * NUM_REGS
         self.regs[29] = sp
@@ -67,6 +70,16 @@ class FuncSim:
         self.predecode_enabled = predecode_enabled
         self._cache = predecode.cache_for(memory) if predecode_enabled \
             else None
+        # Superblock trace JIT (repro.isa.traces): only meaningful on top
+        # of the predecode cache — traces are discovered through it and
+        # fall back to its closures on any deopt condition.
+        self.jit_enabled = bool(jit_enabled) and predecode_enabled
+        self._traces = traces.traces_for(memory) if self.jit_enabled \
+            else None
+        # Optional list the JIT run loop appends each retired pc to;
+        # mirrors the retired-pc stream a step() loop would observe (the
+        # difftest oracle compares engines on exactly this stream).
+        self.retire_log = None
         # Instrumentation points (repro.assertions): predeclared as
         # instance attributes so an attach/detach cycle only ever
         # *assigns* these keys.  Adding or deleting instance-dict keys
@@ -76,6 +89,11 @@ class FuncSim:
         # benchmarks/test_perf_assertions.py).
         self.step = self.step          # the bound bare methods; adapters
         self.run = self.run            # swap the values, detach restores
+
+    @property
+    def trace_cache(self):
+        """The shared :class:`~repro.isa.traces.TraceCache`, or None."""
+        return self._traces
 
     # ------------------------------------------------------------------ run
 
@@ -141,6 +159,16 @@ class FuncSim:
             return StepResult.OK
         if self.halted:
             return StepResult.HALTED
+        if self._traces is not None:
+            if self.trace_mem is None:
+                return self._run_traced(max_steps)
+            # Per-instruction telemetry is attached: traces would skip
+            # its events, so this run executes closure-at-a-time.
+            self._traces.deopt_runs += 1
+        return self._run_predecode(max_steps)
+
+    def _run_predecode(self, max_steps):
+        """Closure-at-a-time hot loop (predecode cache, no traces)."""
         # Hot path.  The per-step work is one dict probe, one page-version
         # compare, one closure call and an int compare; ``pc`` and the
         # retired-count delta ``n`` live in locals and are written back to
@@ -213,6 +241,176 @@ class FuncSim:
             self.instret += 1
         self.pc = pc
         self.instret += n
+        return StepResult.OK
+
+    def _run_traced(self, max_steps):
+        """Trace-dispatching hot loop (``jit_enabled``).
+
+        Architecturally identical to :meth:`_run_predecode`: traces are
+        only entered when their whole minimum retirement fits the
+        remaining step budget, fault/halt/syscall/CHECK stop points sync
+        pc/instret exactly as the closure loop does, and any condition a
+        trace cannot honour (stale page version, serializing
+        instruction, mid-run attach of ``trace_mem``) falls back to the
+        per-instruction closures.  ``probe`` limits trace-cache lookups
+        and heat accounting to control-transfer targets, so traces are
+        anchored at block heads instead of rotating through every pc of
+        a straight-line run.
+        """
+        trace_cache = self._traces
+        tentries_get = trace_cache.entries.get
+        heat = trace_cache.heat
+        heat_get = heat.get
+        heat_threshold = traces.HEAT_THRESHOLD
+        trace_fault = traces.TraceFault
+        entries_get = self._cache.entries.get
+        refill = self._cache.refill
+        versions_get = self.memory.write_versions.get
+        arith_fault = semantics.ArithmeticFault
+        halt_marker = predecode.HALT
+        syscall_marker = predecode.SYSCALL
+        regs = self.regs
+        rlog = self.retire_log
+        pc = self.pc
+        budget = max_steps
+        n = 0
+        probe = True
+        while budget > 0:
+            if probe:
+                tentry = tentries_get(pc)
+                if tentry is None:
+                    hits = heat_get(pc, 0) + 1
+                    if hits >= heat_threshold:
+                        heat.pop(pc, None)
+                        tentry = trace_cache.build(pc)
+                    else:
+                        heat[pc] = hits
+                elif versions_get(tentry[4], 0) != tentry[0]:
+                    tentry = trace_cache.rebuild(pc)
+                if tentry is not None:
+                    fn = tentry[1]
+                    if fn is not None and tentry[2] <= budget:
+                        if rlog is not None:
+                            # The logging variant appends each retired
+                            # pc itself (compiled lazily per trace).
+                            fn = tentry[5]
+                            if fn is None:
+                                tentry = trace_cache.ensure_logging(pc)
+                                fn = tentry[5]
+                        if fn is not None:
+                            try:
+                                if rlog is None:
+                                    new_pc, retired = fn(regs, budget)
+                                else:
+                                    new_pc, retired = fn(regs, budget, rlog)
+                            except trace_fault as tf:
+                                self.pc = tf.pc
+                                self.instret += n + tf.retired
+                                return self._fault(tf.pc, str(tf.exc))
+                            budget -= retired
+                            n += retired
+                            pc = new_pc
+                            continue
+            # Per-instruction fallback: exactly the _run_predecode body,
+            # plus retire logging and re-probe at control transfers.
+            entry = entries_get(pc)
+            if entry is None or versions_get(pc >> PAGE_SHIFT, 0) != entry[0]:
+                try:
+                    entry = refill(pc)
+                except (MemoryFault, DecodeError) as exc:
+                    self.pc = pc
+                    self.instret += n
+                    return self._fault(pc, str(exc))
+            try:
+                nxt = entry[1](self)
+            except (MemoryFault, arith_fault) as exc:
+                self.pc = pc
+                self.instret += n
+                return self._fault(pc, str(exc))
+            if nxt >= 0:
+                if rlog is not None:
+                    rlog.append(pc)
+                n += 1
+                budget -= 1
+                probe = nxt != ((pc + 4) & 0xFFFFFFFF)
+                pc = nxt
+                continue
+            if nxt == halt_marker:
+                if rlog is not None:
+                    rlog.append(pc)
+                self.pc = pc
+                self.instret += n + 1
+                return StepResult.HALTED
+            if nxt == syscall_marker:
+                syscall_pc = pc
+                if rlog is not None:
+                    rlog.append(pc)
+                self.pc = pc = (pc + 4) & 0xFFFFFFFF
+                self.instret += n + 1
+                n = 0
+                budget -= 1
+                handler = self.syscall_handler
+                if handler is None:
+                    raise SimFault(syscall_pc, "syscall with no handler")
+                try:
+                    keep_running = handler(self)
+                except (MemoryFault, arith_fault) as exc:
+                    return self._fault(syscall_pc, str(exc))
+                if not keep_running:
+                    return StepResult.SYSCALL
+                pc = self.pc          # the handler may redirect control
+                if self.halted:
+                    return StepResult.HALTED
+                if self.trace_mem is not None:          # attached mid-run
+                    trace_cache.deopt_runs += 1
+                    return self._deopt_tail(budget)
+                probe = True
+                continue
+            # CHECK: hook sees self.pc at the chk instruction itself.
+            self.pc = pc
+            self.instret += n
+            n = 0
+            if self.chk_handler is not None:
+                try:
+                    self.chk_handler(self, entry[3])
+                except (MemoryFault, arith_fault) as exc:
+                    return self._fault(pc, str(exc))
+                if self.halted:
+                    if rlog is not None:
+                        rlog.append(pc)
+                    self.pc = (pc + 4) & 0xFFFFFFFF
+                    self.instret += 1
+                    return StepResult.HALTED
+            if rlog is not None:
+                rlog.append(pc)
+            pc = (pc + 4) & 0xFFFFFFFF
+            self.pc = pc
+            self.instret += 1
+            budget -= 1
+            if self.trace_mem is not None:          # attached mid-run
+                trace_cache.deopt_runs += 1
+                return self._deopt_tail(budget)
+            probe = True
+        self.pc = pc
+        self.instret += n
+        return StepResult.OK
+
+    def _deopt_tail(self, remaining):
+        """Finish a JIT run per-instruction after a mid-run deopt."""
+        if remaining <= 0:
+            return StepResult.OK
+        if self.retire_log is None:
+            return self._run_predecode(remaining)
+        rlog = self.retire_log
+        for __ in range(remaining):
+            pc = self.pc
+            result = self.step()
+            if result is StepResult.OK:
+                rlog.append(pc)
+                continue
+            if result is StepResult.HALTED:
+                rlog.append(pc)
+            return result
         return StepResult.OK
 
     # -------------------------------------------------------------- execute

@@ -27,7 +27,8 @@ class PipelineConfig:
                  bimodal_entries=2048,
                  btb_entries=512,
                  predictor="bimodal",
-                 predecode=True):
+                 predecode=True,
+                 batch=True):
         self.fetch_width = fetch_width
         self.dispatch_width = dispatch_width
         self.issue_width = issue_width
@@ -48,6 +49,10 @@ class PipelineConfig:
         #: decoded stream is bit-identical either way; False keeps the
         #: direct decode path for differential testing).
         self.predecode = predecode
+        #: Let :meth:`Pipeline.run` skip provably-dead stall cycles in
+        #: one jump (perf only — cycle counts, stats and events are
+        #: identical; False forces the one-step()-per-cycle loop).
+        self.batch = batch
 
     def copy(self, **overrides):
         """Return a new config with *overrides* applied."""

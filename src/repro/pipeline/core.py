@@ -259,8 +259,21 @@ class Pipeline:
         self.stats.cycles += count
 
     def run(self, max_cycles=None):
-        """Simulate until an event occurs; returns the :class:`PipelineEvent`."""
+        """Simulate until an event occurs; returns the :class:`PipelineEvent`.
+
+        With ``config.batch`` on (and no per-cycle observer shadowing
+        :meth:`step`), runs of provably-dead stall cycles — everything
+        in flight waiting on a future ``done_cycle``, a pending I-fetch,
+        a freeze window or the timer — are skipped in one jump with
+        exact cycle/stat bookkeeping.  Any shadowed ``step`` (obs
+        probes, :mod:`repro.assertions`, tests poking per-cycle) deopts
+        to the one-``step()``-per-cycle loop so no observer misses a
+        cycle.
+        """
         limit = None if max_cycles is None else self.cycle + max_cycles
+        if (self.config.batch
+                and getattr(self.step, "__func__", None) is Pipeline.step):
+            return self._run_batched(limit)
         while True:
             event = self.step()
             if event is not None:
@@ -268,28 +281,570 @@ class Pipeline:
             if limit is not None and self.cycle >= limit:
                 return PipelineEvent(EventKind.MAX_CYCLES, pc=self.fetch_pc)
 
+    def _run_batched(self, limit):
+        """The batch fast-path behind :meth:`run` (exact-equivalent).
+
+        Two levers, both cycle-exact:
+
+        * While the machine is in its common state — no RSE attached, no
+          timer pending, outside any freeze window — :meth:`_run_fast`
+          runs a fused copy of the cycle loop with the per-cycle
+          re-polling of those conditions hoisted out.
+        * Otherwise this reference loop steps normally but jumps over
+          provably-dead stall cycles (everything in flight waiting on a
+          future ``done_cycle``, a pending I-fetch, a freeze window or
+          the timer) in one bookkeeping-exact skip, gated on
+          :meth:`RSE.quiescent` when an RSE is attached.
+        """
+        stats = self.stats
+        while True:
+            rse = self.rse
+            if (rse is None and not self._pending_timer
+                    and self.cycle >= self.freeze_until):
+                stop = limit
+                deadline = self.timer_deadline
+                if deadline is not None and (stop is None or deadline < stop):
+                    stop = deadline
+                event = self._run_fast(stop)
+                if event is not None:
+                    return event
+                if limit is not None and self.cycle >= limit:
+                    return PipelineEvent(EventKind.MAX_CYCLES,
+                                         pc=self.fetch_pc)
+                # Stopped at the timer deadline: reference steps fire it.
+            event, active = self._step_active()
+            if event is not None:
+                return event
+            if limit is not None and self.cycle >= limit:
+                return PipelineEvent(EventKind.MAX_CYCLES, pc=self.fetch_pc)
+            if active:
+                continue
+            if rse is not None:
+                # rse-like taps (assertion adapters, recorders) may not
+                # implement quiescent(); treat them as never quiescent
+                # so no per-cycle observation is ever skipped.
+                quiescent = getattr(rse, "quiescent", None)
+                if quiescent is None or not quiescent():
+                    continue
+            # Dead cycle: no in-flight state changed and (with the RSE
+            # idle) none can until one of the horizons below arrives.
+            # Every intermediate step() would only repeat the same
+            # no-op, so jump straight to the earliest horizon and
+            # replay the skipped cycles' bookkeeping.
+            cycle = self.cycle
+            horizons = []
+            if limit is not None:
+                horizons.append(limit)
+            if cycle < self.freeze_until:
+                horizons.append(self.freeze_until)
+            else:
+                for uop in self.rob:
+                    if uop.state == S_EXEC:
+                        horizons.append(uop.done_cycle)
+                if self._pending_fetch is not None:
+                    horizons.append(self._pending_fetch[1])
+                if (self.timer_deadline is not None
+                        and not self._pending_timer):
+                    horizons.append(self.timer_deadline)
+            if not horizons:
+                continue          # nothing to wait for: step like legacy
+            skip = min(horizons) - cycle
+            if skip <= 0:
+                continue
+            if (cycle >= self.freeze_until and self.fetch_enabled
+                    and self._pending_fetch is not None
+                    and self._held is None
+                    and (len(self.fetch_buffer)
+                         < self.config.fetch_buffer_entries)):
+                # Each skipped cycle would have retried the pending
+                # I-fetch and counted one stall, exactly as step() does.
+                stats.fetch_stall_cycles += skip
+            self.cycle = cycle + skip
+            stats.cycles += skip
+            if rse is not None:
+                # The skipped cycles' rse.step() calls were pure cycle
+                # stamps (quiescent above); replay the last one.
+                rse.step(self.cycle - 1)
+
+    def _run_fast(self, stop):
+        """Fused cycle loop: the hot path behind :meth:`_run_batched`.
+
+        Preconditions (the caller checks them): no RSE, no pending
+        timer, outside any freeze window, and *stop* at or before the
+        timer deadline — under those, every per-cycle branch of
+        :meth:`_step_active` that consults them is statically dead, so
+        the five phase bodies are fused here with their helpers inlined
+        and hot attributes cached in locals.  A same-block I-fetch memo
+        short-circuits the cache model for straight-line runs (the
+        block is MRU with identical hit/latency/stats outcomes either
+        way), and dead stall cycles are skipped in one jump exactly as
+        in the reference loop.  Returns an event, or None once
+        ``self.cycle`` reaches *stop*.
+
+        This duplicates :meth:`step`'s semantics by design; the
+        reference implementation stays canonical and
+        ``tests/pipeline/test_batch.py`` holds the two cycle-exact.
+        """
+        stats = self.stats
+        config = self.config
+        regs = self.regs
+        rename = self.rename
+        predictor = self.predictor
+        hierarchy = self.hierarchy
+        ifetch = hierarchy.ifetch
+        il1_stats = hierarchy.il1.stats
+        iblock_shift = hierarchy.il1._block_shift
+        memo_ok = hierarchy.l1_latency == 1
+        last_iblock = -1
+        cache = self._predecode
+        centries_get = cache.entries.get if cache is not None else None
+        memory = self.memory
+        vget = memory.write_versions.get
+        dstore = hierarchy.dstore
+        alu_result = semantics.alu_result
+        branch_taken = semantics.branch_taken
+        branch_target = semantics.branch_target
+        jump_target = semantics.jump_target
+        store_to = semantics.store_to
+        ArithmeticFault = semantics.ArithmeticFault
+        ALU = InstrClass.ALU
+        MDU = InstrClass.MDU
+        LOAD = InstrClass.LOAD
+        STORE = InstrClass.STORE
+        BRANCH = InstrClass.BRANCH
+        JUMP = InstrClass.JUMP
+        CHECK = InstrClass.CHECK
+        NOP = InstrClass.NOP
+        SYSCALL = InstrClass.SYSCALL
+        HALT_CLS = InstrClass.HALT
+        EK_FAULT = EventKind.FAULT
+        EK_SYSCALL = EventKind.SYSCALL
+        EK_HALT = EventKind.HALT
+        fetch_width = config.fetch_width
+        buffer_entries = config.fetch_buffer_entries
+        dispatch_width = config.dispatch_width
+        issue_width = config.issue_width
+        commit_width = config.commit_width
+        rob_entries = config.rob_entries
+        lsq_entries = config.lsq_entries
+        int_alus = config.int_alus
+        mdus = config.mdus
+        mem_ports = config.mem_ports
+        alu_latency = config.alu_latency
+        mul_latency = config.mul_latency
+        div_latency = config.div_latency
+        cycle = self.cycle
+        start = cycle
+        try:
+            while True:
+                if stop is not None and cycle >= stop:
+                    return None
+                active = False
+                event = None
+                rob = self.rob
+                if rob:
+                    # ---- writeback (fused, rse-free) --------------------
+                    index = 0
+                    for uop in rob:
+                        if uop.state == S_EXEC and uop.done_cycle <= cycle:
+                            active = True
+                            uop.state = S_DONE
+                            nxt = uop.actual_next
+                            if nxt is not None:
+                                instr = uop.instr
+                                taken = nxt != ((uop.pc + 4) & MASK32)
+                                if instr.iclass is BRANCH:
+                                    predictor.update(uop.pc, taken, nxt)
+                                elif instr.name in ("jr", "jalr"):
+                                    predictor.update(uop.pc, True, nxt)
+                                correct = nxt == uop.pred_next
+                                predictor.record_hit(correct)
+                                if not correct:
+                                    stats.mispredicts += 1
+                                    self._flush_younger(index)
+                                    self.fetch_pc = nxt
+                                    self.fetch_enabled = True
+                                    break
+                        index += 1
+                    # ---- commit (fused _commit, rse-free) ---------------
+                    committed = 0
+                    while rob and committed < commit_width:
+                        uop = rob[0]
+                        if uop.state != S_DONE:
+                            break
+                        instr = uop.instr
+                        if uop.fault is not None:
+                            pc, cause = uop.fault
+                            self.flush_all()
+                            self.fetch_enabled = False
+                            event = PipelineEvent(EK_FAULT, pc=pc,
+                                                  cause=cause, uop=uop)
+                            active = True
+                            break
+                        smc_flush = False
+                        if instr.is_store:
+                            store_to(memory, instr, uop.eff_addr,
+                                     uop.store_value)
+                            dstore(cycle, uop.eff_addr)
+                            stats.stores += 1
+                            smc_flush = self._smc_hazard(
+                                uop.eff_addr >> PAGE_SHIFT)
+                        dest = instr.dest
+                        if dest:
+                            if uop.value is not None:
+                                regs[dest] = uop.value
+                            if rename.get(dest) is uop:
+                                del rename[dest]
+                        del rob[0]
+                        if instr.is_mem:
+                            self._lsq_used -= 1
+                        committed += 1
+                        iclass = instr.iclass
+                        if instr.is_check:
+                            stats.committed_checks += 1
+                            if not uop.injected:
+                                stats.instret += 1
+                        elif iclass is NOP:
+                            stats.committed_nops += 1
+                            stats.instret += 1
+                        else:
+                            stats.instret += 1
+                        if instr.is_load:
+                            stats.loads += 1
+                        if instr.is_control:
+                            stats.branches += 1
+                        if smc_flush:
+                            # Store rewrote a page younger in-flight
+                            # instructions were decoded from; squash and
+                            # refetch, as the reference commit does.
+                            self.flush_all()
+                            self.fetch_pc = (uop.pc + 4) & MASK32
+                            self.fetch_enabled = True
+                            break
+                        if iclass is SYSCALL:
+                            event = PipelineEvent(EK_SYSCALL, pc=uop.pc,
+                                                  uop=uop)
+                            break
+                        if iclass is HALT_CLS:
+                            event = PipelineEvent(EK_HALT, pc=uop.pc,
+                                                  uop=uop)
+                            break
+                    if committed:
+                        active = True
+                if event is not None:
+                    cycle += 1
+                    return event
+                rob_nonempty = bool(rob)
+                rob = self.rob          # commit may have swapped the list
+                fetch_buffer = self.fetch_buffer
+                # ---- issue (fused _issue/_operands_ready/_issue_alu) ----
+                if rob_nonempty:
+                    budget = issue_width
+                    alu_free = int_alus
+                    mdu_free = mdus
+                    mem_free = mem_ports
+                    index = -1
+                    for uop in rob:
+                        index += 1
+                        if budget == 0:
+                            break
+                        if uop.state:          # != S_WAIT
+                            continue
+                        producer = uop.wait_a
+                        if producer is not None:
+                            if producer.state == S_DONE:
+                                value = producer.value
+                                uop.val_a = 0 if value is None else value
+                                uop.wait_a = None
+                            else:
+                                continue
+                        producer = uop.wait_b
+                        if producer is not None:
+                            if producer.state == S_DONE:
+                                value = producer.value
+                                uop.val_b = 0 if value is None else value
+                                uop.wait_b = None
+                            else:
+                                continue
+                        instr = uop.instr
+                        iclass = instr.iclass
+                        if iclass is LOAD:
+                            if (mem_free == 0 or
+                                    not self._try_issue_load(uop, index,
+                                                             cycle)):
+                                continue
+                            mem_free -= 1
+                        elif iclass is STORE:
+                            if mem_free == 0:
+                                continue
+                            self._issue_store(uop, cycle)
+                            mem_free -= 1
+                        else:          # ALU / MDU / branch / jump / CHECK
+                            if iclass is MDU:
+                                if mdu_free == 0:
+                                    continue
+                                mdu_free -= 1
+                            else:
+                                if alu_free == 0:
+                                    continue
+                                alu_free -= 1
+                            uop.state = S_EXEC
+                            uop.done_cycle = cycle + alu_latency
+                            if iclass is not CHECK:
+                                rs_val = rt_val = 0
+                                srcs = instr.srcs
+                                if srcs:
+                                    reg = srcs[0]
+                                    if reg == instr.rs:
+                                        rs_val = uop.val_a
+                                    if reg == instr.rt:
+                                        rt_val = uop.val_a
+                                    if len(srcs) > 1:
+                                        reg = srcs[1]
+                                        if reg == instr.rs:
+                                            rs_val = uop.val_b
+                                        if reg == instr.rt:
+                                            rt_val = uop.val_b
+                                try:
+                                    if iclass is ALU:
+                                        uop.value = alu_result(instr, rs_val,
+                                                               rt_val)
+                                    elif iclass is MDU:
+                                        uop.done_cycle = cycle + (
+                                            mul_latency
+                                            if instr.name == "mul"
+                                            else div_latency)
+                                        uop.value = alu_result(instr, rs_val,
+                                                               rt_val)
+                                    elif iclass is BRANCH:
+                                        uop.actual_next = (
+                                            branch_target(instr, uop.pc)
+                                            if branch_taken(instr, rs_val,
+                                                            rt_val)
+                                            else (uop.pc + 4) & MASK32)
+                                    else:          # JUMP
+                                        dest = instr.dest
+                                        if dest:
+                                            uop.value = (uop.pc + 4) & MASK32
+                                            if dest == instr.rs:
+                                                rs_val = uop.value
+                                        uop.actual_next = jump_target(
+                                            instr, uop.pc, rs_val)
+                                except ArithmeticFault:
+                                    uop.fault = (uop.pc,
+                                                 "integer divide by zero")
+                        budget -= 1
+                    if budget != issue_width:
+                        active = True
+                # ---- dispatch (fused _dispatch/_rename_sources) ---------
+                if fetch_buffer:
+                    dbudget = dispatch_width
+                    while dbudget and fetch_buffer:
+                        if len(rob) >= rob_entries:
+                            break
+                        uop = fetch_buffer[0]
+                        instr = uop.instr
+                        serializing = instr.serializing
+                        if serializing and rob:
+                            break
+                        is_mem = instr.is_mem
+                        if is_mem and self._lsq_used >= lsq_entries:
+                            break
+                        del fetch_buffer[0]
+                        srcs = instr.srcs
+                        if srcs:
+                            reg = srcs[0]
+                            producer = rename.get(reg)
+                            if producer is None:
+                                uop.val_a = regs[reg]
+                            elif (producer.state == S_DONE
+                                    and producer.value is not None):
+                                uop.val_a = producer.value
+                            else:
+                                uop.wait_a = producer
+                            if len(srcs) > 1:
+                                reg = srcs[1]
+                                producer = rename.get(reg)
+                                if producer is None:
+                                    uop.val_b = regs[reg]
+                                elif (producer.state == S_DONE
+                                        and producer.value is not None):
+                                    uop.val_b = producer.value
+                                else:
+                                    uop.wait_b = producer
+                        dest = instr.dest
+                        if dest:
+                            rename[dest] = uop
+                        rob.append(uop)
+                        if is_mem:
+                            self._lsq_used += 1
+                        if (serializing or instr.iclass is NOP
+                                or instr.fmt == "FAULT"):
+                            uop.state = S_DONE
+                        dbudget -= 1
+                        active = True
+                        if serializing:
+                            break
+                # ---- fetch (fused _fetch/_next_fetch/_decode_at) --------
+                if self.fetch_enabled:
+                    check_injector = self.check_injector
+                    mem_check = self.mem_check
+                    fbudget = fetch_width
+                    while fbudget and len(fetch_buffer) < buffer_entries:
+                        pc = self.fetch_pc
+                        if (self._held is not None
+                                or self._pending_fetch is not None
+                                or pc & 3):
+                            triple = self._next_fetch(cycle)
+                            if triple is None:
+                                break
+                            pc, instr, fault_cause = triple
+                        else:
+                            fault_cause = (None if mem_check is None
+                                           else mem_check(pc, 4, "x"))
+                            if fault_cause is not None:
+                                instr = _FAULT_MARKER
+                            else:
+                                block = pc >> iblock_shift
+                                if memo_ok and block == last_iblock:
+                                    # Same block as the immediately
+                                    # preceding I-fetch: guaranteed L1
+                                    # hit, already MRU — bump the same
+                                    # counters and skip the model.
+                                    il1_stats.accesses += 1
+                                    il1_stats.hits += 1
+                                else:
+                                    done = ifetch(cycle, pc)
+                                    if done > cycle + 1:
+                                        self._pending_fetch = (pc, done)
+                                        stats.fetch_stall_cycles += 1
+                                        break
+                                    last_iblock = block
+                                entry = (centries_get(pc)
+                                         if centries_get is not None
+                                         else None)
+                                if (entry is not None
+                                        and vget(pc >> PAGE_SHIFT, 0)
+                                        == entry[0]):
+                                    instr = entry[3]
+                                else:
+                                    __, instr, fault_cause = \
+                                        self._decode_at(pc)
+                        if (check_injector is not None
+                                and not self._injected_for_held
+                                and (fault_cause is not None
+                                     or not instr.is_check)):
+                            check = check_injector(pc, instr)
+                            if check is not None:
+                                self._held = (pc, instr, fault_cause)
+                                self._injected_for_held = True
+                                uop = Uop(self._seq, pc, check,
+                                          injected=True)
+                                self._seq += 1
+                                uop.pred_next = pc
+                                fetch_buffer.append(uop)
+                                fbudget -= 1
+                                active = True
+                                continue
+                        self._held = None
+                        self._injected_for_held = False
+                        uop = Uop(self._seq, pc, instr)
+                        self._seq += 1
+                        if fault_cause is not None:
+                            uop.fault = (pc, fault_cause)
+                            uop.state = S_DONE
+                            fetch_buffer.append(uop)
+                            self.fetch_enabled = False
+                            active = True
+                            break
+                        iclass = instr.iclass
+                        if iclass is BRANCH:
+                            pred = (branch_target(instr, pc)
+                                    if predictor.predict_direction(pc)
+                                    else (pc + 4) & MASK32)
+                        elif iclass is JUMP:
+                            if instr.name in ("j", "jal"):
+                                pred = jump_target(instr, pc)
+                            else:
+                                target = predictor.predict_target(pc)
+                                predictor.lookups += 1
+                                pred = (target if target is not None
+                                        else (pc + 4) & MASK32)
+                        else:
+                            pred = (pc + 4) & MASK32
+                        uop.pred_next = pred
+                        fetch_buffer.append(uop)
+                        self.fetch_pc = pred
+                        fbudget -= 1
+                        active = True
+                        if instr.serializing:
+                            self.fetch_enabled = False
+                            break
+                cycle += 1
+                if active:
+                    continue
+                # ---- dead cycle: jump to the next horizon ---------------
+                horizon = stop
+                for uop in rob:
+                    if uop.state == S_EXEC:
+                        done = uop.done_cycle
+                        if horizon is None or done < horizon:
+                            horizon = done
+                pending = self._pending_fetch
+                if pending is not None:
+                    ready = pending[1]
+                    if horizon is None or ready < horizon:
+                        horizon = ready
+                if horizon is None:
+                    continue          # nothing to wait for: keep stepping
+                skip = horizon - cycle
+                if skip <= 0:
+                    continue
+                if (self.fetch_enabled and pending is not None
+                        and self._held is None
+                        and len(fetch_buffer) < buffer_entries):
+                    # Each skipped cycle would have retried the pending
+                    # I-fetch and counted one stall, as step() does.
+                    stats.fetch_stall_cycles += skip
+                cycle += skip
+        finally:
+            stats.cycles += cycle - start
+            self.cycle = cycle
+
     # ----------------------------------------------------------------- cycle
 
     def step(self):
         """Advance one machine cycle; returns an event or None."""
+        return self._step_active()[0]
+
+    def _step_active(self):
+        """One cycle; returns ``(event, active)`` where *active* reports
+        whether any in-flight state changed (the batch fast-path skips
+        ahead only after quiet cycles)."""
         cycle = self.cycle
         event = None
+        active = False
         if cycle >= self.freeze_until:
             if (self.timer_deadline is not None and not self._pending_timer
                     and cycle >= self.timer_deadline):
                 self._pending_timer = True
                 self.fetch_enabled = False
+                active = True
             rob = self.rob
             if rob:
-                self._writeback(cycle)
+                if self._writeback(cycle):
+                    active = True
+                before = len(self.rob)
                 event = self._commit(cycle)
+                if event is not None or len(self.rob) != before:
+                    active = True
             if event is None:
-                if rob:
-                    self._issue(cycle)
-                if self.fetch_buffer:
-                    self._dispatch(cycle)
-                if self.fetch_enabled:
-                    self._fetch(cycle)
+                if rob and self._issue(cycle):
+                    active = True
+                if self.fetch_buffer and self._dispatch(cycle):
+                    active = True
+                if self.fetch_enabled and self._fetch(cycle):
+                    active = True
                 if (self._pending_timer and not self.rob
                         and not self.fetch_buffer):
                     event = PipelineEvent(EventKind.TIMER, pc=self.fetch_pc)
@@ -297,14 +852,16 @@ class Pipeline:
             self.rse.step(cycle)
         self.cycle = cycle + 1
         self.stats.cycles += 1
-        return event
+        return event, active
 
     # ------------------------------------------------------------- writeback
 
     def _writeback(self, cycle):
+        completed = False
         for index, uop in enumerate(self.rob):
             if uop.state != S_EXEC or uop.done_cycle > cycle:
                 continue
+            completed = True
             uop.state = S_DONE
             instr = uop.instr
             rse = self.rse
@@ -325,7 +882,8 @@ class Pipeline:
                     self._flush_younger(index)
                     self.fetch_pc = uop.actual_next
                     self.fetch_enabled = not self._pending_timer
-                    return
+                    return True
+        return completed
 
     # ---------------------------------------------------------------- commit
 
@@ -452,6 +1010,7 @@ class Pipeline:
                 self._issue_alu(uop, cycle)
                 alu_free -= 1
             budget -= 1
+        return config.issue_width - budget
 
     def _operands_ready(self, uop):
         producer = uop.wait_a
@@ -633,7 +1192,8 @@ class Pipeline:
 
     def _dispatch(self, cycle):
         config = self.config
-        budget = config.dispatch_width
+        width = config.dispatch_width
+        budget = width
         while budget and self.fetch_buffer:
             if len(self.rob) >= config.rob_entries:
                 break
@@ -656,6 +1216,7 @@ class Pipeline:
             budget -= 1
             if instr.serializing:
                 break          # nothing younger may enter until it retires
+        return width - budget
 
     def _rename_sources(self, uop):
         srcs = uop.instr.srcs
@@ -687,13 +1248,14 @@ class Pipeline:
 
     def _fetch(self, cycle):
         if not self.fetch_enabled:
-            return
+            return 0
         config = self.config
         budget = config.fetch_width
+        fetched = 0
         while budget and len(self.fetch_buffer) < config.fetch_buffer_entries:
             triple = self._next_fetch(cycle)
             if triple is None:
-                return
+                return fetched
             pc, instr, fault_cause = triple
             if (self.check_injector is not None
                     and not self._injected_for_held
@@ -707,6 +1269,7 @@ class Pipeline:
                     uop.pred_next = pc          # the checked instr follows
                     self.fetch_buffer.append(uop)
                     budget -= 1
+                    fetched += 1
                     continue
             self._held = None
             self._injected_for_held = False
@@ -718,14 +1281,16 @@ class Pipeline:
                 uop.state = S_DONE
                 self.fetch_buffer.append(uop)
                 self.fetch_enabled = False
-                return
+                return fetched + 1
             uop.pred_next = self._predict(pc, instr)
             self.fetch_buffer.append(uop)
             self.fetch_pc = uop.pred_next
             budget -= 1
+            fetched += 1
             if instr.serializing:
                 self.fetch_enabled = False
                 break
+        return fetched
 
     def _next_fetch(self, cycle):
         """Produce ``(pc, instr, fault_cause)`` for the next instruction.

@@ -18,6 +18,7 @@ from collections import deque
 from repro.rse.check import OP_DISABLE, OP_ENABLE, op_reads_payload
 from repro.rse.ioq import IOQ
 from repro.rse.mau import MemoryAccessUnit
+from repro.rse.module import RSEModule
 from repro.rse.queues import InputInterface
 from repro.rse.selfcheck import SelfChecker
 
@@ -211,6 +212,28 @@ class RSE:
             module.step(cycle)
         self.mau.step(cycle)
         self.selfcheck.step(cycle)
+
+    def quiescent(self):
+        """Can the next :meth:`step` calls be pure cycle stamps?
+
+        True only when every queue, blocked-CHECK backlog, deferred
+        commit, IOQ entry and the MAU are empty/idle AND no registered
+        module overrides :meth:`RSEModule.step` (AHBM heartbeats, ICM
+        in-flight checks and MLR pending stores are cycle-sensitive
+        even with nothing queued).  The pipeline's batch fast-path uses
+        this to prove skipped stall cycles cannot change RSE state.
+        """
+        if (self.mau.busy or len(self.ioq) or self._commit_deferred
+                or any(self._blk_queues.values())):
+            return False
+        for queue in self.queues.all_queues():
+            if len(queue):
+                return False
+        base_step = RSEModule.step
+        for module in self.modules.values():
+            if type(module).step is not base_step:
+                return False
+        return True
 
     def drain(self, cycles=4):
         """Step the framework past the latch delay with the pipeline idle.

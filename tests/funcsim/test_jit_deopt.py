@@ -1,0 +1,215 @@
+"""Trace-JIT deopt edges: every path that must abandon compiled traces.
+
+The JIT's contract is that architectural state is *always* identical
+to the bare interpreter, no matter what invalidates or bypasses a
+trace mid-flight.  Each test here drives one edge from the issue list:
+a campaign-style bit flip landing inside a compiled trace,
+``Machine.restore()`` rewinding a page a live trace was compiled
+from, and attach/detach of ``trace_mem`` / the assertion suite
+mid-run.
+"""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.isa.assembler import assemble
+from repro.isa.encoding import flip_bit
+from repro.isa.traces import traces_for
+from repro.memory.mainmem import MainMemory
+
+LOOP = """
+main:
+    li $t0, 0
+    li $t1, 60
+loop:
+body:
+    addi $s0, $s0, 1
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+
+
+def build(source, **kwargs):
+    asm = assemble(source)
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    return FuncSim(mem, entry=asm.entry, sp=0x7FFF0000, **kwargs), asm, mem
+
+
+def step_to(ref, budget):
+    for __ in range(budget):
+        if ref.step() is not StepResult.OK:
+            break
+
+
+def assert_same_state(jit, ref):
+    assert jit.instret == ref.instret
+    assert jit.pc == ref.pc
+    assert jit.fault == ref.fault
+    assert [jit.reg(index) for index in range(32)] == \
+           [ref.reg(index) for index in range(32)]
+
+
+def test_campaign_flip_inside_compiled_trace():
+    # The fault-injection campaign's instr-flip recipe
+    # (load_word / flip_bit / store_word) lands on an instruction in
+    # the middle of a warm compiled trace; both engines must see the
+    # mutated semantics from the same architectural point on.
+    jit, asm, mem = build(LOOP, jit_enabled=True)
+    ref, __, rmem = build(LOOP, predecode_enabled=False)
+    mid = 2 + 3 * 20
+    jit.run(mid)
+    step_to(ref, mid)
+    assert jit.trace_cache.stats()["compiled"] >= 1
+    target = asm.symbols["body"]
+    for memory in (mem, rmem):
+        word = memory.load_word(target)
+        memory.store_word(target, flip_bit(word, 1))   # addi +1 -> +3
+    assert jit.run(100_000) is StepResult.HALTED
+    assert ref.run(100_000) is StepResult.HALTED
+    assert_same_state(jit, ref)
+    assert jit.reg(16) == 20 + 40 * 3
+    assert jit.trace_cache.invalidated >= 1
+
+
+def test_machine_restore_rewinds_live_trace_page():
+    # A trace compiled from a text page stays keyed to that page's
+    # write version; Machine.restore() rewinding the page must bump
+    # the version past everything the discarded timeline used, so the
+    # stale trace can never revalidate.
+    from repro.system import build_machine
+
+    source = LOOP
+    asm = assemble(source)
+    machine = build_machine()
+    machine.memory.store_bytes(asm.text_base, asm.text)
+    machine.memory.store_bytes(asm.data_base, asm.data)
+    checkpoint = machine.checkpoint()
+
+    sim = FuncSim(machine.memory, entry=asm.entry, sp=0x7FFF0000,
+                  jit_enabled=True)
+    assert sim.run(100_000) is StepResult.HALTED
+    cache = sim.trace_cache
+    assert cache.stats()["compiled"] >= 1
+    # Mutate the text page in this timeline, then rewind it.
+    body = asm.symbols["body"]
+    word = machine.memory.load_word(body)
+    machine.memory.store_word(body, flip_bit(word, 1))
+    machine.restore(checkpoint)
+
+    # Post-rewind the bytes are the originals but every cached trace
+    # must be version-stale; a fresh run matches the interpreter.
+    again = FuncSim(machine.memory, entry=asm.entry, sp=0x7FFF0000,
+                    jit_enabled=True)
+    assert again.trace_cache is cache
+    ref, __, ___ = build(source, predecode_enabled=False)
+    assert again.run(100_000) is StepResult.HALTED
+    assert ref.run(100_000) is StepResult.HALTED
+    assert_same_state(again, ref)
+    assert cache.invalidated >= 1 or cache.compiled >= 2
+
+
+def test_trace_mem_attach_between_runs_deopts():
+    events = []
+
+    def trace(sim, instr, addr, is_store):
+        events.append((instr.name, addr, is_store))
+
+    source = """
+    .data
+x:  .word 0
+    .text
+main:
+    li $t0, 0
+    li $t1, 40
+    la $t2, x
+loop:
+    lw $t3, 0($t2)
+    addi $t3, $t3, 1
+    sw $t3, 0($t2)
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+    jit, asm, mem = build(source, jit_enabled=True)
+    mid = 3 + 5 * 20
+    jit.run(mid)
+    assert jit.trace_cache.stats()["compiled"] >= 1
+    jit.trace_mem = trace              # attach: every event from here on
+    deopts_before = jit.trace_cache.deopt_runs
+    jit.run(5 * 10)                    # ten more iterations, observed
+    assert jit.trace_cache.deopt_runs > deopts_before
+    x = asm.symbols["x"]
+    assert events == [("lw", x, False), ("sw", x, True)] * 10
+    jit.trace_mem = None               # detach: traces come back
+    assert jit.run(100_000) is StepResult.HALTED
+    assert mem.load_word(x) == 40
+    assert jit.instret == 4 + 5 * 40 + 1   # la expands to two instrs
+
+
+def test_trace_mem_attach_mid_run_deopts_tail():
+    # A syscall handler attaches trace_mem *inside* a single run()
+    # call: the dispatch loop must fall back for the remaining budget
+    # (the _deopt_tail path), not finish the run blind.
+    events = []
+
+    def trace(sim, instr, addr, is_store):
+        events.append(instr.name)
+
+    def handler(sim):
+        sim.trace_mem = trace
+        return True
+
+    source = """
+    .data
+x:  .word 0
+    .text
+main:
+    li $t0, 0
+    li $t1, 30
+    la $t2, x
+loop:
+    lw $t3, 0($t2)
+    addi $t3, $t3, 1
+    sw $t3, 0($t2)
+    addi $t0, $t0, 1
+    bne $t0, $t1, warm
+    halt
+warm:
+    slti $t4, $t0, 15
+    bne $t4, $zero, loop
+    beq $t0, $t1, loop
+    syscall
+    j loop
+"""
+    jit, asm, mem = build(source, jit_enabled=True,
+                          syscall_handler=handler)
+    ref, __, rmem = build(source, predecode_enabled=False,
+                          syscall_handler=handler)
+    assert jit.run(100_000) is StepResult.HALTED
+    jit_events = list(events)
+    events.clear()
+    assert ref.run(100_000) is StepResult.HALTED
+    assert_same_state(jit, ref)
+    assert jit_events == events        # same observation stream
+    assert jit_events                  # and the hook really fired
+
+
+def test_assertions_attach_detach_mid_run():
+    from repro.assertions import attach_funcsim
+
+    jit, asm, mem = build(LOOP, jit_enabled=True)
+    ref, __, ___ = build(LOOP, predecode_enabled=False)
+    mid = 2 + 3 * 10
+    jit.run(mid)
+    step_to(ref, mid)
+    assert jit.trace_cache.stats()["compiled"] >= 1
+
+    adapter = attach_funcsim(jit)      # forces closure-at-a-time
+    jit.run(3 * 10)
+    step_to(ref, 3 * 10)
+    adapter.detach()                   # traces come back
+    assert not adapter.monitor.violations
+    assert jit.run(100_000) is StepResult.HALTED
+    assert ref.run(100_000) is StepResult.HALTED
+    assert_same_state(jit, ref)

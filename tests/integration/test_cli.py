@@ -42,7 +42,56 @@ def test_run_functional(tmp_path, capsys):
     source.write_text("main: li $t0, 1\n halt\n")
     assert main(["run", "--func", str(source)]) == 0
     out = capsys.readouterr().out
-    assert "functional run: halted" in out
+    assert "functional run (predecode): halted" in out
+
+
+@pytest.mark.parametrize("engine", ["interp", "predecode", "jit"])
+def test_run_engine_selector(tmp_path, capsys, engine):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    assert main(["run", "--engine", engine, str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "functional run (%s): halted" % engine in out
+    if engine == "jit":
+        assert "trace JIT:" in out
+
+
+def test_run_engine_jit_json_reports_trace_cache(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+        main:
+            li $t0, 0
+            li $t1, 50
+        loop:
+            addi $t0, $t0, 1
+            bne $t0, $t1, loop
+            halt
+    """)
+    assert main(["run", "--engine", "jit", "--json", str(source)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"] == "jit"
+    assert payload["trace_cache"]["compiled"] >= 1
+
+
+def test_run_no_jit_disables_traces(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    assert main(["run", "--engine", "jit", "--no-jit", "--json",
+                 str(source)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "trace_cache" not in payload
+
+
+def test_run_pipeline_no_jit_matches_batch(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(LOOP_SOURCE)
+    assert main(["run", "--json", str(source)]) == 0
+    batched = json.loads(capsys.readouterr().out)
+    assert main(["run", "--no-jit", "--json", str(source)]) == 0
+    stepped = json.loads(capsys.readouterr().out)
+    assert stepped["batch"] is False and batched["batch"] is True
+    assert stepped["cycles"] == batched["cycles"]
+    assert stepped["snapshot"] == batched["snapshot"]
 
 
 def test_run_with_icm(tmp_path, capsys):

@@ -1,0 +1,216 @@
+"""Superblock trace JIT: discovery, equivalence, and cache hygiene.
+
+The trace JIT (:mod:`repro.isa.traces`) compiles hot straight-line
+runs into single Python functions; these tests pin down the parts the
+difftest fuzzer cannot reach deterministically — that hot loops really
+do compile, that compiled execution is architecturally identical to
+the bare interpreter (registers, instret, retired-pc stream, faults,
+step budgets), and that the per-page write-version protocol
+invalidates traces on text mutation.  The deopt *edges* (mid-run
+attach, campaign flips, checkpoint rewinds) live in
+``tests/funcsim/test_jit_deopt.py``.
+"""
+
+from repro.funcsim import FuncSim, StepResult
+from repro.isa import traces
+from repro.isa.assembler import assemble
+from repro.memory.mainmem import MainMemory
+
+LOOP = """
+main:
+    li $t0, 0
+    li $t1, 200
+loop:
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+
+CALL_LOOP = """
+main:
+    li $s0, 0
+    li $s1, 60
+loop:
+    jal bump
+    bne $s0, $s1, loop
+    halt
+bump:
+    addi $s0, $s0, 1
+    jr $ra
+"""
+
+BRANCHY = """
+    .data
+table: .word 3, 1, 4, 1, 5, 9, 2, 6
+    .text
+main:
+    li $s0, 0          # sum of the table values below 4
+    li $t0, 0          # index
+    li $t1, 8
+    la $t2, table
+loop:
+    sll $t3, $t0, 2
+    add $t3, $t3, $t2
+    lw $t4, 0($t3)
+    slti $t5, $t4, 4
+    beq $t5, $zero, big
+    add $s0, $s0, $t4
+big:
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+
+
+def build(source, **kwargs):
+    asm = assemble(source)
+    mem = MainMemory()
+    mem.store_bytes(asm.text_base, asm.text)
+    mem.store_bytes(asm.data_base, asm.data)
+    return FuncSim(mem, entry=asm.entry, sp=0x7FFF0000, **kwargs), asm, mem
+
+
+def step_reference(ref, max_steps):
+    """Step *ref* like the difftest oracle: retired pcs + halting pc."""
+    stream = []
+    result = StepResult.OK
+    for __ in range(max_steps):
+        pc = ref.pc
+        result = ref.step()
+        stream.append(pc)
+        if result is not StepResult.OK:
+            break
+    return result, stream
+
+
+def run_both(source, max_steps=100_000):
+    """Run *source* under the JIT and the bare interpreter, compare."""
+    jit, __, ___ = build(source, jit_enabled=True)
+    ref, __, ___ = build(source, predecode_enabled=False)
+    jit.retire_log = stream = []
+    jit_result = jit.run(max_steps)
+    ref_result, ref_stream = step_reference(ref, max_steps)
+    assert jit_result is ref_result
+    assert jit.instret == ref.instret
+    assert [jit.reg(index) for index in range(32)] == \
+           [ref.reg(index) for index in range(32)]
+    assert stream == ref_stream
+    assert jit.fault == ref.fault
+    return jit
+
+
+def test_hot_loop_compiles_and_matches():
+    jit = run_both(LOOP)
+    stats = jit.trace_cache.stats()
+    assert stats["compiled"] >= 1
+    assert stats["traces_live"] >= 1
+
+
+def test_call_inlining_matches():
+    jit = run_both(CALL_LOOP)
+    assert jit.trace_cache.stats()["compiled"] >= 1
+    assert jit.reg(16) == 60
+
+
+def test_internal_forward_branch_matches():
+    jit = run_both(BRANCHY)
+    assert jit.reg(16) == 3 + 1 + 1 + 2
+
+
+def test_cold_code_never_compiles():
+    # A straight-line program ends before any head gets hot.
+    jit, __, ___ = build("main:\n li $t0, 7\n halt\n", jit_enabled=True)
+    assert jit.run(100) is StepResult.HALTED
+    assert jit.trace_cache.stats()["compiled"] == 0
+
+
+def test_step_budget_is_exact_inside_a_trace():
+    # Stop the run in the middle of what the JIT executes as one
+    # compiled loop trace; instret and pc must match the interpreter
+    # stopped at the same budget.
+    for budget in (7, 50, 123, 399):
+        jit, __, ___ = build(LOOP, jit_enabled=True)
+        ref, __, ___ = build(LOOP, predecode_enabled=False)
+        jit.run(budget)
+        step_reference(ref, budget)
+        assert jit.instret == ref.instret
+        assert jit.pc == ref.pc
+
+
+def test_fault_inside_trace_attributed_exactly():
+    source = """
+main:
+    li $t0, 0
+    li $t1, 40
+loop:
+    addi $t0, $t0, 1
+    sub $t2, $t1, $t0
+    div $t3, $t0, $t2
+    bne $t0, $t1, loop
+    halt
+"""
+    jit, __, ___ = build(source, jit_enabled=True)
+    ref, __, ___ = build(source, predecode_enabled=False)
+    assert jit.run(100_000) is StepResult.FAULT
+    assert ref.run(100_000) is StepResult.FAULT
+    assert jit.fault == ref.fault
+    assert jit.instret == ref.instret
+
+
+def test_store_to_text_invalidates_live_trace():
+    # Warm the loop trace, patch the loop body's addi from +1 to +5 on
+    # both engines at the same architectural midpoint, finish the run:
+    # the JIT must re-discover, not replay the stale compiled trace.
+    from repro.isa.encoding import encode
+    from repro.isa.instructions import SPEC_BY_NAME
+
+    source = """
+main:
+    li $t0, 0
+    li $t1, 60
+loop:
+patch:
+    addi $s0, $s0, 1
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+    patched = encode(SPEC_BY_NAME["addi"], rs=16, rt=16, imm=5)
+    mid = 2 + 3 * 20                    # setup + 20 full iterations
+    jit, asm, mem = build(source, jit_enabled=True)
+    ref, __, rmem = build(source, predecode_enabled=False)
+    jit.run(mid)
+    step_reference(ref, mid)
+    assert jit.instret == ref.instret
+    assert jit.trace_cache.stats()["compiled"] >= 1
+    mem.store_word(asm.symbols["patch"], patched)
+    rmem.store_word(asm.symbols["patch"], patched)
+    assert jit.run(100_000) is StepResult.HALTED
+    assert ref.run(100_000) is StepResult.HALTED
+    assert jit.instret == ref.instret
+    assert [jit.reg(index) for index in range(32)] == \
+           [ref.reg(index) for index in range(32)]
+    assert jit.reg(16) == 20 + 40 * 5   # $s0 felt the +5 patch
+
+
+def test_logging_variant_matches_plain():
+    jit, __, ___ = build(LOOP, jit_enabled=True)
+    assert jit.run(100_000) is StepResult.HALTED
+
+    logged, __, ___ = build(LOOP, jit_enabled=True)
+    logged.retire_log = stream = []
+    assert logged.run(100_000) is StepResult.HALTED
+    assert logged.instret == jit.instret
+    assert len(stream) == logged.instret    # every retired pc + halt pc
+    assert logged.trace_cache.stats()["compiled"] >= 1
+
+
+def test_trace_cache_shared_per_memory():
+    jit, asm, mem = build(LOOP, jit_enabled=True)
+    assert jit.run(100_000) is StepResult.HALTED
+    assert traces.traces_for(mem) is jit.trace_cache
+    # A second sim over the same memory reuses the compiled traces.
+    again = FuncSim(mem, entry=asm.entry, sp=0x7FFF0000, jit_enabled=True)
+    before = again.trace_cache.compiled
+    assert again.run(100_000) is StepResult.HALTED
+    assert again.trace_cache.compiled == before

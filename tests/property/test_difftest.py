@@ -222,3 +222,67 @@ def test_fuzz_store_rejects_mismatched_run(tmp_path):
 def test_derived_seeds_are_distinct():
     seeds = {derive_seed(1234, index) for index in range(1000)}
     assert len(seeds) == 1000
+
+
+# ----------------------------------------------------------- jit engine
+
+HOT_XOR_SOURCE = """
+main:
+    li $t0, 0
+    li $t1, 20
+    li $s2, 0
+loop:
+    xor $s2, $s2, $t0
+    addi $t0, $t0, 1
+    bne $t0, $t1, loop
+    halt
+"""
+
+
+@pytest.fixture
+def broken_xor_trace(monkeypatch):
+    """Corrupt xor only in the *trace* compiler; closures stay honest."""
+    import repro.isa.traces as traces
+
+    real = traces._Emitter._alu_expr
+
+    def broken(self, instr):
+        expr = real(self, instr)
+        if instr.name == "xor":
+            return "((%s) | 1)" % expr
+        return expr
+
+    monkeypatch.setattr(traces._Emitter, "_alu_expr", broken)
+
+
+def test_jit_engine_runs_and_agrees():
+    result = run_source(HOT_XOR_SOURCE, jit=True)
+    assert result.ok
+    assert set(result.runs) == {"interp", "predecode", "jit", "pipeline"}
+    jit_run = result.runs["jit"]
+    assert jit_run.stop == "halt"
+    assert jit_run.stream == result.runs["interp"].stream
+
+
+def test_oracle_catches_broken_trace_compiler(broken_xor_trace):
+    # The predecode closures are untouched, so without the jit engine
+    # the oracle is blind to the bug ...
+    assert run_source(HOT_XOR_SOURCE).ok
+    # ... and with it the divergence names the jit engine.
+    divergence = run_source(HOT_XOR_SOURCE, jit=True).divergence
+    assert divergence is not None
+    assert divergence.engines == ("interp", "jit")
+
+
+def test_fuzz_jit_smoke_is_clean():
+    report = fuzz(seed=4321, count=10, mode="all", jit=True)
+    assert report.ok
+    assert report.executed == 10
+    assert report.to_dict()["jit"] is True
+
+
+def test_fuzz_store_separates_jit_runs(tmp_path):
+    store = str(tmp_path / "difftest.jsonl")
+    fuzz(seed=11, count=2, mode="basic", store=store)
+    with pytest.raises(ValueError):
+        fuzz(seed=11, count=2, mode="basic", store=store, jit=True)
