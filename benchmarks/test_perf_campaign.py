@@ -29,7 +29,8 @@ import subprocess
 import time
 
 from conftest import RESULTS_DIR
-from repro.campaign import CampaignSpec, DEMO_WORKLOAD, run_campaign
+from repro.campaign import (CampaignSpec, DEMO_WORKLOAD, ExecutionOptions,
+                            run_campaign)
 
 #: 64 passes instead of 16: a longer shared prefix per trigger.
 WORKLOAD = DEMO_WORKLOAD.replace("li $t5, 16", "li $t5, 64")
@@ -59,13 +60,14 @@ def test_fork_speedup(benchmark):
     spec = campaign_spec()
 
     start = time.perf_counter()
-    cold = run_campaign(spec, fork=False)
+    cold = run_campaign(spec, options=ExecutionOptions(fork=False))
     cold_elapsed = time.perf_counter() - start
 
     start = time.perf_counter()
-    forked = benchmark.pedantic(run_campaign, args=(spec,),
-                                kwargs={"fork": True},
-                                rounds=1, iterations=1)
+    forked = benchmark.pedantic(
+        run_campaign, args=(spec,),
+        kwargs={"options": ExecutionOptions(fork=True)},
+        rounds=1, iterations=1)
     fork_elapsed = time.perf_counter() - start
 
     assert cold.records == forked.records

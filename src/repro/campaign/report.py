@@ -22,40 +22,57 @@ def outcome_counts(records):
     return counts
 
 
-def detection_stats(records, z=1.96):
-    """``(detected, total, rate, (ci_low, ci_high))`` for *records*.
+def detection_stats_from_counts(counts, z=1.96):
+    """``(detected, total, rate, (ci_low, ci_high))`` from a counts dict.
 
     *total* counts only runs whose fault actually fired: NOT_TRIGGERED
     runs ended (or were skipped) before the trigger cycle, so they carry
-    no information about detection and would deflate the rate.
+    no information about detection and would deflate the rate.  Taking
+    counts (not records) is what lets the live aggregator — which folds
+    million-injection campaigns into a counts dict instead of holding
+    records — report the same numbers as a post-hoc record scan.
     """
-    total = sum(1 for record in records
-                if record["outcome"] != Outcome.NOT_TRIGGERED.value)
-    detected = sum(1 for record in records
-                   if record["outcome"] == Outcome.DETECTED.value)
+    total = sum(counts.values()) - counts.get(Outcome.NOT_TRIGGERED.value, 0)
+    detected = counts.get(Outcome.DETECTED.value, 0)
     return detected, total, rate(detected, total), \
         wilson_interval(detected, total, z=z)
 
 
+def detection_stats(records, z=1.96):
+    """:func:`detection_stats_from_counts` over raw record dicts."""
+    return detection_stats_from_counts(outcome_counts(records), z=z)
+
+
+def damage_count_from_counts(counts):
+    """Damaging runs (faulted/corrupted/hung/crashed) from a counts dict."""
+    return sum(counts.get(outcome.value, 0) for outcome in DAMAGE_OUTCOMES)
+
+
 def damage_count(records):
     """Runs where the fault faulted, corrupted, hung or crashed the run."""
-    bad = {outcome.value for outcome in DAMAGE_OUTCOMES}
-    return sum(1 for record in records if record["outcome"] in bad)
+    return damage_count_from_counts(outcome_counts(records))
 
 
-def format_campaign_report(records, title="Fault-injection campaign"):
-    """One campaign's outcome table plus its detection-rate interval."""
-    counts = outcome_counts(records)
-    total = len(records) or 1
+def format_outcome_report(counts, title="Fault-injection campaign"):
+    """Outcome table plus detection-rate interval, from a counts dict.
+
+    The counts-based core of :func:`format_campaign_report`: the live
+    aggregator renders exactly this, so the report it prints when the
+    last shard lands is character-identical to the one a full record
+    scan would produce.
+    """
+    counts = dict({outcome.value: 0 for outcome in Outcome}, **counts)
+    total = sum(counts.values()) or 1
     rows = [[outcome, str(count), "%.1f%%" % (100.0 * count / total)]
             for outcome, count in counts.items()]
-    detected, n, det_rate, (low, high) = detection_stats(records)
+    detected, n, det_rate, (low, high) = detection_stats_from_counts(counts)
     lines = [format_table(["Outcome", "Runs", "Share"], rows, title=title)]
     lines.append("")
     lines.append("detection rate: %d/%d = %.1f%%  "
                  "(95%% Wilson CI: %.1f%% - %.1f%%)"
                  % (detected, n, 100 * det_rate, 100 * low, 100 * high))
-    lines.append("damaging runs:  %d/%d" % (damage_count(records), n))
+    lines.append("damaging runs:  %d/%d"
+                 % (damage_count_from_counts(counts), n))
     flagged = counts[Outcome.ASSERTION.value]
     if flagged:
         lines.append("assertion-flagged: %d run(s) caught by the "
@@ -66,6 +83,11 @@ def format_campaign_report(records, title="Fault-injection campaign"):
         lines.append("not triggered:  %d run(s), excluded from the "
                      "detection rate" % skipped)
     return "\n".join(lines)
+
+
+def format_campaign_report(records, title="Fault-injection campaign"):
+    """One campaign's outcome table plus its detection-rate interval."""
+    return format_outcome_report(outcome_counts(records), title=title)
 
 
 def format_comparison(protected_records, baseline_records,

@@ -32,8 +32,10 @@ for the remaining work.
 
 import hashlib
 import json
+import warnings
 
 from repro.campaign.models import Injection, Outcome, get_model
+from repro.campaign.options import ExecutionOptions
 from repro.campaign.space import sample_injections
 from repro.campaign.store import ResultStore
 from repro.isa.assembler import assemble
@@ -138,7 +140,7 @@ class CampaignContext:
     per-injection loop.
     """
 
-    def __init__(self, spec, batch=True):
+    def __init__(self, spec, batch=True, golden=None):
         self.spec = spec
         # Execution detail like ``fork``: batch=False forces the
         # pipeline's one-step()-per-cycle reference loop.  Records are
@@ -154,7 +156,14 @@ class CampaignContext:
         self.control_pcs = self._enumerate_control()
         self.data_words = [self.asm.data_base + offset
                            for offset in range(0, len(self.asm.data) & ~3, 4)]
-        self.golden_regs, self.golden_cycles = self._golden_run()
+        if golden is not None:
+            # Precomputed golden results (a CampaignImage shipped them):
+            # skip re-simulating the fault-free workload in this process.
+            self.golden_regs = {int(reg): value
+                                for reg, value in golden["regs"].items()}
+            self.golden_cycles = golden["cycles"]
+        else:
+            self.golden_regs, self.golden_cycles = self._golden_run()
 
     def _enumerate_checked(self):
         from repro.memory.mainmem import MainMemory
@@ -237,41 +246,51 @@ def classify(machine, ctx, event):
     return Outcome.CRASHED      # SYSCALL/TIMER: escaped the fault model
 
 
+def strike_injection(ctx, machine, injection):
+    """Arm, trigger and classify one injection on a ready *machine*.
+
+    *machine* must hold the pristine (cycle-boundary) workload state —
+    freshly built, or just restored from a checkpoint image.  Raises on
+    simulator failure; callers own crash isolation.
+    """
+    budget = ctx.spec.max_cycles
+    trigger = ctx.model.arm(machine, ctx, injection.params)
+    if trigger:
+        if not 0 < trigger < budget:
+            # The model sampled a trigger outside the run budget.
+            # Clamping would fire the fault at a cycle the model
+            # never chose; report the run as never injected instead.
+            return not_triggered_record(injection)
+        event = machine.pipeline.run(max_cycles=trigger)
+        if event.kind is not EventKind.MAX_CYCLES:
+            # The workload ended before the armed trigger: fire()
+            # never ran, so no fault landed and the outcome says
+            # nothing about detection.
+            return not_triggered_record(injection, event=event,
+                                        cycles=machine.pipeline.cycle)
+        # Reached the trigger point: strike, then run out the rest
+        # of the budget.
+        ctx.model.fire(machine, ctx, injection.params)
+        event = machine.pipeline.run(max_cycles=budget - trigger)
+    else:
+        event = machine.pipeline.run(max_cycles=budget)
+    outcome = classify(machine, ctx, event)
+    record = {"id": injection.id, "model": injection.model,
+              "seed": injection.seed, "params": injection.params,
+              "outcome": outcome.value, "event": event.kind.value,
+              "pc": event.pc, "cycles": machine.pipeline.cycle}
+    if ctx.spec.assertions:
+        record["assertions"] = machine.assertions.violation_count()
+    return record
+
+
 def execute_injection(ctx, injection):
     """Run one injection on a fresh machine; returns its record dict."""
     try:
         machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
                                              assertions=ctx.spec.assertions,
                                              batch=ctx.batch)
-        budget = ctx.spec.max_cycles
-        trigger = ctx.model.arm(machine, ctx, injection.params)
-        if trigger:
-            if not 0 < trigger < budget:
-                # The model sampled a trigger outside the run budget.
-                # Clamping would fire the fault at a cycle the model
-                # never chose; report the run as never injected instead.
-                return not_triggered_record(injection)
-            event = machine.pipeline.run(max_cycles=trigger)
-            if event.kind is not EventKind.MAX_CYCLES:
-                # The workload ended before the armed trigger: fire()
-                # never ran, so no fault landed and the outcome says
-                # nothing about detection.
-                return not_triggered_record(injection, event=event,
-                                            cycles=machine.pipeline.cycle)
-            # Reached the trigger point: strike, then run out the rest
-            # of the budget.
-            ctx.model.fire(machine, ctx, injection.params)
-            event = machine.pipeline.run(max_cycles=budget - trigger)
-        else:
-            event = machine.pipeline.run(max_cycles=budget)
-        outcome = classify(machine, ctx, event)
-        record = {"id": injection.id, "model": injection.model,
-                  "seed": injection.seed, "params": injection.params,
-                  "outcome": outcome.value, "event": event.kind.value,
-                  "pc": event.pc, "cycles": machine.pipeline.cycle}
-        if ctx.spec.assertions:
-            record["assertions"] = machine.assertions.violation_count()
-        return record
+        return strike_injection(ctx, machine, injection)
     except Exception as exc:                         # crash-isolate the run
         return crashed_record(injection, repr(exc))
 
@@ -398,10 +417,16 @@ def _fork_order(ctx, injections):
 
 
 class CampaignRun:
-    """The outcome of :func:`run_campaign`: ordered records + metrics."""
+    """The outcome of :func:`run_campaign`: ordered records + metrics.
 
-    def __init__(self, spec, records):
+    Carries the :class:`~repro.campaign.options.ExecutionOptions` the
+    campaign actually ran with — records never depend on them, but
+    audits and reports want to know how the numbers were produced.
+    """
+
+    def __init__(self, spec, records, options=None):
         self.spec = spec
+        self.options = options if options is not None else ExecutionOptions()
         self.records = sorted(records, key=lambda record: record["id"])
 
     def count(self, outcome):
@@ -505,33 +530,76 @@ def _parallel_dispatch(spec, todo, chunk_size, workers, emit, fork=False,
 
 # ------------------------------------------------------------------- campaign
 
-def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
-                 progress=None, fork=False, batch=True):
+#: Legacy run_campaign keyword -> ExecutionOptions field.
+_LEGACY_KWARGS = {"workers": "workers", "chunk_size": "chunk_size",
+                  "store_path": "store", "fork": "fork", "batch": "batch"}
+
+
+def _coerce_options(options, legacy):
+    """Resolve the options object from the new or the deprecated shape."""
+    if legacy:
+        unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+        if unknown:
+            raise TypeError("run_campaign() got unexpected keyword "
+                            "argument(s): %s" % ", ".join(unknown))
+        if options is not None:
+            raise TypeError("pass either options=ExecutionOptions(...) or "
+                            "the legacy keyword arguments, not both")
+        warnings.warn(
+            "run_campaign(spec, %s=...) is deprecated; pass "
+            "options=ExecutionOptions(...) instead"
+            % ", ".join(sorted(legacy)),
+            DeprecationWarning, stacklevel=3)
+        return ExecutionOptions(**{_LEGACY_KWARGS[key]: value
+                                   for key, value in legacy.items()})
+    return options if options is not None else ExecutionOptions()
+
+
+def _full_coverage(spec, records):
+    """True when *records* already hold every id the spec defines."""
+    done = {record["id"] for record in records}
+    return set(range(spec.injections)) <= done
+
+
+def run_campaign(spec, options=None, progress=None, **legacy):
     """Execute (or resume) a campaign; returns a :class:`CampaignRun`.
 
     Args:
-        spec: the :class:`CampaignSpec` defining the campaign.
-        workers: >1 fans injections out over a process pool.
-        chunk_size: injections handed to a worker per dispatch.
-        store_path: JSONL store; if it already holds records for this
-            spec's fingerprint, only the missing injections run.
+        spec: the :class:`CampaignSpec` defining the campaign — the
+            only input that affects the records.
+        options: an :class:`~repro.campaign.options.ExecutionOptions`
+            describing how to run (workers, chunking, fork, batch,
+            shards, store).  ``options.shards > 0`` routes execution
+            through the sharded campaign service.
         progress: optional ``callback(done, total)`` fired as records
             land (including records recovered from the store).
-        fork: share trigger prefixes via machine checkpoints instead of
-            re-simulating the warmup per injection (see module
-            docstring).  Records are identical either way; only the
-            wall-clock changes, so the flag is not in the fingerprint.
-        batch: False forces the pipeline's one-step()-per-cycle
-            reference loop (``repro campaign --no-jit``).  Like fork,
-            records are identical, so it is not in the fingerprint.
-    """
-    ctx = CampaignContext(spec, batch=batch)
-    injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
 
-    store = ResultStore(store_path) if store_path else None
+    The pre-redesign keyword arguments (``workers``, ``chunk_size``,
+    ``store_path``, ``fork``, ``batch``) are still accepted and mapped
+    onto an :class:`ExecutionOptions`, with a :class:`DeprecationWarning`.
+    """
+    options = _coerce_options(options, legacy)
+    if options.shards:
+        from repro.campaign.service import run_service
+
+        return run_service(spec, options, progress=progress)
+
+    store = ResultStore(options.store) if options.store else None
     prior = []
     if store is not None and store.exists():
         __, prior = store.verify(spec.fingerprint())
+        if _full_coverage(spec, prior):
+            # The store already covers the whole spec: a pure store
+            # read.  No sampling, no assembly, no golden run — resumes
+            # over million-injection stores must not pay simulation
+            # costs to return existing records.
+            if progress is not None:
+                progress(spec.injections, spec.injections)
+            return CampaignRun(spec, prior, options)
+
+    ctx = CampaignContext(spec, batch=options.batch)
+    injections = sample_injections(ctx.model, ctx, spec.injections, spec.seed)
+    if prior:
         done = {record["id"] for record in prior}
         todo = [injection for injection in injections
                 if injection.id not in done]
@@ -556,9 +624,9 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
     # Fork mode reuses one trunk machine across injections; an attached
     # monitor would carry one strike's violations into the next run's
     # classification, so monitored campaigns always take the cold path.
-    use_fork = fork and ctx.model.arm_is_pure and not spec.assertions
+    use_fork = options.fork and ctx.model.arm_is_pure and not spec.assertions
     try:
-        if workers <= 1:
+        if options.workers <= 1:
             if use_fork and todo:
                 engine = ForkEngine(ctx)
                 for injection in _fork_order(ctx, todo):
@@ -569,12 +637,13 @@ def run_campaign(spec, workers=1, chunk_size=16, store_path=None,
         elif todo:
             if use_fork:
                 todo = _fork_order(ctx, todo)
-            _parallel_dispatch(spec, todo, chunk_size, workers, emit,
-                               fork=use_fork, batch=batch)
+            _parallel_dispatch(spec, todo, options.chunk_size,
+                               options.workers, emit, fork=use_fork,
+                               batch=options.batch)
     finally:
         if store is not None:
             store.close()
-    return CampaignRun(spec, records)
+    return CampaignRun(spec, records, options)
 
 
 def resume_spec(store_path):

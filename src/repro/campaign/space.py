@@ -27,13 +27,21 @@ def derive_seed(campaign_seed, index):
             + _SEED_SALT) & 0x7FFFFFFF
 
 
+def injection_at(model, space, index, campaign_seed):
+    """Regenerate the single injection at *index* from a built *space*.
+
+    This is the seed-range property the sharded campaign service leans
+    on: a shard covering ids ``[start, stop)`` materialises exactly its
+    own injections — no shared RNG stream, no sampling of the ids other
+    shards own.
+    """
+    seed = derive_seed(campaign_seed, index)
+    rng = random.Random(seed)
+    return Injection(index, model.name, seed, model.sample(rng, space))
+
+
 def sample_injections(model, ctx, count, campaign_seed):
     """Generate the full, deterministic injection list for a campaign."""
     space = model.build_space(ctx)
-    injections = []
-    for index in range(count):
-        seed = derive_seed(campaign_seed, index)
-        rng = random.Random(seed)
-        injections.append(Injection(index, model.name, seed,
-                                    model.sample(rng, space)))
-    return injections
+    return [injection_at(model, space, index, campaign_seed)
+            for index in range(count)]

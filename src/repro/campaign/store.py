@@ -32,20 +32,52 @@ class ResultStore:
 
     # ----------------------------------------------------------------- write
 
-    def write_header(self, fingerprint, spec_dict):
-        """Start a fresh store (truncates any existing file)."""
+    def write_header(self, fingerprint, spec_dict, extra=None):
+        """Start a fresh store (truncates any existing file).
+
+        *extra* merges additional header fields — the sharded service
+        records its shard's identity and id range here (``"shard":
+        {"id", "start", "stop", "of"}``) so a shard store is
+        self-describing and individually resumable.
+        """
         self.close()
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         self._handle = open(self.path, "w")
-        self._write({"kind": "campaign", "fingerprint": fingerprint,
-                     "spec": spec_dict})
+        header = {"kind": "campaign", "fingerprint": fingerprint,
+                  "spec": spec_dict}
+        if extra:
+            header.update(extra)
+        self._write(header)
 
     def append(self, record):
         """Append one run record; flushed immediately for crash safety."""
         if self._handle is None:
+            self._repair_tail()
             self._handle = open(self.path, "a")
         self._write(dict(record, kind="run"))
+
+    def _repair_tail(self):
+        """Terminate a torn final line before appending after a crash.
+
+        A killed campaign can leave a partial record as the last line;
+        appending straight after it would fuse the fragment and the new
+        record into one corrupt line.  Writing the missing newline first
+        turns the fragment into a lone unparsable line that
+        :meth:`load` skips, and the record that follows stays intact.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                torn = handle.read(1) != b"\n"
+        except OSError:
+            return
+        if torn:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
 
     def _write(self, payload):
         self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
@@ -64,10 +96,15 @@ class ResultStore:
     def load(self):
         """Parse the store; returns ``(header, run_records)``.
 
-        Tolerates a torn final line (the campaign was killed mid-write).
+        Tolerates torn lines anywhere (a campaign killed mid-write
+        leaves a partial record; resuming terminates it and appends
+        after, so the fragment can sit mid-file) and deduplicates by
+        injection id, first record winning — records are deterministic,
+        so a duplicate is always byte-identical anyway.
         """
         header = None
         records = []
+        seen = set()
         with open(self.path) as handle:
             for line in handle:
                 line = line.strip()
@@ -76,11 +113,14 @@ class ResultStore:
                 try:
                     payload = json.loads(line)
                 except ValueError:
-                    break               # torn tail from a killed campaign
+                    continue            # torn line from a killed campaign
                 if payload.get("kind") == "campaign":
                     header = payload
                 elif payload.get("kind") == "run":
                     del payload["kind"]     # return records exactly as run
+                    if payload.get("id") in seen:
+                        continue
+                    seen.add(payload.get("id"))
                     records.append(payload)
         if header is None:
             raise StoreMismatch("%s has no campaign header" % self.path)

@@ -53,12 +53,52 @@ paper's "drained commit boundary" (architectural state only, empty
 ROB) can simply checkpoint when the pipeline is idle; the campaign
 runner checkpoints mid-flight and relies on full microarchitectural
 capture so forked and cold runs retire identical streams.
+
+Wire format
+-----------
+
+:meth:`MachineCheckpoint.to_bytes` / :meth:`MachineCheckpoint
+.from_bytes` turn a checkpoint into a self-contained byte string that
+can cross a process (or host) boundary — the lever the sharded campaign
+service (:mod:`repro.campaign.service`) uses to simulate a warmup
+prefix once and ship the warmed image to every worker:
+
+* a fixed **versioned header** (magic + format version) so a reader can
+  reject foreign or stale images *before* unpickling anything;
+* the **page store is deduplicated** by content — identical pages (the
+  zero page under a sparse heap, replicated data segments) serialize
+  once, and the page table references blobs by ordinal;
+* component state is pickled with the machine's pinned singletons
+  replaced by **pin references** (ordinal placeholders).  On restore
+  into a machine of the same shape, each placeholder resolves to that
+  machine's own singleton — the deserialized state grafts onto the
+  target machine exactly like a live restore.  Restoring into a machine
+  of a different shape (protected vs bare) is a loud
+  :class:`CheckpointError`, not silent corruption.
+
+A :class:`CampaignImage` bundles one serialized checkpoint with the
+campaign-spec fingerprint it was warmed for plus a metadata dict
+(golden results, capture cycle), so a worker can verify it is striking
+the campaign it thinks it is before restoring anything.
 """
 
 import copy
+import hashlib
+import io
+import pickle
+import struct
 
-__all__ = ["CheckpointError", "MachineCheckpoint", "capture", "restore",
-           "warm"]
+__all__ = ["CampaignImage", "CheckpointError", "MachineCheckpoint",
+           "capture", "restore", "warm"]
+
+#: Wire-format header: magic + little-endian u16 version.  Bump the
+#: version whenever the payload layout changes; readers reject any
+#: version they were not built for.
+WIRE_MAGIC = b"RPCP"
+WIRE_VERSION = 1
+IMAGE_MAGIC = b"RPCI"
+IMAGE_VERSION = 1
+_HEADER = struct.Struct("<4sH")
 
 
 class CheckpointError(RuntimeError):
@@ -84,20 +124,203 @@ _KERNEL_SKIP = frozenset((
 ))
 
 
+class _PinRef:
+    """Placeholder for a pinned machine singleton inside wire state.
+
+    Serialized checkpoints cannot carry the live singletons a capture's
+    deepcopy memo preserved, so the wire pickler replaces each with its
+    ordinal in the deterministic :func:`_pins` list.  During
+    :func:`restore` the placeholder's ``__deepcopy__`` resolves it to
+    the *target* machine's singleton at the same ordinal — outside a
+    restore it deep-copies to itself, keeping deserialized checkpoints
+    inert and re-serializable.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        self.index = index
+
+    def __deepcopy__(self, memo):
+        pins = _ACTIVE_PINS
+        if pins is None:
+            return self
+        try:
+            return pins[self.index]
+        except IndexError:
+            raise CheckpointError(
+                "checkpoint references pin #%d but the target machine "
+                "has only %d pinned components — it was captured on a "
+                "differently shaped machine" % (self.index, len(pins)))
+
+    def __reduce__(self):
+        return (_PinRef, (self.index,))
+
+    def __repr__(self):
+        return "_PinRef(%d)" % self.index
+
+
+#: Pin list a restore is currently resolving against (single-threaded,
+#: like the rest of the simulator).
+_ACTIVE_PINS = None
+
+
 class MachineCheckpoint:
     """An immutable whole-machine snapshot (see module docstring)."""
 
-    __slots__ = ("cycle", "pages", "versions", "_state")
+    __slots__ = ("cycle", "pages", "versions", "_state", "_pins",
+                 "pin_count")
 
-    def __init__(self, cycle, pages, versions, state):
+    def __init__(self, cycle, pages, versions, state, pins=None,
+                 pin_count=None):
         self.cycle = cycle          # pipeline cycle at capture
         self.pages = pages          # page index -> bytes (materialised only)
         self.versions = versions    # page index -> write version at capture
         self._state = state         # per-component deep-copied field dicts
+        # Live captures remember their pinned singletons so to_bytes()
+        # can replace in-state references with ordinals; deserialized
+        # checkpoints have no live pins (their state holds _PinRef
+        # placeholders) but remember how many the capture machine had.
+        self._pins = pins
+        self.pin_count = (len(pins) if pin_count is None and pins is not None
+                          else pin_count)
 
     def __repr__(self):
         return "MachineCheckpoint(cycle=%d, pages=%d)" % (
             self.cycle, len(self.pages))
+
+    # ------------------------------------------------------------ wire format
+
+    def to_bytes(self):
+        """Serialize to a self-contained byte string (versioned header,
+        deduplicated page store, pin-substituted component state)."""
+        blobs = []
+        blob_index = {}
+        page_blob = {}
+        for index in sorted(self.pages):
+            payload = self.pages[index]
+            ordinal = blob_index.get(payload)
+            if ordinal is None:
+                ordinal = blob_index[payload] = len(blobs)
+                blobs.append(payload)
+            page_blob[index] = ordinal
+
+        pin_ids = ({id(pin): ordinal
+                    for ordinal, pin in enumerate(self._pins)}
+                   if self._pins is not None else {})
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=4)
+
+        def persistent_id(obj):
+            if type(obj) is _PinRef:
+                return ("pin", obj.index)
+            ordinal = pin_ids.get(id(obj))
+            return None if ordinal is None else ("pin", ordinal)
+
+        pickler.persistent_id = persistent_id
+        pickler.dump(self._state)
+        document = {
+            "cycle": self.cycle,
+            "versions": self.versions,
+            "blobs": blobs,
+            "page_blob": page_blob,
+            "state": buffer.getvalue(),
+            "pin_count": self.pin_count,
+        }
+        return (_HEADER.pack(WIRE_MAGIC, WIRE_VERSION)
+                + pickle.dumps(document, protocol=4))
+
+    @classmethod
+    def from_bytes(cls, payload):
+        """Deserialize a :meth:`to_bytes` image.
+
+        Rejects anything that is not a checkpoint image of exactly
+        :data:`WIRE_VERSION` before unpickling the body.
+        """
+        document = cls._open_wire(payload, WIRE_MAGIC, WIRE_VERSION,
+                                  "checkpoint")
+        buffer = io.BytesIO(document["state"])
+        unpickler = pickle.Unpickler(buffer)
+
+        def persistent_load(pid):
+            kind, ordinal = pid
+            if kind != "pin":
+                raise CheckpointError(
+                    "unknown persistent reference %r in checkpoint" % (pid,))
+            return _PinRef(ordinal)
+
+        unpickler.persistent_load = persistent_load
+        state = unpickler.load()
+        blobs = document["blobs"]
+        pages = {index: blobs[ordinal]
+                 for index, ordinal in document["page_blob"].items()}
+        return cls(document["cycle"], pages, document["versions"], state,
+                   pins=None, pin_count=document["pin_count"])
+
+    @staticmethod
+    def _open_wire(payload, magic, version, what):
+        """Validate a versioned header; returns the unpickled document."""
+        if len(payload) < _HEADER.size:
+            raise CheckpointError("truncated %s image" % what)
+        found_magic, found_version = _HEADER.unpack_from(payload)
+        if found_magic != magic:
+            raise CheckpointError(
+                "not a %s image (bad magic %r)" % (what, found_magic))
+        if found_version != version:
+            raise CheckpointError(
+                "%s image is format version %d; this build reads only "
+                "version %d" % (what, found_version, version))
+        return pickle.loads(payload[_HEADER.size:])
+
+
+class CampaignImage:
+    """A serialized warmed machine image bound to a campaign fingerprint.
+
+    The sharded campaign service simulates the warmup prefix once,
+    captures the machine, and ships this bundle to every worker; a
+    worker refuses to strike unless :attr:`fingerprint` matches the
+    spec it was handed (:meth:`verify`), so an image can never be
+    silently reused across campaign configurations.
+    """
+
+    __slots__ = ("fingerprint", "payload", "meta")
+
+    def __init__(self, fingerprint, payload, meta=None):
+        self.fingerprint = fingerprint   # CampaignSpec.fingerprint()
+        self.payload = payload           # MachineCheckpoint.to_bytes()
+        self.meta = dict(meta or {})     # golden results, capture cycle, ...
+
+    def checkpoint(self):
+        """Deserialize the bundled :class:`MachineCheckpoint`."""
+        return MachineCheckpoint.from_bytes(self.payload)
+
+    def verify(self, fingerprint):
+        if self.fingerprint != fingerprint:
+            raise CheckpointError(
+                "campaign image was warmed for fingerprint %s, not %s"
+                % (self.fingerprint, fingerprint))
+        return self
+
+    def digest(self):
+        """Content digest of the machine image (shard-merge audits)."""
+        return hashlib.sha256(self.payload).hexdigest()[:16]
+
+    def to_bytes(self):
+        document = {"fingerprint": self.fingerprint,
+                    "payload": self.payload, "meta": self.meta}
+        return (_HEADER.pack(IMAGE_MAGIC, IMAGE_VERSION)
+                + pickle.dumps(document, protocol=4))
+
+    @classmethod
+    def from_bytes(cls, payload):
+        document = MachineCheckpoint._open_wire(
+            payload, IMAGE_MAGIC, IMAGE_VERSION, "campaign")
+        return cls(document["fingerprint"], document["payload"],
+                   document["meta"])
+
+    def __repr__(self):
+        return "CampaignImage(fingerprint=%s, %d bytes)" % (
+            self.fingerprint, len(self.payload))
 
 
 #: class -> tuple of instance attribute names, learned from the first
@@ -197,18 +420,40 @@ def capture(machine):
                 "— drain the MAU or convert the module to on_mau_complete"
                 % ", ".join(holders))
     pages, versions = machine.memory.capture_state()
-    memo = {id(pin): pin for pin in _pins(machine)}
+    pins = _pins(machine)
+    memo = {id(pin): pin for pin in pins}
     state = copy.deepcopy(_collect(machine), memo)
-    return MachineCheckpoint(machine.pipeline.cycle, pages, versions, state)
+    return MachineCheckpoint(machine.pipeline.cycle, pages, versions, state,
+                             pins=pins)
 
 
 def restore(machine, checkpoint):
-    """Rewind *machine* to *checkpoint* (reusable; returns *machine*)."""
+    """Rewind *machine* to *checkpoint* (reusable; returns *machine*).
+
+    Works for live checkpoints (captured in this process) and wire
+    checkpoints (:meth:`MachineCheckpoint.from_bytes`) alike; a wire
+    checkpoint's pin references resolve to *machine*'s own singletons,
+    which requires the target to have the same component shape as the
+    capture machine.
+    """
+    global _ACTIVE_PINS
+
+    pins = _pins(machine)
+    if checkpoint.pin_count is not None and checkpoint.pin_count != len(pins):
+        raise CheckpointError(
+            "checkpoint was captured on a machine with %d pinned "
+            "components; this machine has %d — build the target with "
+            "the same configuration (RSE, modules, predecode)"
+            % (checkpoint.pin_count, len(pins)))
     machine.memory.restore_state(checkpoint.pages, checkpoint.versions)
     # Re-copy the stored state with the same pins so the checkpoint
     # survives this restore untouched and can be restored again.
-    memo = {id(pin): pin for pin in _pins(machine)}
-    state = copy.deepcopy(checkpoint._state, memo)
+    memo = {id(pin): pin for pin in pins}
+    _ACTIVE_PINS = pins
+    try:
+        state = copy.deepcopy(checkpoint._state, memo)
+    finally:
+        _ACTIVE_PINS = None
     _graft(machine.pipeline, state["pipeline"])
     _graft(machine.hierarchy, state["hierarchy"])
     _graft(machine.kernel, state["kernel"])

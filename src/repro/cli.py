@@ -13,6 +13,14 @@ Commands
     Run an experiment harness and print its paper-style table
     (``--quick`` for the reduced configuration).
 
+``campaign run [FILE]`` / ``campaign serve PATHS``
+    Fault-injection campaigns: ``run`` executes (or resumes) one —
+    serially, over a worker pool, or sharded with ``--shards``; ``serve``
+    tails campaign stores and aggregates live outcome counts and
+    Wilson-CI detection matrices (``--watch`` to follow a campaign as
+    it runs).  The bare historical spelling ``repro campaign <flags>``
+    still means ``campaign run``.
+
 ``attack {stack,got}``
     Run a layout-dependent exploit against the vulnerable service under
     a chosen ``--defense``.
@@ -301,6 +309,15 @@ def _cmd_attack(args):
     return 0
 
 
+def _campaign_options(args):
+    """The one place CLI flags become an ExecutionOptions."""
+    from repro.campaign import ExecutionOptions
+
+    return ExecutionOptions(workers=args.workers, chunk_size=args.chunk,
+                            fork=args.fork, batch=args.batch,
+                            shards=args.shards, store=args.store)
+
+
 def _cmd_campaign(args):
     from repro.campaign import (DEMO_WORKLOAD, CampaignSpec, MODELS,
                                 ResultStore, format_campaign_report,
@@ -351,6 +368,8 @@ def _cmd_campaign(args):
     if args.json:
         progress = None          # keep stdout pure JSON
 
+    options = _campaign_options(args)
+
     if args.compare:
         runs = {}
         for protected in (True, False):
@@ -364,10 +383,11 @@ def _cmd_campaign(args):
                 print("%s campaign (%s, %d injections):"
                       % ("protected" if protected else "unprotected",
                          args.model, args.injections))
-            runs[protected] = run_campaign(side, workers=args.workers,
-                                           chunk_size=args.chunk,
-                                           progress=progress, fork=args.fork,
-                                           batch=args.batch)
+            # One store cannot hold two specs (the fingerprints differ),
+            # so comparison runs are always store-less.
+            runs[protected] = run_campaign(side,
+                                           options=options.replace(store=None),
+                                           progress=progress)
         if args.json:
             emit_json({"model": args.model, "seed": args.seed,
                        "compare": {
@@ -381,16 +401,16 @@ def _cmd_campaign(args):
         return 0
 
     if not args.json:
-        print("campaign: model=%s injections=%d workers=%d %s"
-              % (args.model, args.injections, args.workers,
+        shard_note = (" shards=%d" % args.shards) if args.shards else ""
+        print("campaign: model=%s injections=%d workers=%d%s %s"
+              % (args.model, args.injections, args.workers, shard_note,
                  "protected" if spec.protected else "unprotected"))
-    run = run_campaign(spec, workers=args.workers, chunk_size=args.chunk,
-                       store_path=args.store, progress=progress,
-                       fork=args.fork, batch=args.batch)
+    run = run_campaign(spec, options=options, progress=progress)
     if args.json:
         summary = _campaign_summary(run.records)
         summary.update({"model": args.model, "seed": args.seed,
-                        "protected": spec.protected, "store": args.store})
+                        "protected": spec.protected, "store": args.store,
+                        "options": run.options.to_dict()})
         emit_json(summary)
         return 0
     print()
@@ -415,6 +435,60 @@ def _campaign_summary(records):
                           "rate": det_rate, "ci95": [low, high]},
             "not_triggered": counts["not_triggered"],
             "damaging_runs": damage_count(records)}
+
+
+def _cmd_campaign_serve(args):
+    """Live aggregation over campaign stores (``repro campaign serve``).
+
+    Tails the given stores (or everything beside a merged-store path)
+    and serves live outcome counts and Wilson-CI detection matrices;
+    ``--watch`` keeps polling until the campaign is complete (or
+    ``--timeout`` expires), emitting one view per interval — text
+    tables, or one JSON snapshot document per poll under ``--json``.
+    """
+    import time
+
+    from repro.campaign.aggregate import CampaignAggregator, discover_stores
+
+    if len(args.paths) == 1:
+        paths = discover_stores(args.paths[0])
+    else:
+        paths = list(args.paths)
+    aggregator = CampaignAggregator(paths, expected=args.expect)
+    deadline = (time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    while True:
+        aggregator.poll()
+        if not args.watch or aggregator.complete():
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        if args.json:
+            emit_json(aggregator.snapshot())
+        else:
+            print(aggregator.render())
+            print()
+        time.sleep(args.interval)
+
+    snapshot = aggregator.snapshot()
+    if args.out:
+        with open(args.out, "w") as handle:
+            emit_json(snapshot, stream=handle)
+    if args.json:
+        emit_json(snapshot)
+        return 0 if aggregator.complete() else 1
+    print(aggregator.render())
+    if aggregator.complete():
+        print()
+        print(aggregator.final_report(
+            title="campaign %s" % (aggregator.fingerprint or "?")))
+    else:
+        print("campaign incomplete: %d/%s records aggregated"
+              % (aggregator.done, aggregator.total
+                 if aggregator.total is not None else "?"))
+    if args.out:
+        print("snapshot written to %s" % args.out)
+    return 0 if aggregator.complete() else 1
 
 
 def _cmd_difftest(args):
@@ -792,8 +866,12 @@ def main(argv=None):
     add_json_flag(exp_parser)
     exp_parser.set_defaults(func_impl=_cmd_experiment)
 
-    campaign_parser = sub.add_parser(
-        "campaign", help="run a fault-injection campaign")
+    campaign_root = sub.add_parser(
+        "campaign", help="fault-injection campaigns (run, serve)")
+    campaign_sub = campaign_root.add_subparsers(dest="campaign_command",
+                                                required=True)
+    campaign_parser = campaign_sub.add_parser(
+        "run", help="run (or resume) a fault-injection campaign")
     campaign_parser.add_argument(
         "file", nargs="?", default=None,
         help="assembly workload (default: built-in demo loop)")
@@ -816,6 +894,10 @@ def main(argv=None):
     campaign_parser.add_argument("--store", default=None,
                                  help="JSONL result store; an existing "
                                       "store resumes the campaign")
+    campaign_parser.add_argument("--shards", type=int, default=0,
+                                 help="split the campaign into N seed-range "
+                                      "shards with work-stealing workers "
+                                      "and per-shard resumable stores")
     campaign_parser.add_argument("--fork", dest="fork", action="store_true",
                                  help="checkpoint each trigger prefix once "
                                       "and restore-and-strike per injection "
@@ -844,6 +926,30 @@ def main(argv=None):
     add_assert_flags(campaign_parser)
     add_json_flag(campaign_parser)
     campaign_parser.set_defaults(func_impl=_cmd_campaign)
+
+    serve_parser = campaign_sub.add_parser(
+        "serve", help="aggregate live (or finished) campaign stores")
+    serve_parser.add_argument(
+        "paths", nargs="+",
+        help="campaign store path(s); a single merged-store path also "
+             "picks up its sibling .shardNNN stores")
+    serve_parser.add_argument("--watch", action="store_true",
+                              help="keep polling until the campaign "
+                                   "completes (or --timeout expires)")
+    serve_parser.add_argument("--interval", type=float, default=1.0,
+                              help="seconds between polls under --watch")
+    serve_parser.add_argument("--expect", type=int, default=None,
+                              metavar="N",
+                              help="treat the campaign as N injections "
+                                   "(default: the stored spec's count)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="give up watching after this many "
+                                   "seconds")
+    serve_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="also write the final snapshot "
+                                   "document to PATH")
+    add_json_flag(serve_parser)
+    serve_parser.set_defaults(func_impl=_cmd_campaign_serve)
 
     difftest_parser = sub.add_parser(
         "difftest", help="differential fuzz of the three execution engines")
@@ -928,8 +1034,30 @@ def main(argv=None):
     add_json_flag(info_parser)
     info_parser.set_defaults(func_impl=_cmd_info)
 
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_normalize_argv(argv))
     return args.func_impl(args)
+
+
+def _normalize_argv(argv):
+    """Map the pre-redesign ``repro campaign <flags>`` onto ``campaign run``.
+
+    ``campaign`` grew subcommands (``run``, ``serve``); every historical
+    invocation — scripts, CI jobs, the README's own examples — spelled
+    the run implicitly (``repro campaign --model reg-flip``).  Inserting
+    ``run`` when the token after ``campaign`` is not a subcommand keeps
+    all of them working verbatim.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        index = argv.index("campaign")
+    except ValueError:
+        return argv
+    if any(not token.startswith("-") for token in argv[:index]):
+        return argv              # "campaign" is an operand, not the command
+    following = argv[index + 1] if index + 1 < len(argv) else None
+    if following not in ("run", "serve", "-h", "--help"):
+        argv.insert(index + 1, "run")
+    return argv
 
 
 if __name__ == "__main__":

@@ -118,23 +118,6 @@ class MemoryHierarchy:
             "bus": self.bus.snapshot(),
         }
 
-    def stats(self):
-        """Deprecated: use :meth:`snapshot` (nested ``bus`` sub-dict)."""
-        import warnings
-
-        warnings.warn("MemoryHierarchy.stats() is deprecated; use "
-                      "snapshot() (or Machine.snapshot()['memory'])",
-                      DeprecationWarning, stacklevel=2)
-        return {
-            "il1": self.il1.stats.snapshot(),
-            "dl1": self.dl1.stats.snapshot(),
-            "il2": self.il2.stats.snapshot(),
-            "dl2": self.dl2.stats.snapshot(),
-            "bus_cpu_transfers": self.bus.cpu_transfers,
-            "bus_mau_transfers": self.bus.mau_transfers,
-            "bus_mau_wait_cycles": self.bus.mau_wait_cycles,
-        }
-
     def reset_stats(self):
         for cache in (self.il1, self.dl1, self.il2, self.dl2):
             cache.stats.reset()

@@ -148,15 +148,6 @@ class PipelineStats:
         for name in self.FIELDS:
             setattr(self, name, 0)
 
-    def as_dict(self):
-        """Deprecated: use :meth:`snapshot` (same counters, plus ``ipc``)."""
-        import warnings
-
-        warnings.warn("PipelineStats.as_dict() is deprecated; use "
-                      "snapshot() (or Machine.snapshot()['pipeline'])",
-                      DeprecationWarning, stacklevel=2)
-        return {name: getattr(self, name) for name in self.FIELDS}
-
     @property
     def ipc(self):
         return self.instret / self.cycles if self.cycles else 0.0

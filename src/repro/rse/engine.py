@@ -367,21 +367,3 @@ class RSE:
         for module in self.modules.values():
             module.reset_stats()
 
-    def stats(self):
-        """Deprecated: use :meth:`snapshot` (nested ioq/mau/module docs)."""
-        import warnings
-
-        warnings.warn("RSE.stats() is deprecated; use snapshot() "
-                      "(or Machine.snapshot()['rse'])",
-                      DeprecationWarning, stacklevel=2)
-        return {
-            "checks_seen": self.checks_seen,
-            "ioq_allocated": self.ioq.allocated_total,
-            "mau_requests": self.mau.requests_total,
-            "safe_mode": self.safe_mode,
-            "selfcheck_trips": len(self.selfcheck.trips),
-            "modules": {m.name: {"enabled": m.enabled,
-                                 "checks": m.checks_received,
-                                 "errors": m.errors_raised}
-                        for m in self.modules.values()},
-        }

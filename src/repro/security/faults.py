@@ -11,6 +11,7 @@ keeps the historical API (:func:`run_bitflip_campaign`,
 import enum
 
 from repro.campaign.models import Outcome
+from repro.campaign.options import ExecutionOptions
 from repro.campaign.runner import (CampaignContext, CampaignSpec,
                                    run_campaign)
 
@@ -78,7 +79,7 @@ def run_bitflip_campaign(source, injections=50, bits_per_injection=1,
                         protected=with_icm, injections=injections,
                         seed=seed, max_cycles=max_cycles,
                         result_regs=tuple(result_regs))
-    run = run_campaign(spec, workers=workers)
+    run = run_campaign(spec, options=ExecutionOptions(workers=workers))
     result = CampaignResult()
     for record in run.records:
         result.runs.append((record["params"]["pc"],

@@ -1,6 +1,7 @@
 """The campaign ASSERTION detection channel and spec compatibility."""
 
-from repro.campaign import DEMO_WORKLOAD, CampaignSpec, run_campaign
+from repro.campaign import (DEMO_WORKLOAD, CampaignSpec, ExecutionOptions,
+                            run_campaign)
 from repro.campaign.models import Outcome
 from repro.campaign.report import format_campaign_report
 from repro.campaign.runner import (CampaignContext, build_campaign_machine,
@@ -57,8 +58,10 @@ def test_unmonitored_records_carry_no_assertion_key():
 def test_fork_mode_is_disabled_under_assertions():
     """Fork reuses one trunk machine; a live monitor would leak one
     strike's violations into the next classification."""
-    monitored = run_campaign(small_spec(assertions=True), fork=True)
-    cold = run_campaign(small_spec(assertions=True), fork=False)
+    monitored = run_campaign(small_spec(assertions=True),
+                             options=ExecutionOptions(fork=True))
+    cold = run_campaign(small_spec(assertions=True),
+                        options=ExecutionOptions(fork=False))
     assert [r["outcome"] for r in monitored.records] == \
         [r["outcome"] for r in cold.records]
 

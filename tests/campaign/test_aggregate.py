@@ -1,0 +1,164 @@
+"""Live aggregation: tailing, torn lines, dedup, Wilson matrices."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.campaign import (CampaignAggregator, CampaignSpec, DEMO_WORKLOAD,
+                            ExecutionOptions, StoreTail, run_campaign)
+from repro.campaign.aggregate import SCHEMA, discover_stores
+from repro.campaign.models import Outcome
+from repro.campaign.report import format_campaign_report
+from repro.campaign.store import StoreMismatch
+
+
+def spec_for(**kwargs):
+    kwargs.setdefault("model", "reg-flip")
+    kwargs.setdefault("injections", 8)
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("max_cycles", 30_000)
+    return CampaignSpec(DEMO_WORKLOAD, **kwargs)
+
+
+def write_store(path, fingerprint, records, spec=None):
+    with open(path, "w") as handle:
+        header = {"kind": "campaign", "fingerprint": fingerprint,
+                  "spec": spec or {"injections": len(records)}}
+        handle.write(json.dumps(header) + "\n")
+        for record in records:
+            handle.write(json.dumps(dict(record, kind="run")) + "\n")
+
+
+def record(run_id, outcome, cycles=100):
+    return {"id": run_id, "outcome": outcome, "cycles": cycles}
+
+
+# -------------------------------------------------------------------- tailing
+
+def test_tail_consumes_only_complete_lines(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    tail = StoreTail(path)
+    assert tail.poll() == []                     # file not created yet
+
+    with open(path, "w") as handle:
+        handle.write('{"kind": "run", "id": 0, "outcome": "benign"}\n')
+        handle.write('{"kind": "run", "id": 1, "outc')     # torn, no newline
+    payloads = tail.poll()
+    assert [payload["id"] for payload in payloads] == [0]
+
+    with open(path, "a") as handle:
+        handle.write('ome": "benign"}\n')                  # newline lands
+    payloads = tail.poll()
+    assert [payload["id"] for payload in payloads] == [1]
+    assert tail.poll() == []                               # nothing new
+
+
+def test_tail_skips_unparsable_mid_file_line(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"kind": "run", "id": 0, "outcome": "benign"}\n')
+        handle.write('{"kind": "run", "id": 9, "torn\n')   # terminated tear
+        handle.write('{"kind": "run", "id": 1, "outcome": "benign"}\n')
+    payloads = StoreTail(path).poll()
+    assert [payload["id"] for payload in payloads] == [0, 1]
+
+
+# ---------------------------------------------------------------- aggregation
+
+def test_aggregator_is_incremental_and_dedups(tmp_path):
+    a = str(tmp_path / "a.jsonl")
+    b = str(tmp_path / "b.jsonl")
+    write_store(a, "f" * 16, [record(0, "detected"), record(1, "benign")])
+    write_store(b, "f" * 16, [record(1, "benign"),     # duplicate id
+                              record(2, "corrupted")])
+    aggregator = CampaignAggregator([a, b])
+    assert aggregator.poll() == 3                # 4 records, 1 duplicate
+    assert aggregator.done == 3
+    assert aggregator.counts["detected"] == 1
+    assert aggregator.counts["benign"] == 1      # counted once
+    assert aggregator.poll() == 0                # nothing new
+
+    with open(a, "a") as handle:
+        handle.write(json.dumps(dict(record(3, "hung"), kind="run")) + "\n")
+    assert aggregator.poll() == 1
+    assert aggregator.counts["hung"] == 1
+
+
+def test_aggregator_rejects_foreign_fingerprint(tmp_path):
+    a = str(tmp_path / "a.jsonl")
+    b = str(tmp_path / "b.jsonl")
+    write_store(a, "a" * 16, [record(0, "benign")])
+    write_store(b, "b" * 16, [record(1, "benign")])
+    with pytest.raises(StoreMismatch):
+        CampaignAggregator([a, b]).poll()
+
+
+def test_detection_matrix_wilson_math(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    records = ([record(i, "detected") for i in range(6)]
+               + [record(6, "benign"), record(7, "corrupted"),
+                  record(8, "not_triggered")])
+    write_store(path, "f" * 16, records)
+    aggregator = CampaignAggregator([path], expected=9)
+    aggregator.poll()
+    matrix = aggregator.detection_matrix()
+    assert matrix["runs"] == 9
+    cell = matrix["outcomes"]["detected"]
+    assert cell["count"] == 6
+    assert cell["share"] == pytest.approx(6 / 9)
+    assert tuple(cell["ci"]) == wilson_interval(6, 9)
+    # NOT_TRIGGERED excluded from the detection denominator.
+    detection = matrix["detection"]
+    assert detection["injected"] == 8
+    assert detection["detected"] == 6
+    assert detection["rate"] == pytest.approx(6 / 8)
+    assert tuple(detection["ci"]) == wilson_interval(6, 8)
+    assert matrix["damaging"] == 1               # the corrupted run
+    assert aggregator.complete()
+
+
+def test_snapshot_schema_and_metrics_rollup(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    write_store(path, "f" * 16,
+                [record(0, "benign", cycles=500),
+                 record(1, "detected", cycles=900)],
+                spec={"injections": 4})
+    aggregator = CampaignAggregator([path])
+    aggregator.poll()
+    snapshot = aggregator.snapshot()
+    assert snapshot["schema"] == SCHEMA
+    assert snapshot["fingerprint"] == "f" * 16
+    assert snapshot["expected"] == 4             # from the stored spec
+    assert snapshot["done"] == 2
+    assert snapshot["complete"] is False
+    metrics = snapshot["metrics"]
+    assert metrics["campaign.records"]["value"] == 2
+    assert metrics["campaign.run_cycles"]["count"] == 2
+    assert metrics["campaign.run_cycles"]["sum"] == 1400
+    assert metrics["campaign.progress"]["value"] == 2
+    json.dumps(snapshot)                         # JSON-serializable as-is
+
+
+def test_final_report_matches_record_scan(tmp_path):
+    """The live aggregator's final report is character-identical to the
+    post-hoc report over the full record list."""
+    spec = spec_for()
+    store = str(tmp_path / "camp.jsonl")
+    run = run_campaign(spec, options=ExecutionOptions(shards=2,
+                                                      store=store))
+    aggregator = CampaignAggregator.watch(store)
+    aggregator.poll()
+    assert aggregator.complete()
+    assert aggregator.final_report() == format_campaign_report(run.records)
+    assert aggregator.render()                   # renders without records
+
+
+def test_discover_stores_finds_shard_siblings(tmp_path):
+    store = str(tmp_path / "camp.jsonl")
+    run_campaign(spec_for(injections=6),
+                 options=ExecutionOptions(shards=2, store=store))
+    paths = discover_stores(store)
+    assert [os.path.basename(path) for path in paths] == \
+        ["camp.shard000.jsonl", "camp.shard001.jsonl", "camp.jsonl"]

@@ -4,8 +4,8 @@ import os
 
 import pytest
 
-from repro.campaign import (CampaignSpec, DEMO_WORKLOAD, Outcome, replay,
-                            resume_spec, run_campaign)
+from repro.campaign import (CampaignSpec, DEMO_WORKLOAD, ExecutionOptions,
+                            Outcome, replay, resume_spec, run_campaign)
 from repro.campaign.store import ResultStore, StoreMismatch
 
 LOOP = """
@@ -88,8 +88,9 @@ def test_non_icm_models_classify_outcomes():
 
 def test_parallel_records_match_serial():
     spec = spec_for(injections=12)
-    serial = run_campaign(spec, workers=1)
-    parallel = run_campaign(spec, workers=2, chunk_size=3)
+    serial = run_campaign(spec, options=ExecutionOptions(workers=1))
+    parallel = run_campaign(
+        spec, options=ExecutionOptions(workers=2, chunk_size=3))
     assert serial.records == parallel.records
 
 
@@ -101,10 +102,10 @@ def test_parallel_is_faster_on_multicore():
     spec = spec_for(source=DEMO_WORKLOAD, injections=200, seed=5,
                     max_cycles=200_000)
     start = time.time()
-    run_campaign(spec, workers=1)
+    run_campaign(spec, options=ExecutionOptions(workers=1))
     serial = time.time() - start
     start = time.time()
-    run_campaign(spec, workers=4)
+    run_campaign(spec, options=ExecutionOptions(workers=4))
     parallel = time.time() - start
     assert parallel < serial
 
@@ -114,7 +115,7 @@ def test_parallel_is_faster_on_multicore():
 def test_resume_completes_interrupted_campaign(tmp_path):
     spec = spec_for(injections=12)
     full_path = str(tmp_path / "full.jsonl")
-    full = run_campaign(spec, store_path=full_path)
+    full = run_campaign(spec, options=ExecutionOptions(store=full_path))
 
     # Simulate a kill after 5 records, mid-write of the 6th.
     with open(full_path) as handle:
@@ -124,25 +125,27 @@ def test_resume_completes_interrupted_campaign(tmp_path):
         handle.writelines(lines[:6])
         handle.write('{"kind": "run", "id": 99, "torn')
 
-    resumed = run_campaign(spec, store_path=part_path)
+    resumed = run_campaign(spec, options=ExecutionOptions(store=part_path))
     assert resumed.records == full.records
     assert resumed.summary() == full.summary()
     # The store now holds every record and resuming again runs nothing.
-    again = run_campaign(spec, store_path=part_path)
+    again = run_campaign(spec, options=ExecutionOptions(store=part_path))
     assert again.records == full.records
 
 
 def test_resume_rejects_different_config(tmp_path):
     path = str(tmp_path / "campaign.jsonl")
-    run_campaign(spec_for(seed=1, injections=4), store_path=path)
+    run_campaign(spec_for(seed=1, injections=4),
+                 options=ExecutionOptions(store=path))
     with pytest.raises(StoreMismatch):
-        run_campaign(spec_for(seed=2, injections=4), store_path=path)
+        run_campaign(spec_for(seed=2, injections=4),
+                     options=ExecutionOptions(store=path))
 
 
 def test_store_spec_round_trip(tmp_path):
     path = str(tmp_path / "campaign.jsonl")
     spec = spec_for(injections=4)
-    run_campaign(spec, store_path=path)
+    run_campaign(spec, options=ExecutionOptions(store=path))
     recovered = resume_spec(path)
     assert recovered.fingerprint() == spec.fingerprint()
 
@@ -152,7 +155,7 @@ def test_store_spec_round_trip(tmp_path):
 def test_replay_reproduces_stored_record(tmp_path):
     path = str(tmp_path / "campaign.jsonl")
     spec = spec_for(injections=8)
-    run_campaign(spec, store_path=path)
+    run_campaign(spec, options=ExecutionOptions(store=path))
     stored = ResultStore(path).record_for(5)
     assert stored is not None
     assert replay(spec, 5) == stored
@@ -254,27 +257,81 @@ def test_not_triggered_excluded_from_detection_rate():
 def test_fork_records_match_cold_serial():
     """--fork is an execution detail: byte-identical records."""
     spec = spec_for(model="reg-flip", injections=12, max_cycles=10_000)
-    cold = run_campaign(spec, fork=False)
-    forked = run_campaign(spec, fork=True)
+    cold = run_campaign(spec, options=ExecutionOptions(fork=False))
+    forked = run_campaign(spec, options=ExecutionOptions(fork=True))
     assert cold.records == forked.records
 
 
 def test_fork_parallel_matches_cold(tmp_path):
     spec = spec_for(model="mem-flip", source=DEMO_WORKLOAD, protected=False,
                     injections=10, seed=11, max_cycles=20_000)
-    cold = run_campaign(spec, workers=1, fork=False)
-    forked = run_campaign(spec, workers=2, chunk_size=3, fork=True)
+    cold = run_campaign(
+        spec, options=ExecutionOptions(workers=1, fork=False))
+    forked = run_campaign(
+        spec, options=ExecutionOptions(workers=2, chunk_size=3,
+                                       fork=True))
     assert cold.records == forked.records
 
 
 def test_fork_flag_is_safe_for_impure_models():
     """instr-flip arms by rewriting memory; fork silently stays cold."""
     spec = spec_for(injections=6)
-    assert run_campaign(spec, fork=True).records == \
-        run_campaign(spec, fork=False).records
+    assert run_campaign(spec, options=ExecutionOptions(fork=True)).records == \
+        run_campaign(spec, options=ExecutionOptions(fork=False)).records
 
 
 # ---------------------------------------------------------------- shim
+
+def test_legacy_kwargs_warn_and_still_work(tmp_path):
+    """Pre-redesign ``run_campaign(spec, workers=...)`` keeps working
+    behind a DeprecationWarning, producing identical records."""
+    path = str(tmp_path / "campaign.jsonl")
+    spec = spec_for(injections=6)
+    canonical = run_campaign(
+        spec, options=ExecutionOptions(workers=2, chunk_size=3, store=path))
+    os.remove(path)
+    with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+        legacy = run_campaign(spec, workers=2, chunk_size=3, store_path=path)
+    assert legacy.records == canonical.records
+    assert legacy.options == ExecutionOptions(workers=2, chunk_size=3,
+                                              store=path)
+
+
+def test_legacy_kwargs_reject_unknown_and_mixed_forms():
+    spec = spec_for(injections=2)
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        run_campaign(spec, worker_count=2)
+    with pytest.raises(TypeError, match="not both"):
+        run_campaign(spec, options=ExecutionOptions(), workers=2)
+
+
+def test_run_carries_its_execution_options():
+    options = ExecutionOptions(workers=1, fork=False)
+    run = run_campaign(spec_for(injections=2), options=options)
+    assert run.options == options
+    assert run_campaign(spec_for(injections=2)).options == ExecutionOptions()
+
+
+def test_full_store_short_circuits_to_pure_read(tmp_path, monkeypatch):
+    """Resuming a fully-covered store must not build a context (no
+    assembly, no golden run) — it is a pure store read."""
+    import repro.campaign.runner as runner_mod
+
+    path = str(tmp_path / "campaign.jsonl")
+    spec = spec_for(injections=6)
+    full = run_campaign(spec, options=ExecutionOptions(store=path))
+
+    def boom(*args, **kwargs):
+        raise AssertionError("CampaignContext built on a covered store")
+
+    monkeypatch.setattr(runner_mod, "CampaignContext", boom)
+    seen = []
+    again = run_campaign(spec, options=ExecutionOptions(store=path),
+                         progress=lambda done, total: seen.append((done,
+                                                                   total)))
+    assert again.records == full.records
+    assert seen == [(6, 6)]
+
 
 def test_faults_shim_on_new_engine():
     from repro.security.faults import BitFlipOutcome, golden_state, \

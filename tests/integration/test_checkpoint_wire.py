@@ -1,0 +1,124 @@
+"""Checkpoint wire format: serialize, ship, restore into a fresh machine.
+
+The sharded campaign service's correctness rests on one property: a
+checkpoint serialized with :meth:`MachineCheckpoint.to_bytes`, carried
+across a process boundary, and restored into a *different* machine of
+the same shape behaves exactly like the machine it was captured from.
+These tests prove that over the Table 4 workloads (quick configuration)
+on the full protected machine — kernel, out-of-order pipeline, RSE with
+the ICM enabled — plus the loud-failure paths: stale format versions,
+foreign blobs, and shape mismatches must all raise
+:class:`CheckpointError` instead of corrupting anything.
+"""
+
+import pytest
+
+from repro.checkpoint import (CampaignImage, CheckpointError,
+                              MachineCheckpoint, WIRE_MAGIC, _HEADER)
+from repro.experiments.table4 import workload_sources
+from repro.program.layout import MemoryLayout
+from repro.rse.check import MODULE_ICM
+from repro.rse.modules.icm import build_checker_memory, make_icm_injector
+from repro.system import build_machine
+from repro.workloads.asmlib import build_workload_image
+
+BUDGET = 5_000_000
+
+
+def build_workload_machine(source, protected=True):
+    """Full machine (kernel + pipeline + RSE/ICM) running *source*."""
+    machine = build_machine(with_rse=protected,
+                            modules=("icm",) if protected else ())
+    image, __ = build_workload_image(source, MemoryLayout())
+    machine.kernel.load_process(image)
+    if protected:
+        icm = machine.module(MODULE_ICM)
+        text = image.segment(".text")
+        checker_map = build_checker_memory(machine.memory, text.base,
+                                           len(text.data))
+        icm.configure(checker_map)
+        machine.rse.enable_module(MODULE_ICM)
+        machine.pipeline.check_injector = make_icm_injector(checker_map)
+    return machine
+
+
+@pytest.mark.parametrize("name", sorted(workload_sources(quick=True)))
+def test_wire_round_trip_matches_live_machine(name):
+    """Serialized checkpoint -> fresh machine == the captured machine.
+
+    Runs each Table 4 workload halfway, serializes the checkpoint,
+    deserializes it into a brand-new machine, then runs both (and a
+    cold reference) to completion.  Registers, cycle counts, guest
+    output and the full telemetry snapshot must agree.
+    """
+    source = workload_sources(quick=True)[name]
+
+    cold = build_workload_machine(source)
+    cold_result = cold.kernel.run(max_cycles=BUDGET)
+    assert cold_result.reason in ("halt", "all_exited")
+    total = cold.pipeline.cycle
+    split = total // 2
+
+    donor = build_workload_machine(source)
+    donor.kernel.run(max_cycles=split)
+    assert donor.pipeline.cycle == split
+    payload = donor.checkpoint().to_bytes()
+
+    fresh = build_workload_machine(source)
+    fresh.restore(MachineCheckpoint.from_bytes(payload))
+    assert fresh.pipeline.cycle == split
+
+    donor_result = donor.kernel.run(max_cycles=BUDGET - split)
+    fresh_result = fresh.kernel.run(max_cycles=BUDGET - split)
+
+    assert fresh_result.reason == donor_result.reason == cold_result.reason
+    assert fresh.pipeline.cycle == donor.pipeline.cycle == total
+    assert list(fresh.pipeline.regs) == list(donor.pipeline.regs) \
+        == list(cold.pipeline.regs)
+    assert fresh.kernel.output == donor.kernel.output == cold.kernel.output
+    assert fresh.snapshot() == donor.snapshot()
+
+
+def test_wire_rejects_stale_version():
+    machine = build_workload_machine(
+        workload_sources(quick=True)["kmeans"])
+    payload = machine.checkpoint().to_bytes()
+    stale = _HEADER.pack(WIRE_MAGIC, 99) + payload[_HEADER.size:]
+    with pytest.raises(CheckpointError, match="version"):
+        MachineCheckpoint.from_bytes(stale)
+
+
+def test_wire_rejects_foreign_and_truncated_payloads():
+    with pytest.raises(CheckpointError):
+        MachineCheckpoint.from_bytes(b"\x00\x01")           # truncated
+    with pytest.raises(CheckpointError):
+        MachineCheckpoint.from_bytes(b"XXXX\x01\x00rest")   # wrong magic
+
+
+def test_wire_rejects_shape_mismatch():
+    """A protected-machine image must not graft onto a bare machine."""
+    source = workload_sources(quick=True)["kmeans"]
+    protected = build_workload_machine(source, protected=True)
+    protected.kernel.run(max_cycles=500)
+    payload = protected.checkpoint().to_bytes()
+
+    bare = build_workload_machine(source, protected=False)
+    with pytest.raises(CheckpointError):
+        bare.restore(MachineCheckpoint.from_bytes(payload))
+
+
+def test_campaign_image_round_trip():
+    from repro.campaign import CampaignSpec, DEMO_WORKLOAD
+    from repro.campaign.service import build_campaign_image
+
+    spec = CampaignSpec(DEMO_WORKLOAD, model="reg-flip", injections=4,
+                        seed=3, max_cycles=20_000)
+    image = build_campaign_image(spec)
+    clone = CampaignImage.from_bytes(image.to_bytes())
+    assert clone.fingerprint == spec.fingerprint()
+    assert clone.digest() == image.digest()
+    assert clone.meta["golden"] == image.meta["golden"]
+    assert clone.checkpoint().cycle == image.meta["cycle"]
+    clone.verify(spec.fingerprint())
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        clone.verify("0" * 16)

@@ -255,6 +255,67 @@ def test_campaign_store_round_trips_through_stats(tmp_path, capsys):
     assert reread["spec"]["injections"] == 4
 
 
+def test_campaign_run_subcommand_and_bare_spelling_agree(tmp_path, capsys):
+    """``repro campaign <flags>`` still means ``campaign run <flags>``."""
+    args = ["--model", "reg-flip", "--injections", "4",
+            "--max-cycles", "20000", "--json"]
+    assert main(["campaign"] + args) == 0
+    bare = json.loads(capsys.readouterr().out)
+    assert main(["campaign", "run"] + args) == 0
+    explicit = json.loads(capsys.readouterr().out)
+    assert bare == explicit
+    assert explicit["options"]["workers"] == 1
+
+
+def test_campaign_sharded_run_and_serve(tmp_path, capsys):
+    store = tmp_path / "camp.jsonl"
+    assert main(["campaign", "run", "--model", "reg-flip",
+                 "--injections", "6", "--max-cycles", "20000",
+                 "--shards", "2", "--store", str(store), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["runs"] == 6
+    assert summary["options"]["shards"] == 2
+
+    out_path = tmp_path / "final.json"
+    assert main(["campaign", "serve", str(store), "--json",
+                 "--out", str(out_path)]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["schema"] == "repro.campaign.aggregate/1"
+    assert snapshot["done"] == 6
+    assert snapshot["complete"] is True
+    assert "ci" in snapshot["matrix"]["detection"]
+    assert json.loads(out_path.read_text()) == snapshot
+
+    # Text mode prints the final campaign report once complete.
+    assert main(["campaign", "serve", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "detection rate:" in out
+
+
+def test_campaign_serve_watch_completes(tmp_path, capsys):
+    store = tmp_path / "camp.jsonl"
+    assert main(["campaign", "run", "--model", "reg-flip",
+                 "--injections", "4", "--max-cycles", "20000",
+                 "--store", str(store), "--json"]) == 0
+    capsys.readouterr()
+    # The stores are already complete, so --watch returns immediately.
+    assert main(["campaign", "serve", str(store), "--watch",
+                 "--interval", "0.1", "--timeout", "10", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["complete"] is True
+
+
+def test_campaign_serve_incomplete_exits_nonzero(tmp_path, capsys):
+    store = tmp_path / "camp.jsonl"
+    assert main(["campaign", "run", "--model", "reg-flip",
+                 "--injections", "4", "--max-cycles", "20000",
+                 "--store", str(store), "--json"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "serve", str(store),
+                 "--expect", "9"]) == 1
+    assert "incomplete" in capsys.readouterr().out
+
+
 def test_stats_rejects_unrecognised_file(tmp_path):
     bogus = tmp_path / "bogus.txt"
     bogus.write_text("not json at all\n")

@@ -21,8 +21,8 @@ def run_kmeans():
 def test_pipeline_runs_are_reproducible():
     one = run_kmeans()
     two = run_kmeans()
-    assert one.pipeline.stats.as_dict() == two.pipeline.stats.as_dict()
-    assert one.hierarchy.stats() == two.hierarchy.stats()
+    assert one.pipeline.stats.snapshot() == two.pipeline.stats.snapshot()
+    assert one.hierarchy.snapshot() == two.hierarchy.snapshot()
 
 
 def test_threaded_runs_are_reproducible():

@@ -101,8 +101,8 @@ def test_mau_access_bypasses_caches():
 def test_stats_shape():
     hier = MemoryHierarchy(BASELINE_TIMING)
     hier.ifetch(0, 0)
-    stats = hier.stats()
+    stats = hier.snapshot()
     assert stats["il1"]["accesses"] == 1
     assert "miss_rate" in stats["il1"]
     hier.reset_stats()
-    assert hier.stats()["il1"]["accesses"] == 0
+    assert hier.snapshot()["il1"]["accesses"] == 0

@@ -91,23 +91,15 @@ def test_machine_reset_stats_zeroes_counters_only():
     assert machine.cycle == before["cycle"]
 
 
-def test_deprecated_as_dict_warns_and_keeps_shape():
-    machine, __ = run_machine()
-    with pytest.warns(DeprecationWarning):
-        legacy = machine.pipeline.stats.as_dict()
-    assert set(legacy) == set(PipelineStats.FIELDS)      # no "ipc" added
+def test_legacy_stats_shims_are_gone():
+    """The pre-snapshot accessors were removed, not left half-working.
 
-
-def test_deprecated_hierarchy_stats_warns_and_keeps_shape():
-    machine, __ = run_machine()
-    with pytest.warns(DeprecationWarning):
-        legacy = machine.hierarchy.stats()
-    assert "bus_cpu_transfers" in legacy                  # old flat keys
-    assert legacy["il1"] == machine.hierarchy.snapshot()["il1"]
-
-
-def test_deprecated_rse_stats_warns():
+    ``snapshot()`` is the one stats surface; a stale caller should get
+    an immediate AttributeError, never silently diverging counters.
+    """
     machine, __ = run_machine(with_rse=True, modules=("icm",))
-    with pytest.warns(DeprecationWarning):
-        legacy = machine.rse.stats()
-    assert legacy["checks_seen"] == machine.rse.snapshot()["checks_seen"]
+    assert not hasattr(machine.pipeline.stats, "as_dict")
+    assert not hasattr(machine.hierarchy, "stats")
+    assert not hasattr(machine.rse, "stats")
+    assert set(machine.pipeline.stats.snapshot()) == \
+        set(PipelineStats.FIELDS) | {"ipc"}

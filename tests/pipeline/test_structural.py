@@ -131,7 +131,7 @@ def test_config_copy_rejects_unknown_field():
 
 def test_stats_dict_shape():
     pipe, __, event = run_pipeline("main: li $t0, 1\n halt\n")
-    stats = pipe.stats.as_dict()
+    stats = pipe.stats.snapshot()
     for field in ("cycles", "instret", "branches", "mispredicts",
                   "squashed", "fetch_stall_cycles"):
         assert field in stats

@@ -169,6 +169,6 @@ def test_mau_moves_data_and_counts():
 def test_engine_stats_shape():
     machine, __ = build_probe_machine(BLOCKING_CHECK)
     machine.pipeline.run(max_cycles=10_000)
-    stats = machine.rse.stats()
+    stats = machine.rse.snapshot()
     assert stats["checks_seen"] >= 1
     assert "Probe" in stats["modules"]
