@@ -1,0 +1,101 @@
+"""Fleet co-simulation throughput: requests/s vs node count.
+
+Runs the same seeded open-loop request stream against 1-, 2- and
+3-node fleets and records wall-clock requests/second for each, plus one
+kill-failover run to price the checkpoint-restore path.  Only
+correctness is asserted (every provisioned request served, deterministic
+digest); absolute throughput is reported, never gated — CI boxes are
+noisy.
+
+Results land in ``benchmarks/results/BENCH_fleet.json``.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from conftest import RESULTS_DIR
+from repro.fleet import FleetSpec, run_fleet
+
+REQUESTS = 120
+MAX_CYCLES = 20_000_000
+RECORDS = []
+
+
+def commit_hash():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            text=True).strip()
+    except Exception:
+        return "unknown"
+
+
+def fleet_spec(nodes, **overrides):
+    base = dict(nodes=nodes, requests=REQUESTS, workers=2, seed=3,
+                max_cycles=MAX_CYCLES)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def record(name, nodes, run, elapsed, **extra):
+    peak_cycle = max(node.cycle for node in run.nodes)
+    entry = {
+        "benchmark": name, "commit": commit_hash(),
+        "nodes": nodes, "requests": REQUESTS,
+        "served": run.served(),
+        "seconds": round(elapsed, 3),
+        "requests_per_second": round(run.served() / elapsed, 1),
+        "sim_cycles": peak_cycle,
+        "bridge_slices": run.bridge.slices,
+        "digest": run.digest(),
+    }
+    entry.update(extra)
+    RECORDS.append(entry)
+    return entry
+
+
+def test_fleet_scaling(benchmark):
+    runs = {}
+    for nodes in (1, 2):
+        start = time.perf_counter()
+        runs[nodes] = run_fleet(fleet_spec(nodes))
+        record("fleet-scaling", nodes, runs[nodes],
+               time.perf_counter() - start)
+
+    start = time.perf_counter()
+    runs[3] = benchmark.pedantic(run_fleet, args=(fleet_spec(3),),
+                                 rounds=1, iterations=1)
+    record("fleet-scaling", 3, runs[3], time.perf_counter() - start)
+
+    for nodes, run in runs.items():
+        assert run.served() == REQUESTS, \
+            "%d-node fleet served %d/%d" % (nodes, run.served(), REQUESTS)
+        assert all(node.status == "halted" for node in run.nodes)
+
+
+def test_fleet_failover_cost(benchmark):
+    start = time.perf_counter()
+    run = benchmark.pedantic(
+        run_fleet, args=(fleet_spec(3, kills=((1, 9_000),)),),
+        rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    assert run.served() == REQUESTS
+    assert len(run.nodes[1].failovers) == 1
+    record("fleet-kill-failover", 3, run, elapsed,
+           failovers=1,
+           rewound_requests=run.nodes[1].failovers[0].rewound_requests)
+
+
+def test_z_write_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert RECORDS, "no fleet benchmark records collected"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_fleet.json")
+    with open(path, "w") as handle:
+        json.dump(RECORDS, handle, indent=2)
+    print("\nwrote %s" % path)
+    for entry in RECORDS:
+        print(entry)

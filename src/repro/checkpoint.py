@@ -120,7 +120,10 @@ _QUEUE_SKIP = frozenset(("name", "depth"))
 _SELFCHECK_SKIP = frozenset(("engine",))
 _MODULE_SKIP = frozenset(("engine", "name", "save_page_handler"))
 _KERNEL_SKIP = frozenset((
-    "pipeline", "memory", "rse", "config", "snapshot_provider",
+    # "netif" is fleet wiring, not machine state: a checkpoint restored
+    # onto a spare node must keep the *spare's* network interface, and a
+    # NetworkInterface references the cross-machine device anyway.
+    "pipeline", "memory", "rse", "config", "snapshot_provider", "netif",
 ))
 
 

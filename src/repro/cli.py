@@ -491,6 +491,86 @@ def _cmd_campaign_serve(args):
     return 0 if aggregator.complete() else 1
 
 
+def _parse_strike(text):
+    """``MODEL@NODE:CYCLE[:SEED]`` -> strike dict."""
+    try:
+        model, rest = text.split("@", 1)
+        parts = rest.split(":")
+        strike = {"model": model, "node": int(parts[0]),
+                  "cycle": int(parts[1])}
+        if len(parts) > 2:
+            strike["seed"] = int(parts[2])
+        if len(parts) > 3:
+            raise ValueError
+        return strike
+    except (ValueError, IndexError):
+        raise SystemExit("bad --inject %r (want MODEL@NODE:CYCLE[:SEED])"
+                         % text)
+
+
+def _parse_kill(text):
+    """``NODE:CYCLE`` -> (node, cycle)."""
+    try:
+        node, cycle = text.split(":")
+        return int(node), int(cycle)
+    except ValueError:
+        raise SystemExit("bad --kill %r (want NODE:CYCLE)" % text)
+
+
+def _cmd_fleet(args):
+    """Co-simulate a fleet of machines (``repro fleet run``)."""
+    from repro.analysis.tables import format_table
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(
+        nodes=args.nodes, requests=args.requests, workers=args.workers,
+        seed=args.seed, protected=args.protected,
+        mean_gap=args.mean_gap, burst_percent=args.burst_percent,
+        fanout=args.fanout,
+        link_latency=args.link_latency, link_jitter=args.link_jitter,
+        link_drop_permille=args.link_drop_permille,
+        checkpoint_interval=args.checkpoint_interval,
+        restore_cost=args.restore_cost, max_cycles=args.max_cycles,
+        strikes=tuple(_parse_strike(text) for text in args.inject),
+        kills=tuple(_parse_kill(text) for text in args.kill))
+    run = run_fleet(spec)
+    document = run.to_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            emit_json(document, stream=handle)
+    complete = document["served"] == spec.requests
+    if args.json:
+        emit_json(document)
+        return 0 if complete else 1
+    rows = []
+    for node in document["nodes"]:
+        rows.append([node["node"], node["status"], node["cycle"],
+                     node["responses"], len(node["failovers"]),
+                     node["snapshot"]["kernel"]["net"]["sent"],
+                     node["snapshot"]["kernel"]["net"]["delivered"]])
+    print(format_table(
+        ["Node", "Status", "Cycle", "Responses", "Failovers",
+         "Net sent", "Net rcvd"],
+        rows,
+        title="fleet: %d nodes, %d/%d requests served (seed %d)"
+              % (spec.nodes, document["served"], spec.requests, spec.seed)))
+    for strike in document["strikes"]:
+        print("strike %s on node %d @%d -> %s"
+              % (strike["model"], strike["node"], strike["cycle"],
+                 strike["outcome"]))
+    for node in document["nodes"]:
+        for event in node["failovers"]:
+            print("failover node %d @%d (%s): checkpoint @%d, resumed @%d, "
+                  "%d request(s) re-served"
+                  % (event["node"], event["death_cycle"], event["reason"],
+                     event["checkpoint_cycle"], event["resume_cycle"],
+                     event["rewound_requests"]))
+    print("digest %s" % document["digest"])
+    if args.out:
+        print("report written to %s" % args.out)
+    return 0 if complete else 1
+
+
 def _cmd_difftest(args):
     """Differential fuzz: interp vs predecode vs pipeline commit stream."""
     from repro.difftest import fuzz
@@ -950,6 +1030,52 @@ def main(argv=None):
                                    "document to PATH")
     add_json_flag(serve_parser)
     serve_parser.set_defaults(func_impl=_cmd_campaign_serve)
+
+    fleet_root = sub.add_parser(
+        "fleet", help="co-simulate a fleet of networked machines")
+    fleet_sub = fleet_root.add_subparsers(dest="fleet_command",
+                                          required=True)
+    fleet_parser = fleet_sub.add_parser(
+        "run", help="run a fleet under generated load")
+    fleet_parser.add_argument("--nodes", type=int, default=3)
+    fleet_parser.add_argument("--requests", type=int, default=120,
+                              help="total requests across the fleet")
+    fleet_parser.add_argument("--workers", type=int, default=2,
+                              help="server worker threads per node")
+    fleet_parser.add_argument("--seed", type=int, default=1)
+    fleet_parser.add_argument("--mean-gap", type=int, default=300,
+                              help="mean cycles between request arrivals")
+    fleet_parser.add_argument("--burst-percent", type=int, default=25,
+                              help="chance an arrival starts a burst")
+    fleet_parser.add_argument("--fanout", default="roundrobin",
+                              choices=["roundrobin", "random"],
+                              help="how requests spread across nodes")
+    fleet_parser.add_argument("--link-latency", type=int, default=40)
+    fleet_parser.add_argument("--link-jitter", type=int, default=0)
+    fleet_parser.add_argument("--link-drop-permille", type=int, default=0,
+                              help="per-1000 datagram drop rate")
+    fleet_parser.add_argument("--protected", action="store_true",
+                              help="attach the RSE with DDT + recovery "
+                                   "on every node")
+    fleet_parser.add_argument("--checkpoint-interval", type=int,
+                              default=50_000,
+                              help="cycles between failover checkpoints")
+    fleet_parser.add_argument("--restore-cost", type=int, default=20_000,
+                              help="modelled downtime of a failover")
+    fleet_parser.add_argument("--max-cycles", type=int, default=20_000_000)
+    fleet_parser.add_argument(
+        "--inject", action="append", default=[], metavar="MODEL@NODE:CYCLE",
+        help="strike NODE with fault MODEL (reg-flip / mem-flip) at "
+             "CYCLE; repeatable, optional :SEED suffix")
+    fleet_parser.add_argument(
+        "--kill", action="append", default=[], metavar="NODE:CYCLE",
+        help="SIGKILL-style node death at CYCLE (checkpoint failover); "
+             "repeatable")
+    fleet_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="also write the JSON fleet report "
+                                   "to PATH")
+    add_json_flag(fleet_parser)
+    fleet_parser.set_defaults(func_impl=_cmd_fleet)
 
     difftest_parser = sub.add_parser(
         "difftest", help="differential fuzz of the three execution engines")

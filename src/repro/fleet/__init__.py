@@ -1,0 +1,29 @@
+"""Fleet co-simulation: networked machines under generated load.
+
+The north-star scenario (ROADMAP item 3): N :class:`~repro.system.Machine`
+instances serve bursty request traffic over a simulated datagram network
+while faults strike individual nodes mid-traffic and checkpoint-based
+failover keeps the fleet serving.
+
+* :mod:`repro.fleet.net` — the network device behind ``SYS_NSEND`` /
+  ``SYS_NRECV``;
+* :mod:`repro.fleet.loadgen` — open-loop bursty arrival schedules;
+* :mod:`repro.fleet.bridge` — the deterministic cycle-domain bridge;
+* :mod:`repro.fleet.failover` — wire-checkpoint node replacement;
+* :mod:`repro.fleet.run` — ``run_fleet(FleetSpec)``, the one-call entry.
+"""
+
+from repro.fleet.bridge import CycleBridge, FleetNode, Kill, Strike
+from repro.fleet.failover import FailoverEvent, fail_over, take_checkpoint
+from repro.fleet.loadgen import LoadSpec, generate
+from repro.fleet.net import (LinkConfig, NetworkConfig, NetworkDevice,
+                             NetworkInterface)
+from repro.fleet.run import FleetRun, FleetSpec, run_fleet
+
+__all__ = [
+    "CycleBridge", "FleetNode", "Kill", "Strike",
+    "FailoverEvent", "fail_over", "take_checkpoint",
+    "LoadSpec", "generate",
+    "LinkConfig", "NetworkConfig", "NetworkDevice", "NetworkInterface",
+    "FleetRun", "FleetSpec", "run_fleet",
+]

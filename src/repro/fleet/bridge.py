@@ -1,0 +1,280 @@
+"""Deterministic cycle-domain bridge over N machines.
+
+The bridge co-simulates every node in one host thread using
+conservative lookahead (the classic null-message bound): it always
+advances the *laggard* — the active node with the smallest cycle, ties
+broken by node id — and caps its slice at
+
+    min(other nodes' minimum cycle) + lookahead
+
+where ``lookahead`` is the fleet's minimum link latency.  Two facts
+follow by induction:
+
+* the cycle spread across active nodes never exceeds the lookahead, and
+* a datagram sent at cycle ``c`` arrives at ``c + latency >=`` every
+  receiver's current cycle — no delivery ever lands in a node's past.
+
+So the simulation is causally consistent *and* fully deterministic: the
+interleaving is a pure function of simulated state, independent of host
+scheduling.  Slices also stop early at a node's next scripted event
+(fault strike, SIGKILL, checkpoint interval) so those fire at exact
+cycles, and ``Kernel.run_slice`` never overshoots a deadline even while
+idle.
+"""
+
+from repro.campaign.models import get_model
+from repro.fleet.failover import fail_over, take_checkpoint
+
+import random
+
+
+class Strike:
+    """One scripted fault injection against one node."""
+
+    def __init__(self, model, node, cycle, seed=0, params=None):
+        self.model = model            # campaign fault-model name
+        self.node = node
+        self.cycle = cycle
+        self.seed = seed
+        self.params = params          # sampled lazily unless given
+        self.fired = False
+        self.fired_cycle = None
+        self.outcome = None
+        self._baseline = None         # (detections, recoveries, faults)
+
+    def to_dict(self):
+        return {"model": self.model, "node": self.node, "cycle": self.cycle,
+                "seed": self.seed, "params": self.params,
+                "fired": self.fired, "fired_cycle": self.fired_cycle,
+                "outcome": self.outcome}
+
+
+class Kill:
+    """One scripted SIGKILL-style node death."""
+
+    def __init__(self, node, cycle):
+        self.node = node
+        self.cycle = cycle
+        self.done = False
+
+    def to_dict(self):
+        return {"node": self.node, "cycle": self.cycle, "done": self.done}
+
+
+class FleetNode:
+    """One machine plus its fleet-side bookkeeping."""
+
+    def __init__(self, node_id, machine, factory, data_words=()):
+        self.node_id = node_id
+        self.machine = machine
+        #: Zero-arg callable building a same-shaped machine with the
+        #: node's image loaded — the spare source for failover.
+        self.factory = factory
+        #: Data-segment word addresses of the node's image (mem-flip
+        #: strike sample space).
+        self.data_words = tuple(data_words)
+        self.status = "active"        # active | halted | lost | timeout |
+                                      # stalled
+        self.result = None            # final RunResult reason
+        self.checkpoint_bytes = None
+        self.checkpoint_cycle = None
+        self.next_checkpoint = None
+        self.failovers = []
+        self.strikes = []
+        self.kills = []
+        self.last_progress_cycle = 0
+        self._progress_key = None
+
+    @property
+    def cycle(self):
+        return self.machine.pipeline.cycle
+
+    @property
+    def kernel(self):
+        return self.machine.kernel
+
+
+class CycleBridge:
+    """Runs a fleet of :class:`FleetNode` to completion."""
+
+    def __init__(self, nodes, device, max_cycles, checkpoint_interval=None,
+                 restore_cost=20_000, watchdog_cycles=None):
+        self.nodes = nodes
+        self.device = device
+        self.deadline = max_cycles
+        self.lookahead = max(1, device.lookahead())
+        self.checkpoint_interval = checkpoint_interval
+        self.restore_cost = restore_cost
+        self.watchdog_cycles = watchdog_cycles
+        self.slices = 0
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self):
+        for node in self.nodes:
+            if self.checkpoint_interval is not None:
+                node.next_checkpoint = node.cycle + self.checkpoint_interval
+            node.last_progress_cycle = node.cycle
+        while True:
+            active = [n for n in self.nodes if n.status == "active"]
+            if not active:
+                break
+            if self._stalled(active):
+                for node in active:
+                    node.status = "stalled"
+                break
+            node = min(active, key=lambda n: (n.cycle, n.node_id))
+            limit = self._slice_limit(node, active)
+            self.slices += 1
+            result = node.kernel.run_slice(max(1, limit - node.cycle))
+            self._absorb(node, result)
+        self._close_strikes()
+        return self
+
+    def _slice_limit(self, node, active):
+        others = [n.cycle for n in active if n is not node]
+        limit = min(others) + self.lookahead if others else self.deadline
+        limit = min(limit, self.deadline, self._next_event(node))
+        return limit
+
+    def _next_event(self, node):
+        horizon = self.deadline
+        if node.next_checkpoint is not None:
+            horizon = min(horizon, node.next_checkpoint)
+        for strike in node.strikes:
+            if not strike.fired:
+                horizon = min(horizon, strike.cycle)
+        for kill in node.kills:
+            if not kill.done:
+                horizon = min(horizon, kill.cycle)
+        return horizon
+
+    def _stalled(self, active):
+        """Distributed deadlock: every active node is blocked in
+        SYS_NRECV with nothing in flight anywhere."""
+        return (not self.device.has_pending()
+                and all(n.kernel.net_idle() for n in active))
+
+    # ------------------------------------------------------- slice results
+
+    def _absorb(self, node, result):
+        reason = result.reason
+        if reason in ("halt", "all_exited"):
+            node.status = "halted"
+            node.result = reason
+            return
+        if reason in ("fault", "check_error", "recovery_impossible"):
+            self._note_strike_death(node, reason)
+            self._fail(node, reason)
+            return
+        # max_cycles: the slice ended at its horizon — fire due events.
+        self._post_slice(node)
+
+    def _post_slice(self, node):
+        # Checkpoint first: a strike due at the same boundary must not
+        # contaminate the image the node would fail over to.
+        if (node.next_checkpoint is not None
+                and node.cycle >= node.next_checkpoint):
+            take_checkpoint(node)
+            node.next_checkpoint = node.cycle + self.checkpoint_interval
+        for strike in node.strikes:
+            if not strike.fired and node.cycle >= strike.cycle:
+                self._fire_strike(node, strike)
+        self._classify_progress(node)
+        for kill in node.kills:
+            if not kill.done and node.cycle >= kill.cycle:
+                kill.done = True
+                if node.status == "active":
+                    self._fail(node, "killed")
+                    return
+        if node.status == "active" and node.cycle >= self.deadline:
+            node.status = "timeout"
+            node.result = "max_cycles"
+            return
+        if self._watchdog_expired(node):
+            self._note_strike_outcome(node, "hung")
+            self._fail(node, "watchdog")
+
+    def _watchdog_expired(self, node):
+        if self.watchdog_cycles is None or node.status != "active":
+            return False
+        kernel = node.kernel
+        outstanding = (kernel._next_request < kernel.requests_total
+                       or len(kernel.responses) < kernel._next_request)
+        return (outstanding and
+                node.cycle - node.last_progress_cycle > self.watchdog_cycles)
+
+    def _classify_progress(self, node):
+        kernel = node.kernel
+        key = (kernel._next_request, len(kernel.responses))
+        if key != node._progress_key:
+            node._progress_key = key
+            node.last_progress_cycle = node.cycle
+        # Resolve fired strikes against the node's counters while the
+        # machine that absorbed them is still alive.
+        for strike in node.strikes:
+            if strike.fired and strike.outcome is None:
+                detections, recoveries, faults = strike._baseline
+                if len(kernel.detections) > detections:
+                    strike.outcome = "detected"
+                elif len(kernel.recovery_reports) > recoveries:
+                    strike.outcome = "recovered"
+                elif len(kernel.faults) > faults:
+                    strike.outcome = "faulted"
+
+    # --------------------------------------------------------------- events
+
+    def _fire_strike(self, node, strike):
+        model = get_model(strike.model)
+        if strike.params is None:
+            space = self._strike_space(node, model)
+            rng = random.Random(strike.seed)
+            params = model.sample(rng, space)
+            params["cycle"] = strike.cycle
+            strike.params = params
+        kernel = node.kernel
+        strike._baseline = (len(kernel.detections),
+                            len(kernel.recovery_reports),
+                            len(kernel.faults))
+        model.fire(node.machine, None, strike.params)
+        strike.fired = True
+        strike.fired_cycle = node.cycle
+
+    def _strike_space(self, node, model):
+        if model.name == "mem-flip":
+            if not node.data_words:
+                raise ValueError("node %d image has no data words to "
+                                 "strike" % node.node_id)
+            return {"addrs": list(node.data_words), "max_cycle": 2}
+        if model.name == "reg-flip":
+            return {"regs": list(range(1, 32)), "max_cycle": 2}
+        raise ValueError("fleet strikes support reg-flip and mem-flip, "
+                         "not %r" % (model.name,))
+
+    def _note_strike_death(self, node, reason):
+        for strike in node.strikes:
+            if strike.fired and strike.outcome is None:
+                strike.outcome = reason
+                return
+
+    def _note_strike_outcome(self, node, outcome):
+        for strike in node.strikes:
+            if strike.fired and strike.outcome is None:
+                strike.outcome = outcome
+                return
+
+    def _fail(self, node, reason):
+        fail_over(node, self.device, node.cycle, self.restore_cost, reason)
+        if node.status == "active":          # restored onto a spare
+            node._progress_key = None
+            node.last_progress_cycle = node.cycle
+            if self.checkpoint_interval is not None:
+                node.next_checkpoint = node.cycle + self.checkpoint_interval
+
+    def _close_strikes(self):
+        for node in self.nodes:
+            for strike in node.strikes:
+                if not strike.fired:
+                    strike.outcome = "not_triggered"
+                elif strike.outcome is None:
+                    strike.outcome = "benign"

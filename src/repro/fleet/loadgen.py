@@ -1,0 +1,88 @@
+"""Open-loop client load generator for fleet runs.
+
+Real request traffic is bursty: long quiet gaps punctuated by trains of
+back-to-back arrivals.  The generator replays exactly that as an
+*open-loop* schedule — absolute arrival cycles fixed up front,
+independent of how fast the servers drain them — which is what makes
+queueing effects (and fault-injection timing) reproducible.
+
+Only integer draws from :class:`random.Random` are used: the Mersenne
+Twister integer path is stable across platforms and Python versions,
+unlike float arithmetic.
+"""
+
+import random
+
+
+class LoadSpec:
+    """Shape of the generated request stream.
+
+    * ``mean_gap`` — average cycles between arrivals outside bursts
+      (uniform on [1, 2*mean_gap], so the mean is ~mean_gap).
+    * ``burst_percent`` — chance (per arrival, in percent) that a burst
+      of ``burst_len`` requests starts, spaced ``burst_gap`` apart.
+    * ``fanout`` — ``"roundrobin"`` deals requests to nodes in order;
+      ``"random"`` picks a node per request.
+    """
+
+    def __init__(self, requests=120, mean_gap=300, burst_percent=25,
+                 burst_len=6, burst_gap=10, fanout="roundrobin",
+                 start_cycle=2000, seed=1):
+        if requests < 0:
+            raise ValueError("requests must be >= 0, got %r" % (requests,))
+        if mean_gap < 0 or burst_gap < 0:
+            raise ValueError("gaps must be >= 0")
+        if not 0 <= burst_percent <= 100:
+            raise ValueError("burst_percent must be in [0, 100], got %r"
+                             % (burst_percent,))
+        if burst_len < 1:
+            raise ValueError("burst_len must be >= 1, got %r" % (burst_len,))
+        if fanout not in ("roundrobin", "random"):
+            raise ValueError("fanout must be 'roundrobin' or 'random', "
+                             "got %r" % (fanout,))
+        if start_cycle < 0:
+            raise ValueError("start_cycle must be >= 0, got %r"
+                             % (start_cycle,))
+        self.requests = requests
+        self.mean_gap = mean_gap
+        self.burst_percent = burst_percent
+        self.burst_len = burst_len
+        self.burst_gap = burst_gap
+        self.fanout = fanout
+        self.start_cycle = start_cycle
+        self.seed = seed
+
+
+def generate(spec, nodes):
+    """Per-node arrival schedules: a list of *nodes* sorted cycle tuples.
+
+    The global arrival stream is monotone (one clock), so every node's
+    slice of it is sorted — exactly what
+    :meth:`Kernel.set_request_source` expects.
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node, got %r" % (nodes,))
+    rng = random.Random(spec.seed)
+    arrivals = [[] for __ in range(nodes)]
+    cycle = spec.start_cycle
+    target = 0
+    burst_remaining = 0
+    for __ in range(spec.requests):
+        if burst_remaining:
+            cycle += spec.burst_gap
+            burst_remaining -= 1
+        else:
+            if spec.mean_gap:
+                cycle += 1 + rng.randrange(2 * spec.mean_gap)
+            else:
+                cycle += 1
+            if spec.burst_percent and \
+                    rng.randrange(100) < spec.burst_percent:
+                burst_remaining = spec.burst_len - 1
+        if spec.fanout == "random":
+            node = rng.randrange(nodes)
+        else:
+            node = target
+            target = (target + 1) % nodes
+        arrivals[node].append(cycle)
+    return [tuple(per_node) for per_node in arrivals]

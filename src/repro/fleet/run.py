@@ -1,0 +1,245 @@
+"""Fleet assembly and the top-level ``run_fleet`` entry point.
+
+A :class:`FleetSpec` describes everything — topology, traffic shape,
+per-node workload, checkpoint cadence, scripted strikes and kills — and
+``run_fleet`` deterministically co-simulates it: same spec, same merged
+request log, byte for byte.
+"""
+
+import hashlib
+import json
+
+from repro.fleet.bridge import CycleBridge, FleetNode, Kill, Strike
+from repro.fleet.failover import take_checkpoint
+from repro.fleet.loadgen import LoadSpec, generate
+from repro.fleet.net import LinkConfig, NetworkConfig, NetworkDevice
+from repro.kernel.kernel import KernelConfig
+from repro.rse.check import MODULE_DDT
+from repro.system import build_machine
+from repro.workloads import fleet_server
+
+
+class FleetSpec:
+    """One fleet run, fully specified."""
+
+    def __init__(self,
+                 nodes=3,
+                 requests=120,
+                 workers=2,
+                 work_iters=fleet_server.DEFAULT_WORK_ITERS,
+                 classes=fleet_server.DEFAULT_CLASSES,
+                 stats_batch=fleet_server.DEFAULT_STATS_BATCH,
+                 seed=1,
+                 protected=False,
+                 link_latency=40,
+                 link_jitter=0,
+                 link_drop_permille=0,
+                 mean_gap=300,
+                 burst_percent=25,
+                 burst_len=6,
+                 burst_gap=10,
+                 fanout="roundrobin",
+                 start_cycle=2000,
+                 quantum_cycles=4000,
+                 io_recv_latency=800,
+                 io_recv_jitter=1200,
+                 io_send_cost=100,
+                 checkpoint_interval=50_000,
+                 restore_cost=20_000,
+                 watchdog_cycles=1_500_000,
+                 max_cycles=20_000_000,
+                 drain_cycles=fleet_server.DEFAULT_DRAIN_CYCLES,
+                 drain_poll_gap=fleet_server.DEFAULT_DRAIN_POLL_GAP,
+                 strikes=(),
+                 kills=()):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1, got %r" % (nodes,))
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
+        self.nodes = nodes
+        self.requests = requests
+        self.workers = workers
+        self.work_iters = work_iters
+        self.classes = classes
+        self.stats_batch = stats_batch
+        self.seed = seed
+        self.protected = protected
+        self.link_latency = link_latency
+        self.link_jitter = link_jitter
+        self.link_drop_permille = link_drop_permille
+        self.mean_gap = mean_gap
+        self.burst_percent = burst_percent
+        self.burst_len = burst_len
+        self.burst_gap = burst_gap
+        self.fanout = fanout
+        self.start_cycle = start_cycle
+        self.quantum_cycles = quantum_cycles
+        self.io_recv_latency = io_recv_latency
+        self.io_recv_jitter = io_recv_jitter
+        self.io_send_cost = io_send_cost
+        self.checkpoint_interval = checkpoint_interval
+        self.restore_cost = restore_cost
+        self.watchdog_cycles = watchdog_cycles
+        self.max_cycles = max_cycles
+        self.drain_cycles = drain_cycles
+        self.drain_poll_gap = drain_poll_gap
+        #: (model, node, cycle[, seed]) tuples.
+        self.strikes = tuple(strikes)
+        #: (node, cycle) tuples — SIGKILL-style mid-traffic deaths.
+        self.kills = tuple(kills)
+
+    def load_spec(self):
+        return LoadSpec(requests=self.requests, mean_gap=self.mean_gap,
+                        burst_percent=self.burst_percent,
+                        burst_len=self.burst_len, burst_gap=self.burst_gap,
+                        fanout=self.fanout, start_cycle=self.start_cycle,
+                        seed=self.seed)
+
+    def network_config(self):
+        return NetworkConfig(
+            default_link=LinkConfig(latency=self.link_latency,
+                                    jitter=self.link_jitter,
+                                    drop_permille=self.link_drop_permille),
+            seed=self.seed)
+
+    def kernel_config(self):
+        return KernelConfig(quantum_cycles=self.quantum_cycles,
+                            io_recv_latency=self.io_recv_latency,
+                            io_recv_jitter=self.io_recv_jitter,
+                            io_send_cost=self.io_send_cost)
+
+
+class FleetRun:
+    """Everything a finished fleet run produced."""
+
+    def __init__(self, spec, nodes, device, bridge):
+        self.spec = spec
+        self.nodes = nodes
+        self.device = device
+        self.bridge = bridge
+
+    # ----------------------------------------------------------- aggregates
+
+    def merged_log(self):
+        """The fleet-wide request log: sorted (node, request id, response).
+
+        This is the determinism witness *and* the served-set witness: a
+        failed-over node re-serves from its last checkpoint, so the
+        merged log of a kill-and-recover run equals the uninterrupted
+        run's log.
+        """
+        log = []
+        for node in self.nodes:
+            for request_id, value in node.kernel.responses.items():
+                log.append((node.node_id, request_id, value))
+        log.sort()
+        return log
+
+    def served(self):
+        return sum(len(node.kernel.responses) for node in self.nodes)
+
+    def node_snapshots(self):
+        return [node.machine.snapshot() for node in self.nodes]
+
+    def digest(self):
+        """SHA-256 over the canonical merged log + per-node snapshots."""
+        document = {"log": self.merged_log(),
+                    "snapshots": self.node_snapshots()}
+        payload = json.dumps(document, sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self):
+        log = self.merged_log()
+        return {
+            "spec": {
+                "nodes": self.spec.nodes,
+                "requests": self.spec.requests,
+                "workers": self.spec.workers,
+                "seed": self.spec.seed,
+                "protected": self.spec.protected,
+                "max_cycles": self.spec.max_cycles,
+            },
+            "served": len(log),
+            "provisioned": self.spec.requests,
+            "digest": self.digest(),
+            "net": self.device.snapshot(),
+            "slices": self.bridge.slices,
+            "nodes": [{
+                "node": node.node_id,
+                "status": node.status,
+                "result": node.result,
+                "cycle": node.cycle,
+                "responses": len(node.kernel.responses),
+                "failovers": [event.to_dict() for event in node.failovers],
+                "snapshot": node.machine.snapshot(),
+            } for node in self.nodes],
+            "strikes": [strike.to_dict() for node in self.nodes
+                        for strike in node.strikes],
+            "kills": [kill.to_dict() for node in self.nodes
+                      for kill in node.kills],
+            "log": log,
+        }
+
+
+def _node_factory(spec, node_id, arrivals):
+    """Build one node's machine: workload loaded, source provisioned.
+
+    Used both for the initial fleet and for failover spares — a spare
+    must have the same component shape (checkpoint pins) and the same
+    image in memory as the machine it replaces.
+    """
+    image, asm = fleet_server.program(
+        node_id, spec.nodes, spec.workers, spec.work_iters, spec.classes,
+        spec.stats_batch, spec.drain_cycles, spec.drain_poll_gap)
+    data_words = [asm.data_base + offset
+                  for offset in range(0, len(asm.data) & ~3, 4)]
+
+    def build():
+        machine = build_machine(
+            with_rse=spec.protected,
+            modules=("ddt",) if spec.protected else (),
+            kernel_config=spec.kernel_config())
+        machine.kernel.set_request_source(len(arrivals), arrivals)
+        machine.kernel.load_process(image, name="node-%d" % node_id)
+        if spec.protected:
+            machine.rse.enable_module(MODULE_DDT)
+            machine.enable_ddt_recovery()
+        return machine
+
+    return build, data_words
+
+
+def run_fleet(spec):
+    """Co-simulate *spec*; returns a :class:`FleetRun`."""
+    schedules = generate(spec.load_spec(), spec.nodes)
+    device = NetworkDevice(spec.nodes, spec.network_config())
+    nodes = []
+    for node_id in range(spec.nodes):
+        factory, data_words = _node_factory(spec, node_id,
+                                            schedules[node_id])
+        machine = factory()
+        node = FleetNode(node_id, machine, factory, data_words)
+        device.attach(node_id, machine.kernel)
+        # Cycle-0 baseline image: failover is possible from the very
+        # first cycle, before the first interval checkpoint lands.
+        take_checkpoint(node)
+        nodes.append(node)
+    for entry in spec.strikes:
+        if isinstance(entry, dict):
+            node_id = entry["node"]
+            strike = Strike(entry["model"], node_id, entry["cycle"],
+                            entry.get("seed", spec.seed),
+                            params=entry.get("params"))
+        else:
+            model, node_id, cycle = entry[:3]
+            seed = entry[3] if len(entry) > 3 else spec.seed
+            strike = Strike(model, node_id, cycle, seed)
+        nodes[node_id].strikes.append(strike)
+    for node_id, cycle in spec.kills:
+        nodes[node_id].kills.append(Kill(node_id, cycle))
+    bridge = CycleBridge(nodes, device, spec.max_cycles,
+                         checkpoint_interval=spec.checkpoint_interval,
+                         restore_cost=spec.restore_cost,
+                         watchdog_cycles=spec.watchdog_cycles)
+    bridge.run()
+    return FleetRun(spec, nodes, device, bridge)

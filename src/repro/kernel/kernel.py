@@ -11,12 +11,16 @@ straddle a context switch.
 from repro.kernel.checkpoints import CheckpointStore, RecoveryImpossible
 from repro.kernel.scheduler import RoundRobinScheduler
 from repro.kernel.syscalls import (
+    NRECV_EMPTY,
+    NRECV_POLL,
     RECV_EXHAUSTED,
     SYS_CYCLE,
     SYS_EXIT,
     SYS_GETTID,
     SYS_MMAP,
     SYS_MPROTECT,
+    SYS_NRECV,
+    SYS_NSEND,
     SYS_PRINT_INT,
     SYS_PUTC,
     SYS_JOIN,
@@ -37,6 +41,11 @@ from repro.rse.check import MODULE_DDT
 
 MASK32 = 0xFFFFFFFF
 
+#: Provisional wake cycle for a thread blocked in SYS_NRECV with nothing
+#: in flight.  Far beyond any reachable cycle; replaced by the actual
+#: delivery cycle the moment a datagram is queued (``net_refresh``).
+NET_WAIT = 1 << 62
+
 
 class ProcessExit(Exception):
     """Raised internally to unwind when the whole process terminates."""
@@ -47,7 +56,14 @@ class ProcessExit(Exception):
 
 
 class KernelConfig:
-    """Kernel cost model and policy knobs."""
+    """Kernel cost model and policy knobs.
+
+    Cost/latency knobs are validated here, in one place, so nothing
+    downstream has to re-check them: ``io_recv_jitter=0`` is legal (the
+    jitter draw is skipped entirely — no ``% 0``), negative latencies
+    and costs are rejected at construction instead of surfacing as
+    time-travelling wake cycles mid-run.
+    """
 
     def __init__(self,
                  quantum_cycles=5000,
@@ -61,6 +77,19 @@ class KernelConfig:
                  rng_seed=0x5EED,
                  checkpoint_max=100_000,
                  checkpoint_gc_age=None):
+        if quantum_cycles < 1:
+            raise ValueError("quantum_cycles must be >= 1, got %r"
+                             % (quantum_cycles,))
+        for name, value in (("context_switch_cost", context_switch_cost),
+                            ("syscall_cost", syscall_cost),
+                            ("io_recv_latency", io_recv_latency),
+                            ("io_recv_jitter", io_recv_jitter),
+                            ("io_send_cost", io_send_cost)):
+            if value < 0:
+                raise ValueError("%s must be >= 0, got %r" % (name, value))
+        if savepage_cost is not None and savepage_cost < 0:
+            raise ValueError("savepage_cost must be >= 0 or None, got %r"
+                             % (savepage_cost,))
         self.quantum_cycles = quantum_cycles
         self.context_switch_cost = context_switch_cost
         self.syscall_cost = syscall_cost
@@ -114,6 +143,13 @@ class Kernel:
         self.responses = {}           # request id -> response value
         self.requests_total = 0
         self._next_request = 0
+        #: Optional open-loop arrival schedule: sorted absolute cycles,
+        #: one per provisioned request (set_request_source).
+        self.request_arrivals = None
+        #: NetworkInterface wired in by a fleet's NetworkDevice (attach);
+        #: None on a standalone machine.  Deliberately NOT part of the
+        #: checkpointable kernel state (see checkpoint._KERNEL_SKIP).
+        self.netif = None
         self._next_tid = 1
         self._next_stack_index = 1
         self._rng_state = self.config.rng_seed & MASK32
@@ -196,14 +232,29 @@ class Kernel:
             result.snapshot = self.snapshot_provider()
         return result
 
+    def run_slice(self, max_cycles):
+        """Run for at most *max_cycles* without attaching a snapshot.
+
+        The fleet bridge's hot path: it resumes a node thousands of
+        times per run, and a full ``Machine.snapshot()`` per slice would
+        dominate the cost.  Never overshoots the deadline — an idle
+        kernel advances exactly to it and reports ``max_cycles``.
+        """
+        return self._run(max_cycles)
+
     def _run(self, max_cycles):
         pipeline = self.pipeline
         deadline = pipeline.cycle + max_cycles
         try:
             while True:
                 if self.current is None:
-                    if not self._schedule():
+                    scheduled = self._schedule(deadline)
+                    if scheduled is False:
                         raise ProcessExit("all_exited")
+                    if scheduled is None:
+                        # Every thread sleeps past the deadline; the
+                        # idle advance stopped exactly there.
+                        return RunResult("max_cycles", pipeline.cycle)
                 remaining = deadline - pipeline.cycle
                 if remaining <= 0:
                     return RunResult("max_cycles", pipeline.cycle)
@@ -231,8 +282,15 @@ class Kernel:
 
     # ------------------------------------------------------------ scheduling
 
-    def _schedule(self):
-        """Pick the next thread and switch the pipeline onto it."""
+    def _schedule(self, deadline=None):
+        """Pick the next thread and switch the pipeline onto it.
+
+        Returns True when a thread was scheduled, False when no thread
+        can ever run again (process over), and None when every thread
+        sleeps past *deadline* — in that case the pipeline is advanced
+        exactly to the deadline, never beyond it, so a bounded run
+        (``run_slice``) stays inside its cycle budget even while idle.
+        """
         pipeline = self.pipeline
         while True:
             self._wake_sleepers(pipeline.cycle)
@@ -243,8 +301,12 @@ class Kernel:
                         if t.state is ThreadState.BLOCKED]
             if not sleepers:
                 return False
-            # Idle until the earliest sleeper wakes.
+            # Idle until the earliest sleeper wakes, capped at deadline.
             wake = min(t.wake_cycle for t in sleepers)
+            if deadline is not None and wake > deadline:
+                if deadline > pipeline.cycle:
+                    pipeline.advance_cycles(deadline - pipeline.cycle)
+                return None
             if wake > pipeline.cycle:
                 pipeline.advance_cycles(wake - pipeline.cycle)
         pipeline.advance_cycles(self.config.context_switch_cost)
@@ -310,9 +372,21 @@ class Kernel:
             if self._next_request >= self.requests_total:
                 regs[2] = RECV_EXHAUSTED
             else:
+                arrivals = self.request_arrivals
+                if (arrivals is not None
+                        and arrivals[self._next_request] > pipeline.cycle):
+                    # Open-loop source: the next request hasn't arrived
+                    # yet.  Sleep until it does, then retry the syscall.
+                    thread.state = ThreadState.BLOCKED
+                    thread.wake_cycle = arrivals[self._next_request]
+                    self._save_current(event.pc)
+                    return
                 request_id = self._next_request
                 self._next_request += 1
                 regs[2] = request_id
+                # io_recv_jitter == 0 means "no jitter": the modulus is
+                # never taken with a zero divisor (KernelConfig rejects
+                # negative values outright).
                 latency = self.config.io_recv_latency
                 if self.config.io_recv_jitter:
                     latency += self._rand() % self.config.io_recv_jitter
@@ -336,6 +410,34 @@ class Kernel:
             thread.wake_cycle = pipeline.cycle + max(a0, 1)
             self._save_current(next_pc)
             return
+        elif number == SYS_NSEND:
+            if self.netif is None:
+                self._fault_thread(event.pc, "nsend with no network device")
+                return
+            pipeline.advance_cycles(self.config.io_send_cost)
+            regs[2] = self.netif.send(a0, a1, pipeline.cycle)
+        elif number == SYS_NRECV:
+            if self.netif is None:
+                self._fault_thread(event.pc, "nrecv with no network device")
+                return
+            thread.net_waiting = False
+            delivery = self.netif.poll(pipeline.cycle)
+            if delivery is not None:
+                regs[2], regs[5] = delivery
+            elif a0 & NRECV_POLL:
+                regs[2] = NRECV_EMPTY
+            else:
+                # Block until something is deliverable, then retry the
+                # syscall (same re-execute idiom as SYS_JOIN).  The wake
+                # cycle is provisional: net_refresh() pulls it in when
+                # a datagram is queued for us.
+                thread.state = ThreadState.BLOCKED
+                thread.net_waiting = True
+                upcoming = self.netif.next_delivery()
+                thread.wake_cycle = (NET_WAIT if upcoming is None
+                                     else max(upcoming, pipeline.cycle + 1))
+                self._save_current(event.pc)
+                return
         elif number == SYS_JOIN:
             target = self.threads.get(a0)
             if target is None:
@@ -468,6 +570,8 @@ class Kernel:
                 "received": self._next_request,
                 "responded": len(self.responses),
             },
+            "net": (self.netif.snapshot() if self.netif is not None
+                    else None),
             "output_events": len(self.output),
         }
 
@@ -479,11 +583,74 @@ class Kernel:
 
     # --------------------------------------------------------------- helpers
 
-    def set_request_source(self, count):
-        """Provision *count* network requests for SYS_RECV."""
+    def set_request_source(self, count, arrivals=None):
+        """Provision *count* network requests for SYS_RECV.
+
+        Request ids are dense, starting at 0, so the id space must stay
+        clear of the ``RECV_EXHAUSTED`` sentinel: a source whose id
+        range would include 0xFFFFFFFF is refused here, at provision
+        time, instead of silently handing a guest an id it cannot tell
+        apart from exhaustion.
+
+        *arrivals*, when given, makes the source open-loop: a sorted
+        sequence of absolute cycles, one per request; SYS_RECV blocks
+        until the next request's arrival cycle before accepting it.
+        """
+        if count > RECV_EXHAUSTED:
+            raise ValueError(
+                "request source of %d would provision id 0x%08X, which is "
+                "reserved as the RECV_EXHAUSTED sentinel" %
+                (count, RECV_EXHAUSTED))
+        if arrivals is not None:
+            arrivals = tuple(arrivals)
+            if len(arrivals) != count:
+                raise ValueError("arrival schedule has %d entries for %d "
+                                 "requests" % (len(arrivals), count))
+            if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+                raise ValueError("arrival schedule must be non-decreasing")
+            if arrivals and arrivals[0] < 0:
+                raise ValueError("arrival cycles must be >= 0")
         self.requests_total = count
+        self.request_arrivals = arrivals
         self._next_request = 0
         self.responses.clear()
+
+    # ------------------------------------------------------------ networking
+
+    def net_refresh(self):
+        """Re-aim threads blocked in SYS_NRECV at the next delivery.
+
+        Called by the network device after queueing a datagram for this
+        node: a blocked receiver's provisional wake cycle (possibly
+        NET_WAIT, i.e. "never") is pulled in to the actual delivery
+        cycle so the retry happens exactly when the datagram lands.
+        """
+        if self.netif is None:
+            return
+        upcoming = self.netif.next_delivery()
+        if upcoming is None:
+            return
+        wake = max(upcoming, self.pipeline.cycle + 1)
+        for thread in self.threads.values():
+            if (thread.state is ThreadState.BLOCKED and thread.net_waiting
+                    and thread.wake_cycle > wake):
+                thread.wake_cycle = wake
+
+    def net_idle(self):
+        """True when this node cannot progress without a datagram.
+
+        Used by the fleet bridge for distributed-stall detection: every
+        alive thread is blocked waiting on the network with nothing in
+        flight toward us.
+        """
+        if self.current is not None or self.scheduler.has_ready():
+            return False
+        alive = self.alive_threads()
+        if not alive:
+            return False
+        return all(thread.state is ThreadState.BLOCKED
+                   and thread.wake_cycle >= NET_WAIT
+                   for thread in alive)
 
     def _heartbeat_os(self):
         if self.os_heartbeat_id is not None and self.rse is not None:

@@ -18,14 +18,29 @@ SYS_PRINT_INT = 6     # a0 = value (recorded in kernel output)
 SYS_PUTC = 7          # a0 = character
 SYS_RECV = 8          # -> v0 = request id, or 0xFFFFFFFF when exhausted;
                       #    blocks the thread for the simulated network wait
+                      #    (and, with an open-loop request source, until
+                      #    the next request actually arrives)
 SYS_SEND = 9          # a0 = request id, a1 = response value
 SYS_MMAP = 10         # a0 = address, a1 = length (mapped rw)
 SYS_MPROTECT = 11     # a0 = address, a1 = length, a2 = perm bits (r=1,w=2,x=4)
-SYS_CYCLE = 12        # -> v0 = current cycle (low 32 bits)
+SYS_CYCLE = 12        # -> v0 = current cycle, low 32 bits (see below)
 SYS_RAND = 13         # -> v0 = deterministic kernel PRNG value
 SYS_SLEEP = 14        # a0 = cycles to sleep (blocks the thread)
 SYS_JOIN = 15         # a0 = tid -> blocks until that thread terminates;
                       #    v0 = its exit code (or -1 for unknown tid)
+SYS_NSEND = 16        # a0 = dest node id, a1 = payload word ->
+                      #    v0 = NSEND_OK | NSEND_UNREACHABLE.  The status
+                      #    is out-of-band: the payload is never reused as
+                      #    a status code.  Datagram semantics: delivery is
+                      #    asynchronous and best-effort (a lossy link may
+                      #    drop it after NSEND_OK was returned).
+SYS_NRECV = 17        # a0 = flags (bit 0 = NRECV_POLL: don't block) ->
+                      #    v0 = source node id, a1 = payload word.
+                      #    A poll with nothing deliverable returns
+                      #    v0 = NRECV_EMPTY.  Node ids are < NODE_ID_LIMIT
+                      #    by construction (the network device refuses
+                      #    larger fleets), so the sentinel can never
+                      #    collide with a real source id.
 
 NAMES = {
     SYS_EXIT: "exit",
@@ -43,10 +58,43 @@ NAMES = {
     SYS_RAND: "rand",
     SYS_SLEEP: "sleep",
     SYS_JOIN: "join",
+    SYS_NSEND: "nsend",
+    SYS_NRECV: "nrecv",
 }
 
-#: v0 value returned by SYS_RECV when no requests remain.
+#: v0 value returned by SYS_RECV when no requests remain.  The sentinel
+#: lives inside the request-id value space, so the kernel *reserves* it:
+#: ``Kernel.set_request_source`` refuses to provision a source whose id
+#: range would include 0xFFFFFFFF (ids are dense, starting at 0).
 RECV_EXHAUSTED = 0xFFFFFFFF
+
+#: SYS_NSEND statuses (out-of-band in v0, never aliased with payloads).
+NSEND_OK = 0
+NSEND_UNREACHABLE = 1
+
+#: SYS_NRECV empty-poll sentinel.  Shares the value space with source
+#: node ids, so NODE_ID_LIMIT keeps real ids clear of it (the same
+#: reservation discipline as RECV_EXHAUSTED above).
+NRECV_EMPTY = 0xFFFFFFFF
+#: SYS_NRECV a0 flag: poll instead of block.
+NRECV_POLL = 1
+
+#: Exclusive upper bound on fleet node ids.  Far below NRECV_EMPTY, so
+#: a source id can never collide with the sentinel.
+NODE_ID_LIMIT = 0x10000
+
+# SYS_CYCLE wrap contract
+# -----------------------
+# SYS_CYCLE returns the low 32 bits of the (unbounded) simulated cycle
+# counter.  Long runs — fleet runs especially — cross 2^32, so guests
+# must never compare raw SYS_CYCLE values with slt/sltu.  The supported
+# idiom is the modular delta:
+#
+#     elapsed = (now - start) & 0xFFFFFFFF     # subu $t0, $v0, $s0
+#     if elapsed < window: ...                 # sltu $t1, $t0, $t2
+#
+# which is exact for any interval shorter than 2^32 cycles regardless
+# of where the counter wraps.  ``workloads`` timing loops follow it.
 
 PERM_R = 1
 PERM_W = 2
@@ -66,6 +114,16 @@ def perm_string(bits):
 
 
 def asm_constants():
-    """Assembler constants so workloads can say ``li $v0, SYS_RECV``."""
-    return {("SYS_" + name.upper()): number
-            for number, name in NAMES.items()}
+    """Assembler constants so workloads can say ``li $v0, SYS_RECV``.
+
+    The network status words ride along so guests compare against the
+    named sentinels instead of re-deriving magic numbers.
+    """
+    constants = {("SYS_" + name.upper()): number
+                 for number, name in NAMES.items()}
+    constants["RECV_EXHAUSTED"] = RECV_EXHAUSTED
+    constants["NSEND_OK"] = NSEND_OK
+    constants["NSEND_UNREACHABLE"] = NSEND_UNREACHABLE
+    constants["NRECV_EMPTY"] = NRECV_EMPTY
+    constants["NRECV_POLL"] = NRECV_POLL
+    return constants

@@ -15,7 +15,7 @@ class Thread:
 
     __slots__ = ("tid", "name", "regs", "pc", "state", "wake_cycle",
                  "exit_code", "fault", "killed_by_recovery", "spawn_cycle",
-                 "stack_base")
+                 "stack_base", "net_waiting")
 
     def __init__(self, tid, pc, regs, name=None, spawn_cycle=0, stack_base=0):
         self.tid = tid
@@ -29,6 +29,8 @@ class Thread:
         self.killed_by_recovery = False
         self.spawn_cycle = spawn_cycle
         self.stack_base = stack_base
+        self.net_waiting = False      # BLOCKED in SYS_NRECV; wake_cycle is
+                                      # provisional until a datagram lands
 
     @property
     def alive(self):

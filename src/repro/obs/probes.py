@@ -193,8 +193,8 @@ class SchedProbe(Probe):
         switches = obs.metrics.counter("kernel.sched_events")
         emit = obs.tracer.emit
 
-        def _schedule():
-            picked = orig()
+        def _schedule(deadline=None):
+            picked = orig(deadline)
             if picked:
                 emit(kernel.pipeline.cycle, "sched",
                      {"tid": kernel.current.tid,

@@ -1,0 +1,246 @@
+"""Multi-node port of the Figure 9 server workload (fleet runs).
+
+Each fleet node runs one instance of this program.  The request path is
+the Fig 9 server verbatim — SYS_RECV, LCG hash, shared per-class
+accumulator page, batched stats flush, SYS_SEND — plus a gossip step
+over the simulated network: after every response the worker
+
+* ``SYS_NSEND``-s the response value to the node's ring peer
+  (``(node + 1) % nodes``, baked into the image), and
+* takes one non-blocking ``SYS_NRECV`` poll, folding any peer digest
+  into a shared ``netstats`` page.
+
+When its request source is exhausted the worker runs a bounded *drain*
+loop, polling for stragglers from slower peers before exiting.  The
+drain window is timed with SYS_CYCLE using the wrap-safe modular-delta
+idiom (``sub`` then ``sltu`` on the 32-bit difference — see
+``repro.kernel.syscalls``): fleet runs are long enough, and failover
+jumps clocks far enough, that raw cycle comparison would break at the
+2^32 wrap.  Datagrams still in flight when the whole program halts are
+dropped; gossip is best-effort by design.
+"""
+
+from repro.program.layout import MemoryLayout
+from repro.workloads.asmlib import build_workload_image
+
+DEFAULT_WORK_ITERS = 60
+DEFAULT_CLASSES = 4
+DEFAULT_STATS_BATCH = 8
+DEFAULT_DRAIN_CYCLES = 20_000
+DEFAULT_DRAIN_POLL_GAP = 500
+
+_SOURCE_TEMPLATE = """
+.data
+# Shared statistics page: counters all workers read-modify-write.
+stats:
+    .word 0                    # total requests served
+    .word 0                    # running response checksum
+    .word 0                    # max request id seen
+.align 12
+# Per-class accumulator pages (request id % {classes}); page-aligned so
+# each class is its own unit of DDT tracking.
+class_pages:
+{class_page_words}
+# Peer gossip fold: digests received over the network.
+netstats:
+    .word 0                    # digests folded
+    .word 0                    # digest xor
+done_count:
+    .word 0
+
+.text
+main:
+    li $s0, {workers}          # workers to spawn
+    beqz $s0, all_spawned
+spawn_loop:
+    li $v0, SYS_SPAWN
+    la $a0, worker
+    move $a1, $s0
+    syscall
+    addi $s0, $s0, -1
+    bnez $s0, spawn_loop
+all_spawned:
+
+wait_loop:
+    li $v0, SYS_YIELD
+    syscall
+    lw $t0, done_count
+    li $t1, {workers}
+    bne $t0, $t1, wait_loop
+    halt
+
+# ---------------------------------------------------------------- worker
+worker:
+    li $s2, 0                  # locally served (since last stats flush)
+    li $s3, 0                  # local checksum accumulator
+    li $s5, 0                  # local max request id
+worker_loop:
+    li $v0, SYS_RECV
+    syscall
+    li $t1, -1
+    beq $v0, $t1, worker_done
+    move $s0, $v0              # request id
+
+    # ---- per-request computation: LCG hash over the request -----------
+    move $t0, $s0
+    li $t2, {work_iters}
+hash_loop:
+    li  $t3, 1664525
+    mul $t0, $t0, $t3
+    li  $t3, 1013904223
+    add $t0, $t0, $t3
+    xor $t0, $t0, $s0
+    addi $t2, $t2, -1
+    bnez $t2, hash_loop
+    move $s1, $t0              # response value
+
+    # ---- shared per-class accumulator page ------------------------------
+    li  $t1, {classes}
+    remu $t2, $s0, $t1         # class index
+    sll $t2, $t2, 12           # * page size
+    la  $t3, class_pages
+    add $t3, $t3, $t2
+    lw  $t4, 0($t3)            # read the class accumulator (dependency!)
+    add $t4, $t4, $s1
+    sw  $t4, 0($t3)            # write it back (ownership migration)
+    lw  $t4, 4($t3)
+    addi $t4, $t4, 1
+    sw  $t4, 4($t3)            # per-class request count
+
+    # ---- local statistics, flushed to the shared page in batches --------
+    addi $s2, $s2, 1
+    xor  $s3, $s3, $s1
+    slt  $at, $s5, $s0
+    beqz $at, no_new_max
+    move $s5, $s0
+no_new_max:
+    andi $t4, $s2, {stats_batch_mask}
+    bnez $t4, no_flush
+    jal  flush_stats
+no_flush:
+
+    # ---- respond ----------------------------------------------------------
+    li $v0, SYS_SEND
+    move $a0, $s0
+    move $a1, $s1
+    syscall
+
+    # ---- gossip: digest to the ring peer, one poll for theirs -----------
+    li $v0, SYS_NSEND
+    li $a0, {peer}
+    move $a1, $s1
+    syscall
+    li $v0, SYS_NRECV
+    li $a0, 1                  # NRECV_POLL: never block the request path
+    syscall
+    li $t1, -1
+    beq $v0, $t1, no_gossip
+    jal fold_digest
+no_gossip:
+    j worker_loop
+
+# Merge the local counters into the shared statistics page.
+flush_stats:
+    beqz $s2, flush_ret
+    la  $t3, stats
+    lw  $t4, 0($t3)
+    add $t4, $t4, $s2
+    sw  $t4, 0($t3)            # total served
+    lw  $t4, 4($t3)
+    xor $t4, $t4, $s3
+    sw  $t4, 4($t3)            # checksum
+    lw  $t4, 8($t3)
+    slt $at, $t4, $s5
+    beqz $at, flush_no_max
+    sw  $s5, 8($t3)
+flush_no_max:
+    li $s2, 0
+    li $s3, 0
+flush_ret:
+    jr $ra
+
+# Fold one received digest ($a1, from node $v0) into netstats.
+fold_digest:
+    la  $t3, netstats
+    lw  $t4, 0($t3)
+    addi $t4, $t4, 1
+    sw  $t4, 0($t3)
+    lw  $t4, 4($t3)
+    xor $t4, $t4, $a1
+    sw  $t4, 4($t3)
+    jr $ra
+
+# ---- bounded drain: poll for straggler digests, then exit --------------
+# The window is timed with the wrap-safe modular delta: sub gives the
+# 32-bit difference (exact for any interval < 2^32 even across a wrap),
+# sltu compares it unsigned against the window.  Comparing raw SYS_CYCLE
+# values here would deadlock a worker that straddles the wrap.
+worker_done:
+    jal flush_stats
+    li $v0, SYS_CYCLE
+    syscall
+    move $s6, $v0              # drain window start (low 32 bits)
+drain_loop:
+    li $v0, SYS_NRECV
+    li $a0, 1                  # poll
+    syscall
+    li $t1, -1
+    beq $v0, $t1, drain_wait
+    jal fold_digest
+    j drain_loop
+drain_wait:
+    li $v0, SYS_CYCLE
+    syscall
+    sub  $t0, $v0, $s6         # modular elapsed (wrap-safe)
+    li   $t2, {drain_cycles}
+    sltu $t1, $t0, $t2
+    beqz $t1, drain_over       # window expired
+    li $v0, SYS_SLEEP
+    li $a0, {drain_poll_gap}
+    syscall
+    j drain_loop
+drain_over:
+    la $t0, done_count
+    lw $t1, 0($t0)
+    addi $t1, $t1, 1
+    sw $t1, 0($t0)
+    li $v0, SYS_EXIT
+    li $a0, 0
+    syscall
+"""
+
+
+def source(node, nodes, workers, work_iters=DEFAULT_WORK_ITERS,
+           classes=DEFAULT_CLASSES, stats_batch=DEFAULT_STATS_BATCH,
+           drain_cycles=DEFAULT_DRAIN_CYCLES,
+           drain_poll_gap=DEFAULT_DRAIN_POLL_GAP):
+    """Assembly source for fleet node *node* of *nodes*."""
+    if not 0 <= node < nodes:
+        raise ValueError("node %r outside fleet of %d" % (node, nodes))
+    if stats_batch & (stats_batch - 1):
+        raise ValueError("stats_batch must be a power of two")
+    if drain_cycles < 1 or drain_poll_gap < 1:
+        raise ValueError("drain window and poll gap must be >= 1")
+    class_page_words = "\n".join(
+        "    .space 4096" for __ in range(classes))
+    return _SOURCE_TEMPLATE.format(
+        workers=workers,
+        work_iters=work_iters,
+        classes=classes,
+        stats_batch_mask=stats_batch - 1,
+        class_page_words=class_page_words,
+        peer=(node + 1) % nodes,
+        drain_cycles=drain_cycles,
+        drain_poll_gap=drain_poll_gap,
+    )
+
+
+def program(node, nodes, workers, work_iters=DEFAULT_WORK_ITERS,
+            classes=DEFAULT_CLASSES, stats_batch=DEFAULT_STATS_BATCH,
+            drain_cycles=DEFAULT_DRAIN_CYCLES,
+            drain_poll_gap=DEFAULT_DRAIN_POLL_GAP, layout=None):
+    """Build the per-node server image; returns ``(image, asm)``."""
+    return build_workload_image(
+        source(node, nodes, workers, work_iters, classes, stats_batch,
+               drain_cycles, drain_poll_gap),
+        layout or MemoryLayout())

@@ -1,0 +1,91 @@
+"""Fault injection under traffic: kills, strikes, checkpoint failover."""
+
+import pytest
+
+from repro.fleet.run import FleetSpec, run_fleet
+from repro.workloads import fleet_server
+
+
+def spec(**overrides):
+    base = dict(nodes=3, requests=60, workers=2, max_cycles=8_000_000)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_fleet(spec())
+
+
+def test_kill_failover_converges_to_clean_served_set(clean_run):
+    killed = run_fleet(spec(kills=((1, 9_000),)))
+    node = killed.nodes[1]
+    assert node.kills[0].done
+    assert len(node.failovers) == 1
+    event = node.failovers[0]
+    assert event.reason == "killed"
+    assert event.death_cycle >= 9_000
+    assert event.resume_cycle >= event.death_cycle + killed.spec.restore_cost
+    assert event.rewound_requests >= 0
+    # The spare re-serves everything lost since the checkpoint: the
+    # merged fleet log converges to the uninterrupted run's log.
+    assert node.status == "halted"
+    assert killed.served() == 60
+    assert set(killed.merged_log()) == set(clean_run.merged_log())
+
+
+def test_kill_failover_is_deterministic():
+    first = run_fleet(spec(kills=((1, 9_000),)))
+    second = run_fleet(spec(kills=((1, 9_000),)))
+    assert first.digest() == second.digest()
+    assert first.nodes[1].failovers[0].to_dict() \
+        == second.nodes[1].failovers[0].to_dict()
+
+
+def test_deterministic_fault_strike_detected_and_recovered(clean_run):
+    # Flip bit 31 of the first instruction of main's poll loop on node 1
+    # mid-traffic.  The corrupted loop faults; the bridge fails the node
+    # over to a spare restored from its last checkpoint.
+    __, asm = fleet_server.program(
+        1, 3, 2, fleet_server.DEFAULT_WORK_ITERS,
+        fleet_server.DEFAULT_CLASSES, fleet_server.DEFAULT_STATS_BATCH,
+        fleet_server.DEFAULT_DRAIN_CYCLES,
+        fleet_server.DEFAULT_DRAIN_POLL_GAP)
+    strike = {"model": "mem-flip", "node": 1, "cycle": 12_000,
+              "params": {"addr": asm.symbols["wait_loop"], "bit": 31,
+                         "cycle": 12_000}}
+    struck = run_fleet(spec(strikes=(strike,)))
+    record = struck.nodes[1].strikes[0]
+    assert record.fired
+    assert record.outcome == "fault"      # the recorded death reason
+    assert len(struck.nodes[1].failovers) == 1
+    assert struck.nodes[1].status == "halted"
+    assert struck.served() == 60
+    assert set(struck.merged_log()) == set(clean_run.merged_log())
+
+
+def test_benign_strike_leaves_run_clean(clean_run):
+    # A register flip in this stack-free workload lands on state that is
+    # rewritten before use: the run completes without failover and the
+    # strike is classified, not dropped.
+    struck = run_fleet(spec(strikes=(("reg-flip", 2, 20_000),)))
+    record = struck.nodes[2].strikes[0]
+    assert record.fired
+    assert record.outcome in ("benign", "detected", "recovered", "faulted")
+    assert struck.served() == 60
+
+
+def test_protected_fleet_kill_converges():
+    run = run_fleet(spec(nodes=2, requests=24, protected=True,
+                         kills=((1, 20_000),)))
+    assert run.served() == 24
+    assert len(run.nodes[1].failovers) == 1
+    assert all(node.status == "halted" for node in run.nodes)
+
+
+def test_strike_after_halt_is_not_triggered():
+    run = run_fleet(spec(nodes=2, requests=10, max_cycles=6_000_000,
+                         strikes=(("reg-flip", 0, 5_999_999),)))
+    record = run.nodes[0].strikes[0]
+    assert not record.fired
+    assert record.outcome == "not_triggered"

@@ -1,0 +1,61 @@
+"""Load generator unit tests: shape, determinism, validation."""
+
+import pytest
+
+from repro.fleet.loadgen import LoadSpec, generate
+
+
+def test_schedules_are_deterministic():
+    spec = LoadSpec(requests=100, seed=42)
+    assert generate(spec, 3) == generate(spec, 3)
+
+
+def test_request_count_conserved_and_sorted():
+    spec = LoadSpec(requests=97, fanout="random", seed=5)
+    schedules = generate(spec, 4)
+    assert len(schedules) == 4
+    assert sum(len(s) for s in schedules) == 97
+    for schedule in schedules:
+        assert list(schedule) == sorted(schedule)
+        assert all(cycle >= spec.start_cycle for cycle in schedule)
+
+
+def test_roundrobin_fanout_is_even():
+    schedules = generate(LoadSpec(requests=90, fanout="roundrobin"), 3)
+    assert [len(s) for s in schedules] == [30, 30, 30]
+
+
+def test_bursts_compress_gaps():
+    bursty = LoadSpec(requests=200, mean_gap=500, burst_percent=100,
+                      burst_len=10, burst_gap=2, seed=9)
+    smooth = LoadSpec(requests=200, mean_gap=500, burst_percent=0, seed=9)
+    bursty_span = generate(bursty, 1)[0][-1]
+    smooth_span = generate(smooth, 1)[0][-1]
+    # With every arrival opening a burst, 9 of every 10 gaps are the
+    # 2-cycle burst gap: the schedule is far denser than the smooth one.
+    assert bursty_span < smooth_span / 3
+
+
+def test_seed_changes_schedule():
+    assert generate(LoadSpec(seed=1), 2) != generate(LoadSpec(seed=2), 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LoadSpec(requests=-1)
+    with pytest.raises(ValueError):
+        LoadSpec(burst_percent=101)
+    with pytest.raises(ValueError):
+        LoadSpec(burst_len=0)
+    with pytest.raises(ValueError):
+        LoadSpec(fanout="broadcast")
+    with pytest.raises(ValueError):
+        LoadSpec(mean_gap=-5)
+    with pytest.raises(ValueError):
+        generate(LoadSpec(), 0)
+
+
+def test_zero_mean_gap_arrives_back_to_back():
+    schedule = generate(LoadSpec(requests=10, mean_gap=0, burst_percent=0,
+                                 start_cycle=100), 1)[0]
+    assert schedule == tuple(range(101, 111))

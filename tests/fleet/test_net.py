@@ -1,0 +1,122 @@
+"""Network device unit tests: validation, ordering, drops, determinism."""
+
+import pytest
+
+from repro.fleet.net import (LinkConfig, NetworkConfig, NetworkDevice,
+                             MASK32)
+from repro.kernel.syscalls import (NODE_ID_LIMIT, NSEND_OK,
+                                   NSEND_UNREACHABLE)
+
+
+# --------------------------------------------------------- config validation
+
+def test_link_latency_floor():
+    LinkConfig(latency=1)
+    with pytest.raises(ValueError):
+        LinkConfig(latency=0)
+    with pytest.raises(ValueError):
+        LinkConfig(latency=-5)
+
+
+def test_link_jitter_zero_is_legal_negative_is_not():
+    # jitter=0 means "no jitter" and must never reach a % 0.
+    device = NetworkDevice(2, NetworkConfig(LinkConfig(latency=7, jitter=0)))
+    assert device.send(0, 1, 0xAB, cycle=100) == NSEND_OK
+    assert device.interfaces[1].next_delivery() == 107
+    with pytest.raises(ValueError):
+        LinkConfig(jitter=-1)
+
+
+def test_drop_permille_range():
+    LinkConfig(drop_permille=0)
+    LinkConfig(drop_permille=999)
+    for bad in (-1, 1000, 5000):
+        with pytest.raises(ValueError):
+            LinkConfig(drop_permille=bad)
+
+
+def test_node_count_limit():
+    NetworkDevice(1)
+    with pytest.raises(ValueError):
+        NetworkDevice(0)
+    with pytest.raises(ValueError):
+        # Ids >= NODE_ID_LIMIT could collide with the NRECV_EMPTY
+        # sentinel; the device refuses to build such a fleet.
+        NetworkDevice(NODE_ID_LIMIT + 1)
+
+
+# ------------------------------------------------------------------ datapath
+
+def test_delivery_order_same_cycle_is_send_order():
+    device = NetworkDevice(2, NetworkConfig(LinkConfig(latency=10)))
+    iface = device.interfaces[1]
+    for payload in (5, 6, 7):
+        device.send(0, 1, payload, cycle=50)
+    assert iface.poll(59) is None            # latency not yet elapsed
+    got = [iface.poll(60) for __ in range(3)]
+    assert got == [(0, 5), (0, 6), (0, 7)]
+    assert iface.poll(60) is None
+
+
+def test_payloads_masked_to_32_bits():
+    device = NetworkDevice(2)
+    device.send(0, 1, (1 << 40) | 0xBEEF, cycle=0)
+    cycle = device.interfaces[1].next_delivery()
+    src, payload = device.interfaces[1].poll(cycle)
+    assert src == 0
+    assert payload == ((1 << 40) | 0xBEEF) & MASK32
+
+
+def test_unreachable_destinations():
+    device = NetworkDevice(2)
+    assert device.send(0, 5, 1, cycle=0) == NSEND_UNREACHABLE
+    assert device.send(0, -1, 1, cycle=0) == NSEND_UNREACHABLE
+    device.mark_down(1)
+    assert device.send(0, 1, 1, cycle=0) == NSEND_UNREACHABLE
+    assert device.unreachable == 3
+    assert not device.has_pending()
+
+
+def test_seeded_drops_are_deterministic_and_silent():
+    def run():
+        config = NetworkConfig(LinkConfig(latency=5, drop_permille=500),
+                               seed=77)
+        device = NetworkDevice(2, config)
+        statuses = [device.send(0, 1, n, cycle=n) for n in range(200)]
+        arrived = []
+        iface = device.interfaces[1]
+        while iface.rx:
+            arrived.append(iface.poll(1 << 40))
+        return statuses, arrived, device.dropped
+
+    first, second = run(), run()
+    assert first == second
+    statuses, arrived, dropped = first
+    # Drops are silent: the sender always sees NSEND_OK.
+    assert set(statuses) == {NSEND_OK}
+    assert 0 < dropped < 200
+    assert len(arrived) == 200 - dropped
+
+
+def test_jitter_draws_are_deterministic_per_link():
+    def delivery_cycles():
+        config = NetworkConfig(LinkConfig(latency=10, jitter=30), seed=3)
+        device = NetworkDevice(3, config)
+        for n in range(20):
+            device.send(0, 1, n, cycle=0)
+            device.send(2, 1, n, cycle=0)
+        return sorted(entry[0] for entry in device.interfaces[1].rx)
+
+    first, second = delivery_cycles(), delivery_cycles()
+    assert first == second
+    assert all(10 <= cycle < 40 for cycle in first)
+
+
+def test_snapshot_shape():
+    device = NetworkDevice(2)
+    device.send(0, 1, 9, cycle=0)
+    doc = device.snapshot()
+    assert doc == {"nodes": 2, "sent": 1, "dropped": 0, "unreachable": 0,
+                   "pending": 1, "down": []}
+    iface_doc = device.interfaces[1].snapshot()
+    assert iface_doc == {"node": 1, "sent": 0, "delivered": 0, "pending": 1}

@@ -1,0 +1,161 @@
+"""Kernel contract regressions: sentinel reservation, config validation,
+open-loop arrivals, and the SYS_CYCLE 32-bit wrap idiom."""
+
+import pytest
+
+from repro.checkpoint import MachineCheckpoint
+from repro.kernel.kernel import KernelConfig
+from repro.kernel.syscalls import RECV_EXHAUSTED
+from repro.program.layout import MemoryLayout
+from repro.system import build_machine
+from repro.workloads.asmlib import build_workload_image
+
+
+# ------------------------------------------------- RECV_EXHAUSTED reservation
+
+def test_request_source_reserves_the_exhaustion_sentinel():
+    kernel = build_machine().kernel
+    # The largest legal source stops one short of handing out the
+    # sentinel as a request id.
+    kernel.set_request_source(RECV_EXHAUSTED)
+    with pytest.raises(ValueError):
+        kernel.set_request_source(RECV_EXHAUSTED + 1)
+
+
+def test_arrival_schedule_validation():
+    kernel = build_machine().kernel
+    with pytest.raises(ValueError):
+        kernel.set_request_source(3, (10, 20))          # wrong length
+    with pytest.raises(ValueError):
+        kernel.set_request_source(3, (10, 5, 20))       # decreasing
+    with pytest.raises(ValueError):
+        kernel.set_request_source(2, (-1, 10))          # negative cycle
+    kernel.set_request_source(3, (10, 10, 20))          # plateaus are fine
+    assert kernel.request_arrivals == (10, 10, 20)
+
+
+def test_open_loop_recv_blocks_until_arrival():
+    machine = build_machine()
+    image, __ = build_workload_image("""
+        main:
+            li $v0, SYS_RECV
+            syscall
+            move $s0, $v0
+            li $v0, SYS_SEND
+            move $a0, $s0
+            li $a1, 123
+            syscall
+            halt
+    """, MemoryLayout())
+    machine.kernel.set_request_source(1, (50_000,))
+    machine.kernel.load_process(image)
+    result = machine.kernel.run(max_cycles=500_000)
+    assert result.reason == "halt"
+    # The request was not accepted before its arrival cycle.
+    assert machine.pipeline.cycle >= 50_000
+    assert machine.kernel.responses == {0: 123}
+
+
+# --------------------------------------------------- KernelConfig validation
+
+def test_kernel_config_rejects_bad_values():
+    with pytest.raises(ValueError):
+        KernelConfig(quantum_cycles=0)
+    with pytest.raises(ValueError):
+        KernelConfig(io_recv_jitter=-1)
+    with pytest.raises(ValueError):
+        KernelConfig(io_recv_latency=-5)
+    with pytest.raises(ValueError):
+        KernelConfig(context_switch_cost=-1)
+    with pytest.raises(ValueError):
+        KernelConfig(syscall_cost=-1)
+    with pytest.raises(ValueError):
+        KernelConfig(io_send_cost=-1)
+    with pytest.raises(ValueError):
+        KernelConfig(savepage_cost=-1)
+    KernelConfig(savepage_cost=None)
+
+
+def test_zero_jitter_serves_requests():
+    # jitter=0 means "deterministic latency", not "divide by zero".
+    machine = build_machine(kernel_config=KernelConfig(io_recv_jitter=0))
+    image, __ = build_workload_image("""
+        main:
+            li $v0, SYS_RECV
+            syscall
+            move $a0, $v0
+            li $v0, SYS_SEND
+            li $a1, 7
+            syscall
+            halt
+    """, MemoryLayout())
+    machine.kernel.set_request_source(1)
+    machine.kernel.load_process(image)
+    assert machine.kernel.run(max_cycles=200_000).reason == "halt"
+    assert machine.kernel.responses == {0: 7}
+
+
+# ------------------------------------------------------- SYS_CYCLE 2^32 wrap
+
+WRAP_TIMER = """
+    main:
+        li $v0, SYS_CYCLE
+        syscall
+        move $s0, $v0           # start (low 32 bits)
+    wait:
+        li $v0, SYS_SLEEP
+        li $a0, 500
+        syscall
+        li $v0, SYS_CYCLE
+        syscall
+        sub $t0, $v0, $s0       # modular delta: exact across the wrap
+        li $t2, 8000
+        sltu $t1, $t0, $t2
+        bnez $t1, wait
+        move $s1, $t0           # final elapsed
+        halt
+"""
+
+
+def run_timer_from(start_cycle):
+    machine = build_machine()
+    image, __ = build_workload_image(WRAP_TIMER, MemoryLayout())
+    machine.kernel.load_process(image)
+    machine.pipeline.advance_cycles(start_cycle)
+    result = machine.kernel.run(max_cycles=start_cycle + 500_000)
+    assert result.reason == "halt"
+    return machine
+
+
+def test_cycle_wrap_timing_loop_crosses_2_32():
+    # Start ~4000 cycles shy of 2^32: the 8000-cycle window straddles
+    # the wrap, so a naive (now < start) comparison would spin forever
+    # or exit instantly.  The documented sub/sltu delta idiom stays
+    # exact.
+    wrapped = run_timer_from(2 ** 32 - 4_000)
+    low = run_timer_from(0)
+    assert wrapped.pipeline.cycle > 2 ** 32
+    elapsed = wrapped.pipeline.regs[17]
+    assert 8_000 <= elapsed < 60_000
+    # Same guest behaviour on both sides of the wrap.
+    assert elapsed == low.pipeline.regs[17]
+
+
+def test_cycle_wrap_survives_checkpoint_restore():
+    # A checkpointed high-cycle machine restores onto a spare and still
+    # times correctly across 2^32 — the fleet failover path for
+    # long-lived nodes.
+    machine = build_machine()
+    image, __ = build_workload_image(WRAP_TIMER, MemoryLayout())
+    machine.kernel.load_process(image)
+    machine.pipeline.advance_cycles(2 ** 32 - 4_000)
+    wire = machine.checkpoint().to_bytes()
+
+    spare = build_machine()
+    spare.kernel.load_process(image)
+    spare.restore(MachineCheckpoint.from_bytes(wire))
+    assert spare.pipeline.cycle == 2 ** 32 - 4_000
+    result = spare.kernel.run(max_cycles=2 ** 32 + 500_000)
+    assert result.reason == "halt"
+    assert spare.pipeline.cycle > 2 ** 32
+    assert 8_000 <= spare.pipeline.regs[17] < 60_000

@@ -21,7 +21,7 @@ MEMORY_KEYS = {"il1", "dl1", "il2", "dl2", "bus"}
 CACHE_KEYS = {"accesses", "hits", "misses", "writebacks", "miss_rate"}
 KERNEL_KEYS = {"threads", "context_switches", "syscalls",
                "timer_preemptions", "faults", "detections", "checkpoints",
-               "requests", "output_events"}
+               "requests", "net", "output_events"}
 RSE_KEYS = {"checks_seen", "safe_mode", "ioq", "mau", "queues",
             "selfcheck_trips", "modules"}
 MODULE_BASE_KEYS = {"enabled", "checks", "errors"}
