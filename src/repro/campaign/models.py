@@ -66,6 +66,11 @@ class Injection:
 
 MODELS = {}
 
+#: Modules that register additional fault models on import.  Imported
+#: lazily by :func:`get_model` so the campaign core never depends on the
+#: layers above it (the attack corpus lives in ``repro.security``).
+MODEL_PROVIDERS = ("repro.security.attackgen",)
+
 
 def register(cls):
     MODELS[cls.name] = cls
@@ -74,6 +79,13 @@ def register(cls):
 
 def get_model(name, **options):
     """Instantiate a registered fault model by name."""
+    if name not in MODELS:
+        import importlib
+
+        for provider in MODEL_PROVIDERS:
+            importlib.import_module(provider)
+            if name in MODELS:
+                break
     try:
         factory = MODELS[name]
     except KeyError:
@@ -94,6 +106,18 @@ class FaultModel:
     #: prefix across injections in ``--fork`` mode.
     arm_is_pure = False
 
+    #: False when the model synthesises its own guest program per
+    #: injection (the attack corpus): ``spec.source`` is then only a
+    #: fingerprint tag, and the campaign context skips assembling it,
+    #: the golden run and the target enumerations.
+    needs_workload = True
+
+    #: True when the model runs the whole injection itself through
+    #: :meth:`execute` instead of the shared arm/run/fire/classify
+    #: machinery — generated programs classify from their own
+    #: architectural state, not against golden registers.
+    owns_execution = False
+
     def build_space(self, ctx):
         """Derive the picklable sample space from a campaign context."""
         raise NotImplementedError
@@ -109,6 +133,14 @@ class FaultModel:
 
     def fire(self, machine, ctx, params):
         """Apply the mid-run perturbation at the trigger cycle."""
+
+    def execute(self, ctx, injection):
+        """Run one injection end to end (``owns_execution`` models only).
+
+        Returns the record dict the shared runner would have produced;
+        must be deterministic in ``injection.params`` alone.
+        """
+        raise NotImplementedError
 
 
 def _trigger_window(ctx):

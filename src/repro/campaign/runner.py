@@ -147,6 +147,19 @@ class CampaignContext:
         # identical either way, so it stays out of the fingerprint.
         self.batch = batch
         self.model = get_model(spec.model, **spec.model_options)
+        if not getattr(self.model, "needs_workload", True):
+            # Generative models (the attack corpus) synthesise a guest
+            # program per injection: spec.source is only a fingerprint
+            # tag, and there is nothing to assemble, enumerate or run
+            # golden here.
+            self.asm = None
+            self.stack_top = STACK_TOP
+            self.checked_pcs = []
+            self.control_pcs = []
+            self.data_words = []
+            self.golden_regs = {}
+            self.golden_cycles = spec.max_cycles
+            return
         self.asm = assemble(spec.source)
         self.stack_top = STACK_TOP
         # Checked pcs: what the ICM would provision (used as the target
@@ -287,6 +300,8 @@ def strike_injection(ctx, machine, injection):
 def execute_injection(ctx, injection):
     """Run one injection on a fresh machine; returns its record dict."""
     try:
+        if getattr(ctx.model, "owns_execution", False):
+            return ctx.model.execute(ctx, injection)
         machine, __ = build_campaign_machine(ctx.asm, ctx.spec.protected,
                                              assertions=ctx.spec.assertions,
                                              batch=ctx.batch)

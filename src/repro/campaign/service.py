@@ -142,6 +142,15 @@ def build_campaign_image(spec, batch=True):
     worker can refuse an image warmed for a different campaign.
     """
     ctx = CampaignContext(spec, batch=batch)
+    if getattr(ctx.model, "owns_execution", False):
+        # Generative models build a fresh guest program per injection:
+        # there is no shared machine to warm, so the image is just the
+        # fingerprint + golden stub that lets workers skip the context's
+        # golden run (which the context already skipped here too).
+        return CampaignImage(spec.fingerprint(), b"",
+                             {"cycle": 0,
+                              "golden": {"regs": {},
+                                         "cycles": ctx.golden_cycles}})
     machine, __ = build_campaign_machine(ctx.asm, spec.protected, batch=batch)
     checkpoint = machine.checkpoint()
     meta = {"cycle": checkpoint.cycle,
@@ -189,7 +198,7 @@ def _build_engine(ctx, image):
     not rewind, so reusing one machine would leak one strike's
     violations into the next run's classification.
     """
-    if ctx.spec.assertions:
+    if ctx.spec.assertions or getattr(ctx.model, "owns_execution", False):
         return lambda injection: execute_injection(ctx, injection)
     try:
         return ImageEngine(ctx, image).run

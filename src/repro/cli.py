@@ -9,7 +9,7 @@ Commands
     statistics.  ``--func`` uses the functional simulator instead;
     ``--icm`` attaches the RSE with the ICM checking all control flow.
 
-``experiment {table4,table5,fig9,ablations}``
+``experiment {table4,table5,fig9,ablations,attack-matrix}``
     Run an experiment harness and print its paper-style table
     (``--quick`` for the reduced configuration).
 
@@ -21,9 +21,12 @@ Commands
     it runs).  The bare historical spelling ``repro campaign <flags>``
     still means ``campaign run``.
 
-``attack {stack,got}``
-    Run a layout-dependent exploit against the vulnerable service under
-    a chosen ``--defense``.
+``attack {stack,got,run,matrix}``
+    Security harness: ``stack``/``got`` run the hand-written exploit
+    demos under a chosen ``--defense`` (on any ``--engine``); ``run``
+    generates and executes one seeded attack variant from the corpus
+    (:mod:`repro.security.attackgen`); ``matrix`` runs the full module
+    × attack-class detection-coverage matrix with Wilson CIs.
 
 ``stats FILE``
     Pretty-print (or ``--diff`` two) telemetry files: either a
@@ -246,6 +249,15 @@ def _print_violations(violations, watched):
 def _cmd_experiment(args):
     from repro.experiments import ablations, fig9, table4, table5
 
+    if args.name == "attack-matrix":
+        from repro.experiments import attack_matrix as harness
+
+        results = harness.run_attack_matrix(quick=args.quick)
+        if args.json:
+            emit_json({"experiment": "attack-matrix", "results": results})
+            return 0
+        print(harness.format_matrix(results))
+        return 0
     if args.name == "table4":
         results = table4.run_table4(quick=args.quick)
         fw, icm = table4.average_overheads(results)
@@ -294,18 +306,90 @@ def _cmd_experiment(args):
 
 
 def _cmd_attack(args):
+    if args.attack_cmd in ("stack", "got"):
+        return _cmd_attack_demo(args)
+    if args.attack_cmd == "run":
+        return _cmd_attack_run(args)
+    return _cmd_attack_matrix(args)
+
+
+def _cmd_attack_demo(args):
     from repro.security.attacks import run_got_hijack, run_stack_smash
 
-    if args.kind == "stack":
-        result = run_stack_smash(defense=args.defense, seed=args.seed)
+    if args.attack_cmd == "stack":
+        result = run_stack_smash(defense=args.defense, seed=args.seed,
+                                 engine=args.engine)
     else:
         if args.defense == "trr":
             print("the GOT hijack demo supports defenses: none, mlr")
             return 2
-        result = run_got_hijack(defense=args.defense)
+        result = run_got_hijack(defense=args.defense, engine=args.engine)
+    if args.json:
+        emit_json({"attack": args.attack_cmd, "defense": args.defense,
+                   "engine": args.engine, "outcome": result.outcome.value,
+                   "reason": result.result.reason})
+        return 0
     print("attack: %s   defense: %s   outcome: %s (run ended: %s)"
-          % (args.kind, args.defense, result.outcome.value,
+          % (args.attack_cmd, args.defense, result.outcome.value,
              result.result.reason))
+    return 0
+
+
+def _cmd_attack_run(args):
+    from repro.security.attackgen import generate_variant, run_variant
+
+    variant = generate_variant(args.attack_class, args.seed,
+                               config=args.config)
+    run = run_variant(variant, max_cycles=args.max_cycles,
+                      engine=args.engine)
+    if args.json:
+        emit_json({"attack": variant.attack_class, "config": variant.config,
+                   "seed": variant.seed, "engine": args.engine,
+                   "outcome": run.outcome.value, "reason": run.reason,
+                   "detections": run.detections, "cycles": run.cycles,
+                   "meta": jsonable(variant.meta)})
+        return 0
+    print("attack: %s   config: %s   seed: %d   engine: %s"
+          % (variant.attack_class, variant.config, variant.seed,
+             args.engine))
+    print("outcome: %s (run ended: %s, %d detections, %d cycles)"
+          % (run.outcome.value, run.reason, run.detections, run.cycles))
+    for key in sorted(variant.meta):
+        print("  %s = %r" % (key, variant.meta[key]))
+    return 0
+
+
+def _cmd_attack_matrix(args):
+    from repro.security.attackgen import ATTACK_CLASSES
+    from repro.security.coverage import (DEFAULT_CONFIGS, attack_matrix,
+                                         format_attack_matrix)
+
+    classes = (tuple(t for t in args.classes.split(",") if t)
+               if args.classes else ATTACK_CLASSES)
+    configs = (tuple(t for t in args.configs.split(",") if t)
+               if args.configs else DEFAULT_CONFIGS)
+    options = None
+    if args.workers > 1 or args.shards or args.store:
+        from repro.campaign import ExecutionOptions
+
+        options = ExecutionOptions(workers=args.workers,
+                                   shards=args.shards, store=args.store)
+
+    def progress(done, total):
+        if not args.json:
+            sys.stderr.write("\r%d/%d cells" % (done, total))
+            sys.stderr.flush()
+            if done == total:
+                sys.stderr.write("\n")
+
+    doc = attack_matrix(classes=classes, configs=configs,
+                        variants=args.variants, seed=args.seed,
+                        max_cycles=args.max_cycles, options=options,
+                        progress=progress)
+    if args.json:
+        emit_json(doc)
+        return 0
+    print(format_attack_matrix(doc))
     return 0
 
 
@@ -941,7 +1025,7 @@ def main(argv=None):
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name", choices=["table4", "table5", "fig9",
-                                             "ablations"])
+                                             "ablations", "attack-matrix"])
     exp_parser.add_argument("--quick", action="store_true")
     add_json_flag(exp_parser)
     exp_parser.set_defaults(func_impl=_cmd_experiment)
@@ -1120,12 +1204,63 @@ def main(argv=None):
     add_json_flag(assertions_parser)
     assertions_parser.set_defaults(func_impl=_cmd_assertions)
 
-    attack_parser = sub.add_parser("attack", help="run an exploit demo")
-    attack_parser.add_argument("kind", choices=["stack", "got"])
-    attack_parser.add_argument("--defense", default="none",
-                               choices=["none", "trr", "mlr"])
-    attack_parser.add_argument("--seed", type=int, default=1234)
-    attack_parser.set_defaults(func_impl=_cmd_attack)
+    attack_root = sub.add_parser(
+        "attack", help="exploit demos and the generated attack corpus")
+    attack_sub = attack_root.add_subparsers(dest="attack_cmd",
+                                            required=True)
+    engine_choices = ["pipeline", "interp", "predecode", "jit"]
+    for kind in ("stack", "got"):
+        demo_parser = attack_sub.add_parser(
+            kind, help="hand-written %s exploit demo"
+            % ("stack-smash" if kind == "stack" else "GOT-hijack"))
+        demo_parser.add_argument("--defense", default="none",
+                                 choices=["none", "trr", "mlr"])
+        demo_parser.add_argument("--seed", type=int, default=1234)
+        demo_parser.add_argument("--engine", default="pipeline",
+                                 choices=engine_choices,
+                                 help="execution engine; classification "
+                                      "is engine-independent")
+        add_json_flag(demo_parser)
+        demo_parser.set_defaults(func_impl=_cmd_attack)
+    attack_run = attack_sub.add_parser(
+        "run", help="generate and run one attack variant")
+    attack_run.add_argument("--class", dest="attack_class",
+                            default="stack-smash",
+                            help="attack class (stack-smash, got-hijack, "
+                                 "smc-patch, thread-smash, race-got)")
+    attack_run.add_argument("--config", default="none",
+                            help="RSE module configuration, '+'-joined "
+                                 "(e.g. none, trr, mlr+icm)")
+    attack_run.add_argument("--seed", type=int, default=1234,
+                            help="variant seed (same seed = same attack)")
+    attack_run.add_argument("--engine", default="pipeline",
+                            choices=engine_choices)
+    attack_run.add_argument("--max-cycles", type=int, default=300_000)
+    add_json_flag(attack_run)
+    attack_run.set_defaults(func_impl=_cmd_attack)
+    attack_matrix_parser = attack_sub.add_parser(
+        "matrix", help="module x attack-class detection-coverage matrix")
+    attack_matrix_parser.add_argument(
+        "--classes", default=None,
+        help="comma-separated attack classes (default: all)")
+    attack_matrix_parser.add_argument(
+        "--configs", default=None,
+        help="comma-separated module configs (default: none,trr,icm,mlr,"
+             "cfc,mlr+icm)")
+    attack_matrix_parser.add_argument("--variants", type=int, default=40,
+                                      help="corpus size per cell")
+    attack_matrix_parser.add_argument("--seed", type=int, default=2004)
+    attack_matrix_parser.add_argument("--max-cycles", type=int,
+                                      default=300_000)
+    attack_matrix_parser.add_argument("--workers", type=int, default=1)
+    attack_matrix_parser.add_argument(
+        "--shards", type=int, default=0,
+        help="route each cell through the sharded campaign service")
+    attack_matrix_parser.add_argument(
+        "--store", default=None,
+        help="directory of per-cell resumable result stores")
+    add_json_flag(attack_matrix_parser)
+    attack_matrix_parser.set_defaults(func_impl=_cmd_attack)
 
     disasm_parser = sub.add_parser("disasm",
                                    help="disassemble an assembled program")

@@ -10,12 +10,15 @@ records and a paper-style formatted table:
 * :mod:`repro.experiments.fig9`   — the multithreaded-server DDT sweep
   (Figure 9);
 * :mod:`repro.experiments.ablations` — design-choice studies called out
-  in Table 3 (arbiter placement, ICM cache size, DDT lag window).
+  in Table 3 (arbiter placement, ICM cache size, DDT lag window);
+* :mod:`repro.experiments.attack_matrix` — the generative module ×
+  attack-class detection-coverage matrix (quantitative Tables 4/5).
 
 The ``quick`` flag on every entry point shrinks workloads for use in the
 test suite; benchmarks run the full configuration.
 """
 
-from repro.experiments import table4, table5, fig9, ablations
+from repro.experiments import (ablations, attack_matrix, fig9, table4,
+                               table5)
 
-__all__ = ["table4", "table5", "fig9", "ablations"]
+__all__ = ["table4", "table5", "fig9", "ablations", "attack_matrix"]

@@ -51,6 +51,16 @@ class FuncSim:
       pipeline treats CHECKs as NOPs everywhere except commit).
     * ``trace_mem(sim, instr, addr, is_store)`` — observation hook used
       by functional DDT experiments.
+    * ``fetch_check(pc) -> error | None`` — instruction-fetch permission
+      check, consulted whenever a pc is (re)decoded: every step on the
+      reference interpreter, and at predecode-cache refill otherwise.
+      Refill-time checking has ITLB-fill semantics: a pc already cached
+      for the current page version is not re-checked until a store to
+      its page bumps the write version (which also forces a re-decode).
+      Attaching it disables trace-JIT dispatch for the run — traces
+      splice blocks past the refill points the check lives at — exactly
+      like the documented ``trace_mem`` deopt.  A non-None return is an
+      architectural fault with that cause.
     """
 
     def __init__(self, memory, entry=0, sp=0, gp=0, syscall_handler=None,
@@ -66,6 +76,7 @@ class FuncSim:
         self.syscall_handler = syscall_handler
         self.chk_handler = chk_handler
         self.trace_mem = trace_mem
+        self.fetch_check = None
         self.fault = None         # (pc, cause) of the last fault, if any
         self.predecode_enabled = predecode_enabled
         self._cache = predecode.cache_for(memory) if predecode_enabled \
@@ -104,6 +115,10 @@ class FuncSim:
         pc = self.pc
         cache = self._cache
         if cache is None:
+            if self.fetch_check is not None:
+                err = self.fetch_check(pc)
+                if err:
+                    return self._fault(pc, err)
             try:
                 word = self.memory.load_word(pc)
                 instr = decode(word)
@@ -115,6 +130,10 @@ class FuncSim:
             if (entry is None or
                     self.memory.write_versions.get(pc >> PAGE_SHIFT, 0)
                     != entry[0]):
+                if self.fetch_check is not None:
+                    err = self.fetch_check(pc)
+                    if err:
+                        return self._fault(pc, err)
                 entry = cache.refill(pc)
         except (MemoryFault, DecodeError) as exc:
             return self._fault(pc, str(exc))
@@ -160,10 +179,11 @@ class FuncSim:
         if self.halted:
             return StepResult.HALTED
         if self._traces is not None:
-            if self.trace_mem is None:
+            if self.trace_mem is None and self.fetch_check is None:
                 return self._run_traced(max_steps)
-            # Per-instruction telemetry is attached: traces would skip
-            # its events, so this run executes closure-at-a-time.
+            # Per-instruction telemetry or a fetch-permission check is
+            # attached: traces would skip its events / splice past its
+            # refill points, so this run executes closure-at-a-time.
             self._traces.deopt_runs += 1
         return self._run_predecode(max_steps)
 
@@ -177,6 +197,7 @@ class FuncSim:
         entries_get = self._cache.entries.get
         refill = self._cache.refill
         versions_get = self.memory.write_versions.get
+        fetch_check = self.fetch_check
         arith_fault = semantics.ArithmeticFault
         halt_marker = predecode.HALT
         syscall_marker = predecode.SYSCALL
@@ -185,6 +206,12 @@ class FuncSim:
         for __ in range(max_steps):
             entry = entries_get(pc)
             if entry is None or versions_get(pc >> PAGE_SHIFT, 0) != entry[0]:
+                if fetch_check is not None:
+                    err = fetch_check(pc)
+                    if err:
+                        self.pc = pc
+                        self.instret += n
+                        return self._fault(pc, err)
                 try:
                     entry = refill(pc)
                 except (MemoryFault, DecodeError) as exc:

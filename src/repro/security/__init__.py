@@ -12,7 +12,15 @@ provides that attacker:
   Randomization baseline (the authors' earlier software system);
 * :mod:`repro.security.faults`  — instruction bit-flip injection
   campaigns for the ICM, and module fault modes for the self-checking
-  experiments.
+  experiments;
+* :mod:`repro.security.guestos` — the minimal guest runtime that runs
+  security workloads on the functional engines with the same fetch
+  protection and CHECK semantics as the kernel/pipeline path;
+* :mod:`repro.security.attackgen` — the seeded generative attack
+  corpus (randomized stack smashes, GOT hijacks, self-modifying
+  payloads, malicious threads, TOCTOU races) and its campaign model;
+* :mod:`repro.security.coverage` — the module × attack-class
+  detection-coverage matrix with Wilson confidence intervals.
 """
 
 from repro.security.trr import trr_randomize_layout
@@ -31,6 +39,16 @@ from repro.security.faults import (
     BitFlipOutcome,
     run_bitflip_campaign,
 )
+from repro.security.attackgen import (
+    ATTACK_CLASSES,
+    AttackCorpus,
+    generate_variant,
+    run_variant,
+)
+from repro.security.coverage import (
+    attack_matrix,
+    format_attack_matrix,
+)
 
 __all__ = [
     "trr_randomize_layout",
@@ -43,4 +61,10 @@ __all__ = [
     "rerandomize_heap",
     "BitFlipOutcome",
     "run_bitflip_campaign",
+    "ATTACK_CLASSES",
+    "AttackCorpus",
+    "generate_variant",
+    "run_variant",
+    "attack_matrix",
+    "format_attack_matrix",
 ]

@@ -1,0 +1,511 @@
+"""Seeded generative attack corpus (InjectV-style attack taxonomy).
+
+Where :mod:`repro.security.attacks` holds two hand-written exploits,
+this module *generates* randomized attack variants the way the difftest
+generator composes random programs: a variant seed drives every choice
+(frame geometry, NOP-sled layout, shellcode placement and registers,
+GOT width and victim entry, write primitive, patch filler, race delays),
+and the result is a fully self-contained, **self-classifying** guest
+program rendered from the :mod:`repro.workloads.vulnsvc` templates —
+HIJACKED / CRASHED / FOILED / DETECTED are read from architectural
+state, never from heuristics.
+
+Attack classes (:data:`ATTACK_CLASSES`):
+
+* ``stack-smash``   — unbounded copy into a stack buffer; varied
+  overflow depths, sled lengths, shellcode placement and entry points;
+* ``got-hijack``    — arbitrary write over a randomized GOT entry with
+  a randomized write primitive (word / byte-wise / indexed);
+* ``smc-patch``     — self-modifying payload: an mprotect gadget opens
+  .text and a baked patch rewrites a direct jump;
+* ``thread-smash``  — a malicious sibling thread smashes the sleeping
+  service thread's frame at assumed addresses;
+* ``race-got``      — cross-thread TOCTOU: the service validates a GOT
+  entry, yields, then calls it while a racer thread rewrites it.
+
+Variants run under RSE module configurations
+(:func:`parse_config`: ``none``/``trr``/``icm``/``mlr``/``cfc``/``ddt``
+and ``+`` combinations), either directly (:func:`run_variant`) or as a
+:mod:`repro.campaign` fault model (:class:`AttackCorpus`,
+``model="attack"``) so corpora scale through the sharded service and
+feed the :mod:`repro.security.coverage` detection matrix.
+"""
+
+import random
+
+from repro.campaign.models import FaultModel, Outcome, register
+from repro.isa.encoding import encode
+from repro.isa.instructions import SPEC_BY_NAME
+from repro.program.layout import MemoryLayout
+from repro.rse.check import MODULE_ICM
+from repro.rse.modules.cfc import CFC, MODULE_CFC, build_cfg
+from repro.rse.modules.icm import build_checker_memory, make_icm_injector
+from repro.security.attacks import (
+    _MLR_PROLOGUE,
+    PWNED_MARKER,
+    AttackOutcome,
+    _classify,
+    _make_stack_executable,
+)
+from repro.security.trr import trr_randomize_layout
+from repro.system import build_machine
+from repro.workloads import vulnsvc
+from repro.workloads.asmlib import build_workload_image
+
+#: The corpus' attack-class vocabulary.
+ATTACK_CLASSES = ("stack-smash", "got-hijack", "smc-patch",
+                  "thread-smash", "race-got")
+
+#: Classes whose programs are single-threaded and therefore runnable on
+#: the functional engines through :mod:`repro.security.guestos`.
+FUNCSIM_CLASSES = ("stack-smash", "got-hijack", "smc-patch")
+
+#: Classes that attack the stack (and so model the 2004 executable stack).
+_STACK_CLASSES = ("stack-smash", "thread-smash")
+
+#: Classes whose MLR defense is the GOT-migration flow, not stack PI.
+_GOT_CLASSES = ("got-hijack", "race-got")
+
+#: RSE module configuration tokens :func:`parse_config` accepts.
+CONFIG_TOKENS = ("none", "trr", "icm", "mlr", "cfc", "ddt")
+
+#: Default per-variant cycle budget; every generated program finishes
+#: (or faults) within a small fraction of this.
+DEFAULT_MAX_CYCLES = 300_000
+
+_SHELLCODE_REGS = ((8, 9), (10, 11), (24, 25))      # t0/t1, t2/t3, t8/t9
+
+
+def parse_config(config):
+    """``"mlr+icm"`` -> ordered tuple of validated module tokens."""
+    tokens = tuple(token for token in config.split("+") if token)
+    if not tokens:
+        raise ValueError("empty module configuration")
+    for token in tokens:
+        if token not in CONFIG_TOKENS:
+            raise ValueError("unknown module config token %r (have: %s)"
+                             % (token, ", ".join(CONFIG_TOKENS)))
+    if len(set(tokens)) != len(tokens):
+        raise ValueError("duplicate token in module config %r" % config)
+    return tuple(token for token in tokens if token != "none")
+
+
+def shellcode_words(flag_addr, rt0=8, rt1=9, marker=PWNED_MARKER):
+    """Marker-write shellcode as instruction words, registers chosen."""
+    lui = SPEC_BY_NAME["lui"]
+    ori = SPEC_BY_NAME["ori"]
+    sw = SPEC_BY_NAME["sw"]
+    halt = SPEC_BY_NAME["halt"]
+    return [
+        encode(lui, rt=rt0, imm=(flag_addr >> 16) & 0xFFFF),
+        encode(ori, rt=rt0, rs=rt0, imm=flag_addr & 0xFFFF),
+        encode(lui, rt=rt1, imm=(marker >> 16) & 0xFFFF),
+        encode(ori, rt=rt1, rs=rt1, imm=marker & 0xFFFF),
+        encode(sw, rt=rt1, rs=rt0, imm=0),
+        encode(halt),
+    ]
+
+
+def _mlr_got_prologue(entries):
+    """The MLR GOT-migration prologue, sized for *entries* GOT slots."""
+    return """\
+    chk MLR, NBLK, OP_ENABLE, 0
+    la  $a0, got
+    li  $a1, {got_bytes}
+    chk MLR, BLK, OP_MLR_GOT_OLD, 0
+    la  $a0, got_new
+    li  $a1, 0
+    chk MLR, BLK, OP_MLR_GOT_NEW, 0
+    chk MLR, BLK, OP_MLR_COPY_GOT, 0
+    la  $a0, plt0
+    li  $a1, {plt_bytes}
+    chk MLR, BLK, OP_MLR_PLT_INFO, 0
+    li  $v0, SYS_MPROTECT
+    la  $a0, plt0
+    li  $a1, {plt_bytes}
+    li  $a2, 7
+    syscall
+    chk MLR, BLK, OP_MLR_WRITE_PLT, 0
+    li  $v0, SYS_MPROTECT
+    la  $a0, plt0
+    li  $a1, {plt_bytes}
+    li  $a2, 5
+    syscall
+""".format(got_bytes=4 * entries, plt_bytes=16 * entries)
+
+
+class AttackVariant:
+    """One generated attack: program image + the choices that made it."""
+
+    def __init__(self, attack_class, config, seed, source, image, asm,
+                 layout, meta):
+        self.attack_class = attack_class
+        self.config = config
+        self.seed = seed
+        self.source = source
+        self.image = image
+        self.asm = asm
+        self.layout = layout          # the *actual* (possibly TRR'd) layout
+        self.meta = meta
+
+    def __repr__(self):
+        return ("AttackVariant(%s, config=%s, seed=%d)"
+                % (self.attack_class, self.config, self.seed))
+
+
+class AttackRun:
+    """Outcome of one variant run, engine-independent fields only."""
+
+    def __init__(self, variant, outcome, reason, detections, cycles,
+                 machine=None):
+        self.variant = variant
+        self.outcome = outcome
+        self.reason = reason
+        self.detections = detections
+        self.cycles = cycles
+        self.machine = machine
+
+    def __repr__(self):
+        return "AttackRun(%s, %s)" % (self.outcome.value, self.reason)
+
+
+# ------------------------------------------------------------- generation
+
+def _assumed_frame(assumed, frame, stack_headroom=64):
+    """Where the attacker believes the service frame's sp lands."""
+    initial_sp = (assumed.stack_top - stack_headroom) & ~0x7
+    return initial_sp - frame
+
+
+#: Words in the marker-write shellcode (:func:`shellcode_words`).
+_SHELLCODE_LEN = 6
+
+
+def _draw_stack_geometry(rng, buf_off, ra_off):
+    """All random choices of a stack payload — drawn *before* pass 1 so
+    both assembly passes bake a payload of identical word count (a count
+    change would shift every symbol after the request block)."""
+    rt0, rt1 = rng.choice(_SHELLCODE_REGS)
+    room_words = (ra_off - buf_off) // 4
+    max_sled = max(0, room_words - _SHELLCODE_LEN)
+    sled = rng.randrange(0, min(max_sled, 8) + 1)
+    entry = rng.randrange(0, sled + 1)          # land on sled or code start
+    tail = rng.randrange(0, 4)
+    return {"regs": (rt0, rt1), "room_words": room_words,
+            "sled": sled, "entry": entry, "tail": tail}
+
+
+def _stack_payload(geometry, flag_addr, frame, buf_off, assumed):
+    """Materialize sled + shellcode + padding + return-address words."""
+    rt0, rt1 = geometry["regs"]
+    code = shellcode_words(flag_addr, rt0=rt0, rt1=rt1)
+    sled = geometry["sled"]
+    pad = geometry["room_words"] - sled - len(code)
+    buffer_addr = _assumed_frame(assumed, frame) + buf_off
+    payload = ([0] * sled + code + [0] * pad
+               + [buffer_addr + 4 * geometry["entry"]]
+               + [0] * geometry["tail"])
+    meta = dict(geometry, buffer_addr=buffer_addr)
+    return payload, meta
+
+
+def _gen_stack_smash(rng, mlr):
+    frame = rng.choice((96, 112, 128))
+    buf_off = rng.choice((16, 24, 32))
+    ra_off = frame - 4
+    prologue = _MLR_PROLOGUE if mlr else ""
+    geometry = _draw_stack_geometry(rng, buf_off, ra_off)
+    count = geometry["room_words"] + 1 + geometry["tail"]
+
+    def render(flag_addr, assumed):
+        payload, meta = _stack_payload(geometry, flag_addr, frame, buf_off,
+                                       assumed)
+        meta.update(frame=frame, buf_off=buf_off)
+        return (vulnsvc.render_stack_smash(payload, frame, buf_off, ra_off,
+                                           prologue=prologue), meta)
+
+    placeholder = vulnsvc.render_stack_smash(
+        [0] * count, frame, buf_off, ra_off, prologue=prologue)
+    return placeholder, render
+
+
+def _gen_got_hijack(rng, mlr):
+    entries = rng.randrange(2, 5)
+    victim = rng.randrange(entries)
+    primitive = rng.choice(vulnsvc.WRITE_PRIMITIVES)
+    prologue = _mlr_got_prologue(entries) if mlr else ""
+
+    def source(write_addr, write_index, write_value):
+        return vulnsvc.render_got_service(
+            entries, primitive, write_addr, write_index, write_value,
+            PWNED_MARKER, prologue=prologue)
+
+    def render(symbols):
+        if primitive == "indexed":
+            write_addr, write_index = symbols["got"], victim
+        else:
+            write_addr, write_index = symbols["got"] + 4 * victim, 0
+        meta = {"entries": entries, "victim": victim,
+                "primitive": primitive}
+        return (source(write_addr, write_index, symbols["attacker_fn"]),
+                meta)
+
+    return source(0, 0, 0), render
+
+
+def _gen_smc_patch(rng, mlr):
+    filler_pre = rng.randrange(0, 7)
+    filler_post = rng.randrange(0, 4)
+    reprotect = rng.random() < 0.5
+    prologue = _MLR_PROLOGUE if mlr else ""
+
+    def source(patch_addr, patch_word):
+        return vulnsvc.render_smc_patch(
+            patch_addr, patch_word, PWNED_MARKER, filler_pre=filler_pre,
+            filler_post=filler_post, reprotect=reprotect, prologue=prologue)
+
+    def render(symbols):
+        victim = symbols["victim_site"]
+        patch = encode(SPEC_BY_NAME["j"],
+                       target=(symbols["attacker_fn"] >> 2) & 0x03FFFFFF)
+        meta = {"filler_pre": filler_pre, "filler_post": filler_post,
+                "reprotect": reprotect, "victim_site": victim}
+        return source(victim, patch), meta
+
+    return source(0, 0), render
+
+
+def _gen_thread_smash(rng, mlr):
+    frame = rng.choice((96, 112, 128))
+    buf_off = rng.choice((16, 24, 32))
+    ra_off = frame - 4
+    nap = 20_000
+    delay = rng.randrange(200, 2_000)
+    prologue = _MLR_PROLOGUE if mlr else ""
+    geometry = _draw_stack_geometry(rng, buf_off, ra_off)
+    count = geometry["sled"] + _SHELLCODE_LEN + 1
+
+    def source(addrs, values):
+        return vulnsvc.render_thread_smash(addrs, values, frame, ra_off,
+                                           nap, delay, prologue=prologue)
+
+    def render(flag_addr, assumed):
+        payload, meta = _stack_payload(geometry, flag_addr, frame, buf_off,
+                                       assumed)
+        # The cross-thread writer stores word-by-word: sled + shellcode
+        # into the assumed buffer, the hijacked return address into the
+        # assumed $ra slot.  Padding/tail words stay unwritten.
+        frame_sp = _assumed_frame(assumed, frame)
+        body = payload[:meta["sled"] + _SHELLCODE_LEN]
+        addrs = [frame_sp + buf_off + 4 * i for i in range(len(body))]
+        addrs.append(frame_sp + ra_off)
+        values = body + [meta["buffer_addr"] + 4 * meta["entry"]]
+        meta.update(frame=frame, buf_off=buf_off, nap=nap, delay=delay)
+        return source(addrs, values), meta
+
+    return source([0] * count, [0] * count), render
+
+
+def _gen_race_got(rng, mlr):
+    entries = rng.randrange(2, 4)
+    victim = rng.randrange(entries)
+    main_delay = rng.randrange(0, 4)
+    racer_delay = rng.randrange(0, 4)
+    prologue = _mlr_got_prologue(entries) if mlr else ""
+    racer = vulnsvc.render_racer_thread(racer_delay)
+
+    def source(write_addr, write_value):
+        return vulnsvc.render_got_service(
+            entries, "word", write_addr, 0, write_value, PWNED_MARKER,
+            prologue=prologue, racer=racer, victim=victim,
+            main_delay=main_delay)
+
+    def render(symbols):
+        meta = {"entries": entries, "victim": victim,
+                "main_delay": main_delay, "racer_delay": racer_delay}
+        return (source(symbols["got"] + 4 * victim,
+                       symbols["attacker_fn"]), meta)
+
+    return source(0, 0), render
+
+
+def generate_variant(attack_class, seed, config="none"):
+    """Deterministically generate one attack variant.
+
+    The same ``(attack_class, seed, config)`` always yields a
+    byte-identical program: every random choice comes from one
+    ``random.Random(seed)`` stream consumed in a fixed order, and the
+    attacker's baked addresses are derived from the *assumed*
+    (conventional) layout regardless of the actual one.
+    """
+    if attack_class not in ATTACK_CLASSES:
+        raise ValueError("unknown attack class %r (have: %s)"
+                         % (attack_class, ", ".join(ATTACK_CLASSES)))
+    tokens = parse_config(config)
+    rng = random.Random(seed)
+    assumed = MemoryLayout()
+    mlr = "mlr" in tokens
+    # The TRR draw happens unconditionally so payload geometry for a
+    # given seed is identical across module configurations.
+    trr_seed = rng.getrandbits(31)
+    layout = (trr_randomize_layout(assumed, seed=trr_seed)
+              if "trr" in tokens else MemoryLayout())
+
+    generators = {"stack-smash": _gen_stack_smash,
+                  "got-hijack": _gen_got_hijack,
+                  "smc-patch": _gen_smc_patch,
+                  "thread-smash": _gen_thread_smash,
+                  "race-got": _gen_race_got}
+    placeholder, render = generators[attack_class](rng, mlr)
+
+    # Two-pass bake: pass 1 assembles with zero placeholders to learn the
+    # symbol table; pass 2 re-renders with the real baked words.  Word
+    # counts are identical between passes, so the symbols are too.
+    __, pass1 = build_workload_image(placeholder, layout)
+    if attack_class in ("stack-smash", "thread-smash"):
+        source, meta = render(pass1.symbols["secret_flag"], assumed)
+    else:
+        source, meta = render(pass1.symbols)
+    image, asm = build_workload_image(source, layout)
+    meta["trr_seed"] = trr_seed
+    return AttackVariant(attack_class, config, seed, source, image, asm,
+                         layout, meta)
+
+
+# -------------------------------------------------------------- execution
+
+def _build_config_machine(variant, tokens):
+    """Machine with the requested RSE modules attached and configured."""
+    module_names = tuple(token for token in tokens
+                         if token in ("icm", "mlr", "ddt", "cfc"))
+    machine = build_machine(with_rse=bool(module_names),
+                            modules=module_names)
+    machine.kernel.load_process(variant.image)
+    if variant.attack_class in _STACK_CLASSES:
+        _make_stack_executable(machine.kernel, variant.layout)
+    asm = variant.asm
+    if "icm" in module_names:
+        icm = machine.module(MODULE_ICM)
+        checker_map = build_checker_memory(machine.memory, asm.text_base,
+                                           len(asm.text))
+        icm.configure(checker_map)
+        machine.rse.enable_module(MODULE_ICM)
+        machine.pipeline.check_injector = make_icm_injector(checker_map)
+    if "cfc" in module_names:
+        cfc = machine.module(MODULE_CFC)
+        cfc.configure(*build_cfg(machine.memory, asm.text_base,
+                                 len(asm.text)))
+        machine.rse.enable_module(MODULE_CFC)
+    if "ddt" in module_names:
+        from repro.rse.check import MODULE_DDT
+        machine.rse.enable_module(MODULE_DDT)
+    # "mlr" is guest-enabled: the variant's defense prologue issues the
+    # CHECK sequence itself, exactly like a real MLR-aware loader.
+    return machine
+
+
+def run_variant(variant, max_cycles=DEFAULT_MAX_CYCLES, engine="pipeline"):
+    """Run a generated variant; returns an :class:`AttackRun`.
+
+    ``engine="pipeline"`` is the full machine (required for module
+    configurations beyond none/trr/mlr and for the threaded classes);
+    the functional engines run single-threaded variants through
+    :mod:`repro.security.guestos` and must classify identically.
+    """
+    tokens = parse_config(variant.config)
+    if engine != "pipeline":
+        from repro.security import guestos
+
+        if variant.attack_class not in FUNCSIM_CLASSES:
+            raise ValueError("attack class %r is threaded; it needs the "
+                             "pipeline engine" % variant.attack_class)
+        unsupported = [t for t in tokens if t not in ("trr", "mlr")]
+        if unsupported:
+            raise ValueError("module config %r needs the pipeline engine "
+                             "(RSE modules: %s)"
+                             % (variant.config, ", ".join(unsupported)))
+        run = guestos.run_image(
+            variant.image, engine, max_steps=max_cycles,
+            exec_stack=variant.attack_class in _STACK_CLASSES)
+        memory = run.sim.memory
+        flag = memory.load_word(variant.asm.symbols["secret_flag"])
+        done = memory.load_word(variant.asm.symbols["service_done"])
+        outcome = _classify(flag, run.reason, done)
+        return AttackRun(variant, outcome, run.reason, 0, run.sim.instret)
+
+    machine = _build_config_machine(variant, tokens)
+    result = machine.kernel.run(max_cycles=max_cycles)
+    flag = machine.memory.load_word(variant.asm.symbols["secret_flag"])
+    done = machine.memory.load_word(variant.asm.symbols["service_done"])
+    detections = len(machine.kernel.detections)
+    if result.reason == "check_error":
+        detections = max(detections, 1)
+    if "cfc" in tokens:
+        detections += len(machine.module(MODULE_CFC).violations)
+    outcome = _classify(flag, result.reason, done, detections)
+    return AttackRun(variant, outcome, result.reason, detections,
+                     result.cycles, machine=machine)
+
+
+# --------------------------------------------------------- campaign model
+
+#: AttackOutcome -> campaign Outcome: DETECTED maps onto the module-
+#: detection outcome, a successful hijack is (security) corruption, a
+#: crash surfaces as an architectural fault, a foiled attack is a benign
+#: completion, and UNCLASSIFIED — always a corpus bug — lands on HUNG.
+OUTCOME_TO_CAMPAIGN = {
+    AttackOutcome.DETECTED: Outcome.DETECTED,
+    AttackOutcome.HIJACKED: Outcome.CORRUPTED,
+    AttackOutcome.CRASHED: Outcome.FAULTED,
+    AttackOutcome.FOILED: Outcome.BENIGN,
+    AttackOutcome.UNCLASSIFIED: Outcome.HUNG,
+}
+
+
+@register
+class AttackCorpus(FaultModel):
+    """Campaign fault model running generated attack variants.
+
+    One campaign = one (attack class, module configuration) cell; the
+    per-injection derived seed is the variant seed, so the same campaign
+    seed enumerates the same corpus whatever the configuration — that is
+    what makes matrix columns comparable.
+    """
+
+    name = "attack"
+    arm_is_pure = False
+    needs_workload = False
+    owns_execution = True
+
+    def __init__(self, attack_class="stack-smash", config="none"):
+        if attack_class not in ATTACK_CLASSES:
+            raise ValueError("unknown attack class %r (have: %s)"
+                             % (attack_class, ", ".join(ATTACK_CLASSES)))
+        parse_config(config)          # validate early, worker-side too
+        self.attack_class = attack_class
+        self.config = config
+
+    def build_space(self, ctx):
+        return {"attack_class": self.attack_class, "config": self.config}
+
+    def sample(self, rng, space):
+        return {"attack_class": space["attack_class"],
+                "config": space["config"],
+                "variant_seed": rng.getrandbits(31)}
+
+    def execute(self, ctx, injection):
+        params = injection.params
+        variant = generate_variant(params["attack_class"],
+                                   params["variant_seed"],
+                                   config=params["config"])
+        run = run_variant(variant, max_cycles=ctx.spec.max_cycles)
+        outcome = OUTCOME_TO_CAMPAIGN[run.outcome]
+        return {"id": injection.id, "model": injection.model,
+                "seed": injection.seed, "params": params,
+                "outcome": outcome.value, "event": run.reason,
+                "pc": 0, "cycles": run.cycles,
+                "attack": {"class": variant.attack_class,
+                           "config": variant.config,
+                           "outcome": run.outcome.value,
+                           "detections": run.detections,
+                           "hijacked": run.outcome is AttackOutcome.HIJACKED}}

@@ -46,6 +46,8 @@ class AttackOutcome(enum.Enum):
     HIJACKED = "hijacked"          # attacker code ran
     CRASHED = "crashed"            # attack turned into a fault
     FOILED = "foiled"              # service completed unharmed
+    DETECTED = "detected"          # an RSE module flagged the attack
+    UNCLASSIFIED = "unclassified"  # none of the above (always a bug)
 
 
 class AttackResult:
@@ -147,12 +149,24 @@ def expected_buffer_address(layout, stack_headroom=64):
 
 
 def build_stack_smash_payload(flag_addr, assumed_layout=None):
-    """Shellcode + padding + return-address overwrite."""
+    """Shellcode + padding + return-address overwrite.
+
+    Raises :class:`ValueError` when the shellcode no longer fits between
+    the buffer start and the saved return address — padding would go
+    negative and ``bytes * negative == b""`` silently truncates the
+    payload into garbage instead of failing loudly.
+    """
     assumed_layout = assumed_layout or MemoryLayout()
     buffer_addr = expected_buffer_address(assumed_layout)
-    payload = bytearray(_shellcode(flag_addr))
-    ra_offset = RA_FRAME_OFFSET - BUFFER_FRAME_OFFSET
-    payload.extend(b"\x00" * (ra_offset - len(payload)))
+    shellcode = _shellcode(flag_addr)
+    room = RA_FRAME_OFFSET - BUFFER_FRAME_OFFSET
+    if len(shellcode) > room:
+        raise ValueError(
+            "shellcode is %d bytes but only %d bytes fit between the "
+            "buffer (frame+%d) and the saved return address (frame+%d)"
+            % (len(shellcode), room, BUFFER_FRAME_OFFSET, RA_FRAME_OFFSET))
+    payload = bytearray(shellcode)
+    payload.extend(b"\x00" * (room - len(payload)))
     payload.extend(buffer_addr.to_bytes(4, "little"))
     return bytes(payload)
 
@@ -171,19 +185,76 @@ def vulnerable_service_program(layout, defense="none"):
 
 
 def _make_stack_executable(kernel, layout):
-    """Model the 2004-era executable stack the shellcode relies on."""
+    """Model the 2004-era executable stack the shellcode relies on.
+
+    Two parts, because mapping *order* must not matter:
+
+    * every page of the architectural stack range gets "rwx" outright —
+      the old ``if page in kernel.page_perms`` guard silently left any
+      not-yet-mapped stack page non-executable, misclassifying a
+      working hijack as CRASHED;
+    * stack-area pages mapped *after* this call (the MLR prologue's
+      ``SYS_MMAP`` of the randomized region) come up executable too,
+      via a map-policy wrapper, so the only thing standing between the
+      attacker and the shellcode is the defense itself.
+    """
     first = layout.stack_base >> PAGE_SHIFT
-    last = layout.stack_top >> PAGE_SHIFT
+    last = (layout.stack_top - 1) >> PAGE_SHIFT
     for page in range(first, last + 1):
-        if page in kernel.page_perms:
-            kernel.page_perms[page] = "rwx"
+        kernel.page_perms[page] = "rwx"
+    original_map = kernel._map_range
+
+    def map_exec(addr, length, perms):
+        original_map(addr, length, "rwx" if perms == "rw" else perms)
+
+    kernel._map_range = map_exec
 
 
-def run_stack_smash(defense="none", seed=1234, max_cycles=3_000_000):
+def _classify(flag, reason, completed, detections=0):
+    """Shared, engine-independent outcome classification.
+
+    Priority order: a module detection beats everything (the run was
+    stopped *because of* the attack), then evidence the attacker's code
+    ran, then a crash, then clean completion.  Anything else —
+    typically a blown step budget — is UNCLASSIFIED, which the corpus
+    treats as a generator/harness bug, never a legitimate result.
+    """
+    if detections:
+        return AttackOutcome.DETECTED
+    if flag == PWNED_MARKER:
+        return AttackOutcome.HIJACKED
+    if reason in ("fault", "recovery_impossible"):
+        return AttackOutcome.CRASHED
+    if reason in ("halt", "all_exited"):
+        return (AttackOutcome.FOILED if completed
+                else AttackOutcome.CRASHED)
+    return AttackOutcome.UNCLASSIFIED
+
+
+def _run_on_funcsim(image, asm, engine, flag_addr, completed_addr,
+                    max_steps, exec_stack, setup):
+    """Run an attack image on a functional engine via the guest shim."""
+    from repro.security import guestos
+
+    run = guestos.run_image(image, engine, max_steps=max_steps,
+                            exec_stack=exec_stack, setup=setup)
+    flag = run.sim.memory.load_word(flag_addr)
+    completed = (run.sim.memory.load_word(completed_addr)
+                 if completed_addr is not None else 1)
+    outcome = _classify(flag, run.reason, completed)
+    return AttackResult(outcome, run, None, asm)
+
+
+def run_stack_smash(defense="none", seed=1234, max_cycles=3_000_000,
+                    engine="pipeline"):
     """Run the stack-smashing attack under a defense; returns the result.
 
     defenses: ``"none"`` (fixed layout), ``"trr"`` (software layout
     randomization at load), ``"mlr"`` (hardware module randomization).
+    engines: ``"pipeline"`` (kernel + detailed model, the default) or
+    any of the functional engines (``interp`` / ``predecode`` /
+    ``jit``) through :mod:`repro.security.guestos` — the outcome is a
+    property of the program and must not depend on this choice.
     """
     assumed = MemoryLayout()          # what the attacker believes
     if defense == "trr":
@@ -191,34 +262,27 @@ def run_stack_smash(defense="none", seed=1234, max_cycles=3_000_000):
     else:
         layout = MemoryLayout()
     with_mlr = defense == "mlr"
-    machine = build_machine(with_rse=with_mlr,
-                            modules=("mlr",) if with_mlr else ())
     image, asm = vulnerable_service_program(layout, defense=defense)
-    machine.kernel.load_process(image)
-    _make_stack_executable(machine.kernel, layout)
-    if with_mlr:
-        # The MLR prologue maps a fresh stack; make it executable too so
-        # the only thing stopping the attacker is the randomization.
-        original_map = machine.kernel._map_range
-
-        def map_rwx(addr, length, perms):
-            original_map(addr, length, "rwx" if perms == "rw" else perms)
-
-        machine.kernel._map_range = map_rwx
-
     flag_addr = asm.symbols["secret_flag"]
     payload = build_stack_smash_payload(flag_addr, assumed_layout=assumed)
-    machine.memory.store_bytes(asm.symbols["request"], payload)
-    machine.memory.store_word(asm.symbols["request_len"], len(payload))
+
+    def plant(memory, guest=None):
+        memory.store_bytes(asm.symbols["request"], payload)
+        memory.store_word(asm.symbols["request_len"], len(payload))
+
+    if engine != "pipeline":
+        return _run_on_funcsim(image, asm, engine, flag_addr, None,
+                               max_cycles, True, plant)
+
+    machine = build_machine(with_rse=with_mlr,
+                            modules=("mlr",) if with_mlr else ())
+    machine.kernel.load_process(image)
+    _make_stack_executable(machine.kernel, layout)
+    plant(machine.memory)
 
     result = machine.kernel.run(max_cycles=max_cycles)
     flag = machine.memory.load_word(flag_addr)
-    if flag == PWNED_MARKER:
-        outcome = AttackOutcome.HIJACKED
-    elif result.reason == "fault":
-        outcome = AttackOutcome.CRASHED
-    else:
-        outcome = AttackOutcome.FOILED
+    outcome = _classify(flag, result.reason, 1)
     return AttackResult(outcome, result, machine, asm)
 
 
@@ -293,33 +357,39 @@ _MLR_GOT_PROLOGUE = """
 """
 
 
-def run_got_hijack(defense="none", max_cycles=3_000_000):
-    """GOT-overwrite attack; *defense* is ``"none"`` or ``"mlr"``."""
+def run_got_hijack(defense="none", max_cycles=3_000_000, engine="pipeline"):
+    """GOT-overwrite attack; *defense* is ``"none"`` or ``"mlr"``.
+
+    *engine* selects the execution engine exactly as in
+    :func:`run_stack_smash`.
+    """
     layout = MemoryLayout()
     with_mlr = defense == "mlr"
     prologue = _MLR_GOT_PROLOGUE if with_mlr else "    # no defense"
     source = _GOT_HIJACK_TEMPLATE.format(defense_prologue=prologue,
                                          marker=PWNED_MARKER)
+    image, asm = build_workload_image(source, layout)
+    flag_addr = asm.symbols["secret_flag"]
+    done_addr = asm.symbols["log_done"]
+
+    def plant(memory, guest=None):
+        # The attacker overwrites the *well-known* (static) GOT slot
+        # with the address of attacker_fn.
+        memory.store_word(asm.symbols["write_addr"], asm.symbols["got"])
+        memory.store_word(asm.symbols["write_value"],
+                          asm.symbols["attacker_fn"])
+
+    if engine != "pipeline":
+        return _run_on_funcsim(image, asm, engine, flag_addr, done_addr,
+                               max_cycles, False, plant)
+
     machine = build_machine(with_rse=with_mlr,
                             modules=("mlr",) if with_mlr else ())
-    image, asm = build_workload_image(source, layout)
     machine.kernel.load_process(image)
-
-    # The attacker overwrites the *well-known* (static) GOT slot with the
-    # address of attacker_fn.
-    machine.memory.store_word(asm.symbols["write_addr"], asm.symbols["got"])
-    machine.memory.store_word(asm.symbols["write_value"],
-                              asm.symbols["attacker_fn"])
+    plant(machine.memory)
 
     result = machine.kernel.run(max_cycles=max_cycles)
-    flag = machine.memory.load_word(asm.symbols["secret_flag"])
-    logged = machine.memory.load_word(asm.symbols["log_done"])
-    if flag == PWNED_MARKER:
-        outcome = AttackOutcome.HIJACKED
-    elif result.reason == "fault":
-        outcome = AttackOutcome.CRASHED
-    elif logged:
-        outcome = AttackOutcome.FOILED
-    else:
-        outcome = AttackOutcome.CRASHED
+    flag = machine.memory.load_word(flag_addr)
+    logged = machine.memory.load_word(done_addr)
+    outcome = _classify(flag, result.reason, logged)
     return AttackResult(outcome, result, machine, asm)

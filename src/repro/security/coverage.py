@@ -1,0 +1,130 @@
+"""Module × attack-class detection-coverage matrix.
+
+The paper's security story (Section 6, Tables 4/5) is qualitative: one
+hand-written exploit per mechanism, one row per defense.  This module
+turns the generated corpus of :mod:`repro.security.attackgen` into the
+quantitative analogue: for every (RSE module configuration, attack
+class) cell it runs a seeded campaign of randomized attack variants and
+reports how the cell's runs split across the attack outcomes, with a
+Wilson score interval on the *stopped* rate (the fraction of variants
+the configuration detected, crashed, or foiled — i.e. did not let
+hijack).
+
+Every cell of one matrix shares the same campaign seed, and variant
+seeds are drawn independently of the module configuration, so each row
+of the matrix faces the **same corpus** — columns are comparable the way
+the paper's table rows are.  The whole matrix is reproducible
+byte-for-byte from ``(classes, configs, variants, seed)``.
+"""
+
+import os
+
+from repro.analysis.stats import wilson_interval
+from repro.campaign.runner import CampaignSpec, run_campaign
+from repro.security.attackgen import ATTACK_CLASSES, parse_config
+
+#: Schema tag on the JSON document (bump on shape changes).
+SCHEMA = "repro.security.coverage/1"
+
+#: Default matrix axes: every attack class against the paper-relevant
+#: module configurations (``trr`` rides the loader, not the RSE).
+DEFAULT_CONFIGS = ("none", "trr", "icm", "mlr", "cfc", "mlr+icm")
+
+#: Attack outcomes in display order.
+_OUTCOMES = ("hijacked", "crashed", "foiled", "detected", "unclassified")
+
+
+def attack_cell(attack_class, config, variants, seed, max_cycles=300_000,
+                options=None):
+    """Run one matrix cell as a campaign; returns the folded cell dict."""
+    spec = CampaignSpec(
+        source="attack:%s" % attack_class,          # fingerprint tag only
+        model="attack",
+        model_options={"attack_class": attack_class, "config": config},
+        injections=variants, seed=seed, max_cycles=max_cycles)
+    if options is not None and options.store:
+        # One matrix = many campaigns: ``store`` names a directory and
+        # each cell keeps its own resumable store inside it.
+        os.makedirs(options.store, exist_ok=True)
+        cell_store = os.path.join(options.store, "%s--%s.jsonl"
+                                  % (attack_class, config.replace("+", "_")))
+        options = options.replace(store=cell_store)
+    run = run_campaign(spec, options=options)
+    counts = {outcome: 0 for outcome in _OUTCOMES}
+    detections = 0
+    for record in run.records:
+        attack = record["attack"]
+        counts[attack["outcome"]] += 1
+        detections += attack["detections"]
+    stopped = variants - counts["hijacked"] - counts["unclassified"]
+    low, high = wilson_interval(stopped, variants)
+    return {"class": attack_class, "config": config,
+            "variants": variants, "outcomes": counts,
+            "detections": detections,
+            "stopped": stopped,
+            "stopped_rate": stopped / variants if variants else 0.0,
+            "stopped_ci": [low, high],
+            "fingerprint": spec.fingerprint()}
+
+
+def attack_matrix(classes=ATTACK_CLASSES, configs=DEFAULT_CONFIGS,
+                  variants=40, seed=2004, max_cycles=300_000,
+                  options=None, progress=None):
+    """The full module × attack-class coverage matrix.
+
+    Args:
+        classes: attack classes (matrix columns).
+        configs: module configurations (matrix rows).
+        variants: corpus size per cell.
+        seed: campaign seed shared by every cell — what makes rows face
+            an identical corpus.
+        options: optional :class:`~repro.campaign.options.ExecutionOptions`
+            forwarded to every cell's campaign (sharding, workers, store).
+        progress: optional ``callback(done_cells, total_cells)``.
+    """
+    classes = tuple(classes)
+    configs = tuple(configs)
+    for config in configs:
+        parse_config(config)          # fail fast on a bad axis
+    cells = []
+    total = len(classes) * len(configs)
+    for config in configs:
+        for attack_class in classes:
+            cells.append(attack_cell(attack_class, config, variants, seed,
+                                     max_cycles=max_cycles, options=options))
+            if progress is not None:
+                progress(len(cells), total)
+    return {"schema": SCHEMA,
+            "classes": list(classes), "configs": list(configs),
+            "variants": variants, "seed": seed, "max_cycles": max_cycles,
+            "cells": cells}
+
+
+def _cell_label(cell):
+    outcomes = cell["outcomes"]
+    dominant = max(_OUTCOMES, key=lambda o: outcomes[o])
+    low, high = cell["stopped_ci"]
+    return "%-9s %3d%% [%.2f,%.2f]" % (dominant, int(
+        round(100 * cell["stopped_rate"])), low, high)
+
+
+def format_attack_matrix(doc):
+    """Human-readable table: rows = configs, columns = attack classes."""
+    classes = doc["classes"]
+    configs = doc["configs"]
+    by_key = {(c["config"], c["class"]): c for c in doc["cells"]}
+    width = max(28, max(len(c) for c in classes) + 2)
+    lines = ["Attack coverage matrix (%d variants/cell, seed %d)"
+             % (doc["variants"], doc["seed"]),
+             "stopped = not hijacked; CI = 95% Wilson", ""]
+    header = "%-10s" % "config" + "".join("%-*s" % (width, c)
+                                          for c in classes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for config in configs:
+        row = "%-10s" % config
+        for attack_class in classes:
+            row += "%-*s" % (width, _cell_label(by_key[(config,
+                                                        attack_class)]))
+        lines.append(row)
+    return "\n".join(lines)
